@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Reproduces the §VI-D discussion experiments:
+ *   (1) asymptotic scaling to 500K and 1M points (paper: 105.7x over
+ *       GPU at 1M on PointNeXt segmentation), and
+ *   (2) the imbalance study — adversarial two-cluster scenes increase
+ *       latency by only ~3% versus a balanced partition because the
+ *       threshold bounds the largest block.
+ */
+
+#include "bench_common.h"
+
+#include "accel/accelerator.h"
+#include "nn/models.h"
+#include "partition/partitioner.h"
+
+namespace {
+
+using namespace fc;
+
+void
+BM_FractalPartition1M(benchmark::State &state)
+{
+    const data::PointCloud &cloud = fcb::scene(1000000);
+    const auto p = part::makePartitioner(part::Method::Fractal);
+    part::PartitionConfig config;
+    config.threshold = 256;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            p->partition(cloud, config).tree.leaves().size());
+}
+BENCHMARK(BM_FractalPartition1M)->Unit(benchmark::kMillisecond);
+
+void
+printTables()
+{
+    const nn::ModelConfig model = nn::pointNeXtSemSeg();
+
+    // --- Asymptotic scaling ----------------------------------------------
+    Table t({"points", "GPU (ms)", "FractalCloud (ms)",
+             "speedup vs GPU", "partition share"});
+    for (const std::size_t n : {289000ul, 500000ul, 1000000ul}) {
+        const data::PointCloud &cloud = fcb::scene(n);
+        const accel::RunReport gpu = accel::gpuRun(model, n);
+        const accel::RunReport ours =
+            accel::makeFractalCloud(256).run(model, cloud);
+        t.addRow({std::to_string(n / 1000) + "K",
+                  Table::num(gpu.totalLatencyMs(), 0),
+                  Table::num(ours.totalLatencyMs(), 1),
+                  Table::mult(gpu.totalLatencyMs() /
+                              ours.totalLatencyMs()),
+                  Table::num(100.0 *
+                                 ours.latencyMs(
+                                     accel::Phase::Partition) /
+                                 ours.totalLatencyMs(),
+                             2) +
+                      "%"});
+    }
+    fcb::emit(t, "asymptotic_scaling",
+              "Asymptotic scaling (paper: 105.7x over GPU at 1M "
+              "points)");
+
+    // --- Imbalance study ----------------------------------------------------
+    const std::size_t n = 131000;
+    data::SceneOptions normal;
+    data::SceneOptions adversarial;
+    adversarial.adversarial_two_clusters = true;
+    const data::PointCloud balanced = data::makeS3disScene(n, 7, normal);
+    const data::PointCloud two_clusters =
+        data::makeS3disScene(n, 7, adversarial);
+
+    const accel::RunReport r_bal =
+        accel::makeFractalCloud(256).run(model, balanced);
+    const accel::RunReport r_adv =
+        accel::makeFractalCloud(256).run(model, two_clusters);
+
+    const auto frac = part::makePartitioner(part::Method::Fractal);
+    part::PartitionConfig pconfig;
+    pconfig.threshold = 256;
+    const auto p_bal = frac->partition(balanced, pconfig);
+    const auto p_adv = frac->partition(two_clusters, pconfig);
+
+    Table imb({"scene", "max leaf", "leaf cv", "latency (ms)",
+               "latency increase"});
+    imb.addRow({"typical indoor scene",
+                std::to_string(p_bal.tree.maxLeafSize()),
+                Table::num(p_bal.tree.leafSizeCv(), 3),
+                Table::num(r_bal.totalLatencyMs(), 2), "-"});
+    imb.addRow(
+        {"adversarial two-cluster",
+         std::to_string(p_adv.tree.maxLeafSize()),
+         Table::num(p_adv.tree.leafSizeCv(), 3),
+         Table::num(r_adv.totalLatencyMs(), 2),
+         Table::num(100.0 * (r_adv.totalLatencyMs() /
+                                 r_bal.totalLatencyMs() -
+                             1.0),
+                    1) +
+             "% (paper: ~3%)"});
+    fcb::emit(imb, "imbalance_study",
+              "Imbalance effect in Fractal (paper SVI-D: threshold "
+              "bounds the damage)");
+}
+
+} // namespace
+
+FC_BENCH_MAIN(printTables)

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries.
+ *
+ * Every bench binary:
+ *   1. runs its google-benchmark kernels (micro timings of the
+ *      functional implementations), then
+ *   2. prints the paper's table/figure as ASCII and writes it as CSV
+ *      next to the binary.
+ */
+
+#ifndef FC_BENCH_BENCH_COMMON_H
+#define FC_BENCH_BENCH_COMMON_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "dataset/s3dis.h"
+
+namespace fcb {
+
+/** Cached S3DIS-like scenes keyed by size (seed fixed at 1). */
+inline const fc::data::PointCloud &
+scene(std::size_t n)
+{
+    static std::map<std::size_t, fc::data::PointCloud> cache;
+    auto it = cache.find(n);
+    if (it == cache.end())
+        it = cache.emplace(n, fc::data::makeS3disScene(n, 1)).first;
+    return it->second;
+}
+
+/** Print a finished table and write `<name>.csv` beside the binary. */
+inline void
+emit(const fc::Table &table, const std::string &name,
+     const std::string &caption)
+{
+    std::printf("\n=== %s ===\n%s\n", caption.c_str(),
+                table.render().c_str());
+    const std::string path = name + ".csv";
+    if (table.writeCsv(path))
+        std::printf("(rows also written to %s)\n", path.c_str());
+}
+
+/** Shared main: run registered google-benchmark kernels, then the
+ *  table generator supplied by the binary. */
+#define FC_BENCH_MAIN(table_fn)                                         \
+    int                                                                 \
+    main(int argc, char **argv)                                         \
+    {                                                                   \
+        fc::logLevel() = fc::LogLevel::Silent;                          \
+        ::benchmark::Initialize(&argc, argv);                           \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))       \
+            return 1;                                                   \
+        ::benchmark::RunSpecifiedBenchmarks();                          \
+        ::benchmark::Shutdown();                                        \
+        table_fn();                                                     \
+        return 0;                                                       \
+    }
+
+} // namespace fcb
+
+#endif // FC_BENCH_BENCH_COMMON_H

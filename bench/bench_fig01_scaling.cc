@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces Fig. 1: memory access (MB) and inference latency (ms) of
+ * the original baseline structure (global point operations, PointAcc-
+ * style) versus FractalCloud, across 1K-289K input points, for
+ * PointNeXt segmentation on S3DIS-like scenes.
+ *
+ * Paper shape: baseline memory/latency grow ~O(n^2) (10^0 -> 10^4 MB,
+ * 10^0 -> 10^4 ms); FractalCloud stays orders of magnitude below with
+ * near-linear growth.
+ */
+
+#include "bench_common.h"
+
+#include "accel/accelerator.h"
+#include "nn/models.h"
+#include "ops/fps.h"
+#include "partition/fractal.h"
+
+namespace {
+
+using namespace fc;
+
+/** Microbenchmark: functional block-wise FPS on a 33K scene. */
+void
+BM_BlockFps33k(benchmark::State &state)
+{
+    const data::PointCloud &cloud = fcb::scene(33000);
+    part::FractalPartitioner p;
+    part::PartitionConfig config;
+    config.threshold = 256;
+    const part::PartitionResult part = p.partition(cloud, config);
+    for (auto _ : state) {
+        auto r = ops::blockFarthestPointSample(cloud, part.tree, 0.25);
+        benchmark::DoNotOptimize(r.indices.data());
+    }
+}
+BENCHMARK(BM_BlockFps33k)->Unit(benchmark::kMillisecond);
+
+void
+printTables()
+{
+    const nn::ModelConfig model = nn::pointNeXtSemSeg();
+    Table t({"points", "base access (MB)", "our access (MB)",
+             "access reduction", "base latency (ms)",
+             "our latency (ms)", "speedup"});
+    for (const std::size_t n :
+         {1000ul, 4000ul, 16000ul, 66000ul, 289000ul}) {
+        const data::PointCloud &cloud = fcb::scene(n);
+        const accel::RunReport base =
+            accel::makePointAcc().run(model, cloud);
+        const accel::RunReport ours =
+            accel::makeFractalCloud(n <= 4000 ? 64 : 256)
+                .run(model, cloud);
+        const double base_mb =
+            static_cast<double>(base.sram_bytes + base.dram_bytes) /
+            1e6;
+        const double ours_mb =
+            static_cast<double>(ours.sram_bytes + ours.dram_bytes) /
+            1e6;
+        t.addRow({std::to_string(n / 1000) + "K",
+                  Table::num(base_mb, 1), Table::num(ours_mb, 1),
+                  Table::mult(base_mb / ours_mb),
+                  Table::num(base.totalLatencyMs(), 2),
+                  Table::num(ours.totalLatencyMs(), 2),
+                  Table::mult(base.totalLatencyMs() /
+                              ours.totalLatencyMs())});
+    }
+    fcb::emit(t, "fig01_scaling",
+              "Fig. 1: memory access and latency, baseline (global "
+              "search) vs FractalCloud");
+}
+
+} // namespace
+
+FC_BENCH_MAIN(printTables)

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Reproduces Fig. 3: the four partitioning regimes — none (PointAcc),
+ * space-uniform (PNNPU), KD-tree (Crescent), Fractal (ours) — compared
+ * on partitioning latency, complexity, block balance, and an accuracy
+ * proxy (neighbor recall + sampling coverage vs exact global ops).
+ *
+ * Paper shape: uniform 0.03 ms / O(n) / imbalanced / -8.8% acc;
+ * KD 4.03 ms / O(n log n) / strictly balanced / -0.3%; Fractal
+ * 0.04 ms / O(n) / moderately balanced / -0.6%.
+ */
+
+#include "bench_common.h"
+
+#include "accel/accelerator.h"
+#include "ops/fps.h"
+#include "ops/neighbor.h"
+#include "ops/quality.h"
+#include "partition/partitioner.h"
+#include "sim/cycles.h"
+
+namespace {
+
+using namespace fc;
+
+constexpr std::size_t kScenePts = 16384;
+constexpr std::uint32_t kThreshold = 256;
+
+void
+BM_PartitionFractal(benchmark::State &state)
+{
+    const data::PointCloud &cloud = fcb::scene(kScenePts);
+    const auto p = part::makePartitioner(part::Method::Fractal);
+    part::PartitionConfig config;
+    config.threshold = kThreshold;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(p->partition(cloud, config).tree
+                                     .numPoints());
+}
+BENCHMARK(BM_PartitionFractal)->Unit(benchmark::kMillisecond);
+
+void
+BM_PartitionKdTree(benchmark::State &state)
+{
+    const data::PointCloud &cloud = fcb::scene(kScenePts);
+    const auto p = part::makePartitioner(part::Method::KdTree);
+    part::PartitionConfig config;
+    config.threshold = kThreshold;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(p->partition(cloud, config).tree
+                                     .numPoints());
+}
+BENCHMARK(BM_PartitionKdTree)->Unit(benchmark::kMillisecond);
+
+/** Modelled on-chip partitioning latency (fractal-engine model). */
+double
+partitionLatencyMs(const part::PartitionResult &result,
+                   const accel::Policy &policy)
+{
+    const part::PartitionStats &ps = result.stats;
+    const double n = result.tree.numPoints();
+    switch (result.method) {
+      case part::Method::Uniform:
+        return sim::cyclesToMs(
+            static_cast<sim::Cycles>(ps.traversal_passes * n /
+                                     policy.traverse_rate),
+            1.0);
+      case part::Method::Octree:
+        return sim::cyclesToMs(
+            static_cast<sim::Cycles>(1.5 * ps.traversal_passes * n /
+                                     policy.traverse_rate),
+            1.0);
+      case part::Method::Fractal:
+        return sim::cyclesToMs(
+            static_cast<sim::Cycles>(ps.traversal_passes * n /
+                                     policy.traverse_rate),
+            1.0);
+      case part::Method::KdTree:
+        return sim::cyclesToMs(
+            static_cast<sim::Cycles>(
+                static_cast<double>(ps.sort_compares) /
+                    policy.sorter_rate +
+                64.0 * static_cast<double>(ps.num_sorts)),
+            1.0);
+      case part::Method::None:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+/** Accuracy proxy: block ops vs exact global ops. */
+struct Proxy
+{
+    double recall;        ///< grouping neighbor recall
+    double coverage_ratio; ///< block / global mean coverage (>= 1)
+};
+
+Proxy
+accuracyProxy(const data::PointCloud &cloud,
+              const part::PartitionResult &part)
+{
+    const ops::BlockSampleResult sampled =
+        ops::blockFarthestPointSample(cloud, part.tree, 0.25);
+    const ops::SampleResult global_s =
+        ops::farthestPointSample(cloud, sampled.indices.size());
+    // Stage-1 radius (0.1 m): neighborhoods rarely exceed k, so the
+    // global and block tables describe the same well-defined sets and
+    // recall measures genuine neighbor loss rather than tie-breaking.
+    const ops::NeighborResult blocked =
+        ops::blockBallQuery(cloud, part.tree, sampled, 0.1f, 16);
+    const ops::NeighborResult global =
+        ops::ballQuery(cloud, sampled.indices, 0.1f, 16);
+    Proxy p;
+    p.recall = ops::neighborRecall(global, blocked);
+    p.coverage_ratio =
+        ops::meanCoverage(cloud, sampled.indices) /
+        ops::meanCoverage(cloud, global_s.indices);
+    return p;
+}
+
+void
+printTables()
+{
+    const data::PointCloud &cloud = fcb::scene(kScenePts);
+    Table t({"strategy", "partition (ms, modelled)", "complexity",
+             "balance (leaf cv)", "max/th", "group recall",
+             "coverage ratio"});
+
+    const accel::Policy policy = accel::makeFractalCloud().policy();
+    part::PartitionConfig config;
+    config.threshold = kThreshold;
+
+    struct Row
+    {
+        part::Method method;
+        const char *complexity;
+    };
+    for (const Row row :
+         {Row{part::Method::None, "-"},
+          Row{part::Method::Uniform, "O(n)"},
+          Row{part::Method::KdTree, "O(n log n)"},
+          Row{part::Method::Fractal, "O(n)"}}) {
+        const auto p = part::makePartitioner(row.method);
+        const part::PartitionResult result =
+            p->partition(cloud, config);
+        std::string recall = "1.000 (exact)";
+        std::string coverage = "1.00 (exact)";
+        if (row.method != part::Method::None) {
+            const Proxy proxy = accuracyProxy(cloud, result);
+            recall = Table::num(proxy.recall, 3);
+            coverage = Table::num(proxy.coverage_ratio, 2);
+        }
+        t.addRow({part::methodName(row.method),
+                  Table::num(partitionLatencyMs(result, policy), 3),
+                  row.complexity,
+                  Table::num(result.tree.leafSizeCv(), 3),
+                  Table::num(static_cast<double>(
+                                 result.tree.maxLeafSize()) /
+                                 kThreshold,
+                             2),
+                  recall, coverage});
+    }
+    fcb::emit(t, "fig03_partition_methods",
+              "Fig. 3: partitioning strategies on a 16K S3DIS-like "
+              "scene (th=256)");
+}
+
+} // namespace
+
+FC_BENCH_MAIN(printTables)

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Fig. 4: GPU inference latency and the share of point
+ * operations vs MLPs, for the seven Table I workloads across input
+ * scales.
+ *
+ * Paper shape: point-operation share rises from ~30-45% at 1K to
+ * 97-99% at 289K; absolute latency grows superlinearly.
+ */
+
+#include "bench_common.h"
+
+#include "accel/accelerator.h"
+#include "nn/models.h"
+
+namespace {
+
+using namespace fc;
+
+void
+BM_GpuModel289k(benchmark::State &state)
+{
+    const nn::ModelConfig model = nn::pointNeXtSemSeg();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            accel::gpuRun(model, 289000).totalCycles());
+}
+BENCHMARK(BM_GpuModel289k);
+
+void
+printTables()
+{
+    Table t({"workload", "points", "GPU latency (ms)",
+             "point ops (ms)", "MLPs (ms)", "point-op share"});
+
+    struct Workload
+    {
+        nn::ModelConfig model;
+        std::vector<std::size_t> sizes;
+    };
+    const std::vector<Workload> workloads = {
+        {nn::pointNet2Classification(), {1000, 4000}},
+        {nn::pointNeXtClassification(), {1000, 4000}},
+        {nn::pointNet2PartSeg(), {2000, 4000}},
+        {nn::pointNeXtPartSeg(), {2000, 4000}},
+        {nn::pointNet2SemSeg(), {16000, 66000}},
+        {nn::pointNeXtSemSeg(), {1000, 4000, 16000, 66000, 289000}},
+        {nn::pointVectorSemSeg(), {16000, 66000, 289000}},
+    };
+    for (const Workload &w : workloads) {
+        for (const std::size_t n : w.sizes) {
+            const accel::RunReport r = accel::gpuRun(w.model, n);
+            const double point_ms =
+                sim::cyclesToMs(r.pointOpCycles(), r.freq_ghz);
+            const double mlp_ms =
+                sim::cyclesToMs(r.mlpCycles(), r.freq_ghz);
+            const double share =
+                100.0 * static_cast<double>(r.pointOpCycles()) /
+                static_cast<double>(r.totalCycles());
+            t.addRow({w.model.name, std::to_string(n / 1000) + "K",
+                      Table::num(r.totalLatencyMs(), 1),
+                      Table::num(point_ms, 1), Table::num(mlp_ms, 1),
+                      Table::num(share, 0) + "%"});
+        }
+    }
+    fcb::emit(t, "fig04_bottleneck",
+              "Fig. 4: GPU latency and point-operation share across "
+              "workloads and scales");
+}
+
+} // namespace
+
+FC_BENCH_MAIN(printTables)

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces Fig. 5: the serial sort count of the KD-tree workflow
+ * versus the level-parallel traversal count of Fractal.
+ *
+ * Paper numbers: BS=64 at 1K points -> 15 sorts vs 4 traversals;
+ * BS=256 at 289K points -> 2047 sorts vs 11 traversals.
+ */
+
+#include "bench_common.h"
+
+#include "common/rng.h"
+#include "partition/partitioner.h"
+
+namespace {
+
+using namespace fc;
+
+data::PointCloud
+uniformCloud(std::size_t n)
+{
+    Pcg32 rng(3);
+    data::PointCloud cloud;
+    for (std::size_t i = 0; i < n; ++i)
+        cloud.addPoint({rng.uniform(-1, 1), rng.uniform(-1, 1),
+                        rng.uniform(-1, 1)});
+    return cloud;
+}
+
+void
+BM_FractalTraversal289k(benchmark::State &state)
+{
+    const data::PointCloud &cloud = fcb::scene(289000);
+    const auto p = part::makePartitioner(part::Method::Fractal);
+    part::PartitionConfig config;
+    config.threshold = 256;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            p->partition(cloud, config).stats.traversal_passes);
+}
+BENCHMARK(BM_FractalTraversal289k)->Unit(benchmark::kMillisecond);
+
+void
+printTables()
+{
+    Table t({"input", "block size", "KD-tree sorts",
+             "KD sort compares", "fractal traversals",
+             "fractal elements touched", "op-count ratio"});
+
+    struct Case
+    {
+        std::size_t n;
+        std::uint32_t bs;
+        bool uniform; // the 1K case of Fig. 5 uses generic data
+    };
+    for (const Case c : {Case{1024, 64, true}, Case{289000, 256, false},
+                         Case{16384, 256, false},
+                         Case{66000, 256, false}}) {
+        const data::PointCloud cloud =
+            c.uniform ? uniformCloud(c.n)
+                      : data::PointCloud(fcb::scene(c.n));
+        part::PartitionConfig config;
+        config.threshold = c.bs;
+        const part::PartitionResult kd =
+            part::makePartitioner(part::Method::KdTree)
+                ->partition(cloud, config);
+        const part::PartitionResult fractal =
+            part::makePartitioner(part::Method::Fractal)
+                ->partition(cloud, config);
+        t.addRow({std::to_string(c.n / 1000) + "K (" +
+                      (c.uniform ? "uniform" : "scene") + ")",
+                  std::to_string(c.bs),
+                  std::to_string(kd.stats.num_sorts),
+                  std::to_string(kd.stats.sort_compares),
+                  std::to_string(fractal.stats.traversal_passes),
+                  std::to_string(fractal.stats.elements_traversed),
+                  Table::mult(static_cast<double>(kd.stats.num_sorts) /
+                              fractal.stats.traversal_passes)});
+    }
+    fcb::emit(t, "fig05_sort_vs_traverse",
+              "Fig. 5: exclusive KD-tree sorting vs inclusive Fractal "
+              "traversal");
+}
+
+} // namespace
+
+FC_BENCH_MAIN(printTables)

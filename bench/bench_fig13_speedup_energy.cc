@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Reproduces Fig. 13 (and prints Table I): speedup and energy saving
+ * of Mesorasi, PointAcc, Crescent, and FractalCloud over the GPU
+ * baseline for the eleven workload points of the evaluation.
+ *
+ * Paper shape: at small scale every accelerator is >= GPU, ours
+ * leads; at large scale PointAcc/Crescent fall to <= 1x while ours
+ * grows to tens of x; energy savings are orders of magnitude for all
+ * accelerators with ours far ahead.
+ */
+
+#include "bench_common.h"
+
+#include "accel/accelerator.h"
+#include "nn/models.h"
+
+namespace {
+
+using namespace fc;
+
+void
+BM_FullStackSim33k(benchmark::State &state)
+{
+    const data::PointCloud &cloud = fcb::scene(33000);
+    const nn::ModelConfig model = nn::pointNeXtSemSeg();
+    const auto ours = accel::makeFractalCloud(256);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            ours.run(model, cloud).totalCycles());
+}
+BENCHMARK(BM_FullStackSim33k)->Unit(benchmark::kMillisecond);
+
+void
+printTables()
+{
+    // --- Table I ---------------------------------------------------------
+    Table t1({"model", "notation", "task", "dataset (synthetic)",
+              "scene"});
+    t1.addRow({"PointNet++", "PN++ (c)", "classification",
+               "ModelNet40-like", "object"});
+    t1.addRow({"PointNeXt", "PNXt (c)", "classification",
+               "ModelNet40-like", "object"});
+    t1.addRow({"PointNet++", "PN++ (ps)", "part segmentation",
+               "ShapeNet-like", "object"});
+    t1.addRow({"PointNeXt", "PNXt (ps)", "part segmentation",
+               "ShapeNet-like", "object"});
+    t1.addRow({"PointNet++", "PN++ (s)", "segmentation", "S3DIS-like",
+               "indoor"});
+    t1.addRow({"PointNeXt", "PNXt (s)", "segmentation", "S3DIS-like",
+               "indoor"});
+    t1.addRow({"PointVector", "PVr (s)", "segmentation", "S3DIS-like",
+               "indoor"});
+    fcb::emit(t1, "table1_workloads",
+              "Table I: evaluated networks and datasets");
+
+    // --- Fig. 13 ----------------------------------------------------------
+    struct Point
+    {
+        nn::ModelConfig model;
+        std::size_t n;
+    };
+    const std::vector<Point> points = {
+        {nn::pointNet2Classification(), 1000},
+        {nn::pointNeXtClassification(), 2000},
+        {nn::pointNet2PartSeg(), 2000},
+        {nn::pointNeXtPartSeg(), 4000},
+        {nn::pointNet2SemSeg(), 33000},
+        {nn::pointNeXtSemSeg(), 131000},
+        {nn::pointVectorSemSeg(), 289000},
+        {nn::pointNeXtSemSeg(), 8000},
+        {nn::pointNeXtSemSeg(), 33000},
+        {nn::pointNeXtSemSeg(), 289000},
+        {nn::pointVectorSemSeg(), 33000},
+        {nn::pointVectorSemSeg(), 131000},
+    };
+
+    Table t({"workload", "points", "GPU (ms)", "Meso speedup",
+             "PA speedup", "Cres speedup", "FC speedup", "Meso energy",
+             "PA energy", "Cres energy", "FC energy"});
+
+    double geo_speedup = 1.0, geo_energy = 1.0;
+    double geo_speedup_pa = 1.0, geo_speedup_cres = 1.0;
+    int count = 0;
+
+    for (const Point &pt : points) {
+        const data::PointCloud &cloud = fcb::scene(pt.n);
+        const std::uint32_t th = pt.n <= 4000 ? 64 : 256;
+
+        const accel::RunReport gpu = accel::gpuRun(pt.model, pt.n);
+        const accel::RunReport meso =
+            accel::makeMesorasi().run(pt.model, cloud);
+        const accel::RunReport pa =
+            accel::makePointAcc().run(pt.model, cloud);
+        const accel::RunReport cres =
+            accel::makeCrescent().run(pt.model, cloud);
+        const accel::RunReport ours =
+            accel::makeFractalCloud(th).run(pt.model, cloud);
+
+        const double g_lat = gpu.totalLatencyMs();
+        const double g_e = gpu.totalEnergyMj();
+        t.addRow({pt.model.name, std::to_string(pt.n / 1000) + "K",
+                  Table::num(g_lat, 1),
+                  Table::mult(g_lat / meso.totalLatencyMs()),
+                  Table::mult(g_lat / pa.totalLatencyMs()),
+                  Table::mult(g_lat / cres.totalLatencyMs()),
+                  Table::mult(g_lat / ours.totalLatencyMs()),
+                  Table::mult(g_e / meso.totalEnergyMj(), 0),
+                  Table::mult(g_e / pa.totalEnergyMj(), 0),
+                  Table::mult(g_e / cres.totalEnergyMj(), 0),
+                  Table::mult(g_e / ours.totalEnergyMj(), 0)});
+
+        geo_speedup *= g_lat / ours.totalLatencyMs();
+        geo_energy *= g_e / ours.totalEnergyMj();
+        geo_speedup_pa *= pa.totalLatencyMs() / ours.totalLatencyMs();
+        geo_speedup_cres *=
+            cres.totalLatencyMs() / ours.totalLatencyMs();
+        ++count;
+    }
+    fcb::emit(t, "fig13_speedup_energy",
+              "Fig. 13: speedup and energy saving vs GPU (higher is "
+              "better)");
+
+    Table avg({"summary metric", "value",
+               "paper reference (average)"});
+    avg.addRow({"FC geomean speedup vs GPU",
+                Table::mult(std::pow(geo_speedup, 1.0 / count)),
+                "19.4x small / 27.4x large"});
+    avg.addRow({"FC geomean speedup vs PointAcc",
+                Table::mult(std::pow(geo_speedup_pa, 1.0 / count)),
+                "7.6x small / 63.4x large"});
+    avg.addRow({"FC geomean speedup vs Crescent",
+                Table::mult(std::pow(geo_speedup_cres, 1.0 / count)),
+                "2.7x small / 27.8x large"});
+    avg.addRow({"FC geomean energy saving vs GPU",
+                Table::mult(std::pow(geo_energy, 1.0 / count), 0),
+                "380x small / 1893x large"});
+    fcb::emit(avg, "fig13_summary", "Fig. 13 summary (geomeans)");
+}
+
+} // namespace
+
+FC_BENCH_MAIN(printTables)

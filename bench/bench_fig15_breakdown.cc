@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reproduces Fig. 15: latency and energy breakdowns of PointAcc,
+ * Crescent, and FractalCloud executing PointNeXt segmentation on an
+ * S3DIS-like scene with 33K input points.
+ *
+ * Paper shape: (a) point operations dominate PointAcc/Crescent
+ * latency while FractalCloud shrinks them by >10x; (b) PointAcc is
+ * DRAM-energy-bound, Crescent shifts energy into its large SRAM,
+ * FractalCloud cuts both.
+ */
+
+#include "bench_common.h"
+
+#include "accel/accelerator.h"
+#include "nn/models.h"
+
+namespace {
+
+using namespace fc;
+
+constexpr std::size_t kPoints = 33000;
+
+void
+BM_PointAccSim(benchmark::State &state)
+{
+    const data::PointCloud &cloud = fcb::scene(kPoints);
+    const nn::ModelConfig model = nn::pointNeXtSemSeg();
+    const auto pa = accel::makePointAcc();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pa.run(model, cloud).totalCycles());
+}
+BENCHMARK(BM_PointAccSim)->Unit(benchmark::kMillisecond);
+
+void
+printTables()
+{
+    const data::PointCloud &cloud = fcb::scene(kPoints);
+    const nn::ModelConfig model = nn::pointNeXtSemSeg();
+
+    struct Entry
+    {
+        const char *name;
+        accel::RunReport report;
+    };
+    const std::vector<Entry> entries = {
+        {"PointAcc", accel::makePointAcc().run(model, cloud)},
+        {"Crescent", accel::makeCrescent().run(model, cloud)},
+        {"FractalCloud",
+         accel::makeFractalCloud(256).run(model, cloud)},
+    };
+
+    Table lat({"accelerator", "point ops (ms)", "MLPs (ms)",
+               "others (ms)", "total (ms)"});
+    for (const Entry &e : entries) {
+        lat.addRow({e.name,
+                    Table::num(sim::cyclesToMs(e.report.pointOpCycles(),
+                                               e.report.freq_ghz),
+                               2),
+                    Table::num(sim::cyclesToMs(e.report.mlpCycles(),
+                                               e.report.freq_ghz),
+                               2),
+                    Table::num(sim::cyclesToMs(e.report.otherCycles(),
+                                               e.report.freq_ghz),
+                               2),
+                    Table::num(e.report.totalLatencyMs(), 2)});
+    }
+    fcb::emit(lat, "fig15a_latency_breakdown",
+              "Fig. 15(a): latency breakdown, PointNeXt (s) @ 33K");
+
+    Table en({"accelerator", "compute (mJ)", "SRAM (mJ)", "DRAM (mJ)",
+              "static (mJ)", "total (mJ)", "DRAM traffic (MB)"});
+    for (const Entry &e : entries) {
+        en.addRow({e.name, Table::num(e.report.compute_pj * 1e-9, 2),
+                   Table::num(e.report.sram_pj * 1e-9, 2),
+                   Table::num(e.report.dram_pj * 1e-9, 2),
+                   Table::num(e.report.static_pj * 1e-9, 2),
+                   Table::num(e.report.totalEnergyMj(), 2),
+                   Table::num(static_cast<double>(
+                                  e.report.dram_bytes) /
+                                  1e6,
+                              1)});
+    }
+    fcb::emit(en, "fig15b_energy_breakdown",
+              "Fig. 15(b): energy breakdown, PointNeXt (s) @ 33K");
+
+    // Headline factors quoted in §VI-B for the 33K case.
+    const double pa_ms = entries[0].report.totalLatencyMs();
+    const double cres_ms = entries[1].report.totalLatencyMs();
+    const double fc_ms = entries[2].report.totalLatencyMs();
+    Table sum({"metric", "measured", "paper"});
+    sum.addRow({"FC latency reduction vs PA+Crescent (avg)",
+                Table::mult(0.5 * (pa_ms + cres_ms) / fc_ms),
+                "16.2x"});
+    sum.addRow({"Crescent speedup over PointAcc",
+                Table::mult(pa_ms / cres_ms), "1.1x"});
+    sum.addRow(
+        {"Crescent energy vs PointAcc",
+         Table::mult(entries[1].report.totalEnergyMj() /
+                     entries[0].report.totalEnergyMj()),
+         "1.17x (17% more)"});
+    fcb::emit(sum, "fig15_summary", "Fig. 15 headline factors");
+}
+
+} // namespace
+
+FC_BENCH_MAIN(printTables)

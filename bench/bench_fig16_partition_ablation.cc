@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reproduces Fig. 16: across the three dataset families, point-
+ * operation speedup of each partitioning method (bars; uniform = 1x)
+ * and preprocessing/partitioning speedup (dots; KD-tree = 1x).
+ *
+ * Paper shape: Fractal partitions 133x faster than KD-tree and 14.9x
+ * faster than octree, and improves point operations 4.4x over uniform
+ * and 2.1x over octree.
+ */
+
+#include "bench_common.h"
+
+#include "accel/accelerator.h"
+#include "dataset/modelnet.h"
+#include "dataset/shapenet.h"
+#include "nn/models.h"
+
+namespace {
+
+using namespace fc;
+
+void
+BM_OctreePartition(benchmark::State &state)
+{
+    const data::PointCloud &cloud = fcb::scene(33000);
+    const auto p = part::makePartitioner(part::Method::Octree);
+    part::PartitionConfig config;
+    config.threshold = 256;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            p->partition(cloud, config).tree.numPoints());
+}
+BENCHMARK(BM_OctreePartition)->Unit(benchmark::kMillisecond);
+
+/** Per-method simulated run with the method swapped into our HW. */
+accel::RunReport
+runWithMethod(part::Method method, const nn::ModelConfig &model,
+              const data::PointCloud &cloud, std::uint32_t threshold)
+{
+    accel::Policy p = accel::makeFractalCloud(threshold).policy();
+    p.partition_method = method;
+    return accel::makeFractalCloudWithPolicy(p).run(model, cloud);
+}
+
+void
+printTables()
+{
+    struct Family
+    {
+        const char *name;
+        data::PointCloud cloud;
+        nn::ModelConfig model;
+        std::uint32_t threshold;
+    };
+    std::vector<Family> families;
+    families.push_back({"ModelNet40-like (1K)",
+                        data::makeModelNetObject(4, 1024, 5),
+                        nn::pointNet2Classification(), 64});
+    families.push_back({"ShapeNet-like (2K)",
+                        data::makeShapeNetObject(0, 2048, 5),
+                        nn::pointNet2PartSeg(), 64});
+    families.push_back({"S3DIS-like (33K)",
+                        data::PointCloud(fcb::scene(33000)),
+                        nn::pointNeXtSemSeg(), 256});
+
+    Table t({"dataset", "method", "point-op speedup (vs uniform)",
+             "partition speedup (vs KD-tree)"});
+    for (Family &f : families) {
+        std::map<part::Method, accel::RunReport> reports;
+        for (const part::Method m :
+             {part::Method::Uniform, part::Method::Octree,
+              part::Method::KdTree, part::Method::Fractal}) {
+            reports.emplace(
+                m, runWithMethod(m, f.model, f.cloud, f.threshold));
+        }
+        const double uni_pointops = sim::cyclesToMs(
+            reports.at(part::Method::Uniform).pointOpCycles(), 1.0);
+        const double kd_partition =
+            reports.at(part::Method::KdTree)
+                .latencyMs(accel::Phase::Partition);
+        for (const part::Method m :
+             {part::Method::Uniform, part::Method::Octree,
+              part::Method::KdTree, part::Method::Fractal}) {
+            const accel::RunReport &r = reports.at(m);
+            const double pointops =
+                sim::cyclesToMs(r.pointOpCycles(), 1.0);
+            const double partition =
+                r.latencyMs(accel::Phase::Partition);
+            t.addRow({f.name, part::methodName(m),
+                      Table::mult(uni_pointops / pointops),
+                      partition > 0.0
+                          ? Table::mult(kd_partition / partition)
+                          : "-"});
+        }
+    }
+    fcb::emit(t, "fig16_partition_ablation",
+              "Fig. 16: point-operation speedup (bars) and "
+              "partitioning speedup (dots) by method");
+}
+
+} // namespace
+
+FC_BENCH_MAIN(printTables)

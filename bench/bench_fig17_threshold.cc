@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Reproduces Fig. 17: the threshold (th) trade-off between hardware
+ * speedup and network accuracy for PointNeXt segmentation.
+ *
+ * Paper shape: th=4K preserves accuracy with only 4.6x speedup; th=8
+ * over-partitions (random-like sampling, >8% accuracy loss) despite
+ * 21x speedup; th=256 is the large-scale sweet spot (th=64 for
+ * object-scale inputs).
+ */
+
+#include "bench_common.h"
+
+#include "accel/accelerator.h"
+#include "nn/classifier.h"
+#include "nn/network.h"
+
+namespace {
+
+using namespace fc;
+
+constexpr std::size_t kSimPoints = 131000;  // hardware sweep
+constexpr std::size_t kProxyPoints = 2048;  // accuracy proxy
+
+void
+BM_FractalThreshold256(benchmark::State &state)
+{
+    const data::PointCloud &cloud = fcb::scene(kSimPoints);
+    const auto p = part::makePartitioner(part::Method::Fractal);
+    part::PartitionConfig config;
+    config.threshold = 256;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            p->partition(cloud, config).tree.leaves().size());
+}
+BENCHMARK(BM_FractalThreshold256)->Unit(benchmark::kMillisecond);
+
+/**
+ * Feature-fidelity proxy: mean per-point cosine similarity of the
+ * block-backend segmentation features against the exact global-ops
+ * pipeline on the same scene. 100% = indistinguishable from global
+ * ops; lower values correspond to accuracy loss after retraining.
+ */
+double
+featureFidelity(const nn::Network &net,
+                const nn::BackendOptions &backend,
+                const nn::Tensor &reference,
+                const data::PointCloud &scene)
+{
+    const nn::InferenceResult r = net.run(scene, backend);
+    double total = 0.0;
+    for (std::size_t i = 0; i < scene.size(); ++i) {
+        double dot = 0.0, na = 0.0, nb = 0.0;
+        for (std::size_t c = 0; c < reference.cols(); ++c) {
+            const double a = reference.at(i, c);
+            const double b = r.point_features.at(i, c);
+            dot += a * b;
+            na += a * a;
+            nb += b * b;
+        }
+        total += dot / (std::sqrt(na * nb) + 1e-12);
+    }
+    return total / static_cast<double>(scene.size());
+}
+
+void
+printTables()
+{
+    const nn::ModelConfig model = nn::pointNeXtSemSeg();
+    const data::PointCloud &cloud = fcb::scene(kSimPoints);
+    const nn::Network net(nn::pointNet2SemSeg(), 42);
+
+    // Baseline: no fractal (global ops on our hardware).
+    accel::Policy global_policy = accel::makeFractalCloud().policy();
+    global_policy.partition_method = part::Method::None;
+    global_policy.block_sampling = false;
+    global_policy.block_grouping = false;
+    global_policy.block_interpolation = false;
+    global_policy.block_gathering = false;
+    const double base_ms =
+        accel::makeFractalCloudWithPolicy(global_policy)
+            .run(model, cloud)
+            .totalLatencyMs();
+    const data::PointCloud proxy_scene =
+        data::makeS3disScene(kProxyPoints, 51);
+    const nn::Tensor reference =
+        net.run(proxy_scene).point_features;
+
+    Table t({"threshold th", "speedup (vs no fractal)",
+             "feature fidelity", "fidelity delta"});
+    t.addRow({"no fractal", "1.0x", "100.0%", "0.0"});
+    for (const std::uint32_t th : {4096u, 1280u, 512u, 256u, 64u, 8u}) {
+        const double ms = accel::makeFractalCloud(th)
+                              .run(model, cloud)
+                              .totalLatencyMs();
+        nn::BackendOptions backend;
+        backend.method = part::Method::Fractal;
+        // The proxy scene is 16x smaller than the simulated scene;
+        // scale th to keep blocks-per-cloud comparable.
+        backend.threshold = std::max(2u, th / 16u);
+        const double fidelity =
+            featureFidelity(net, backend, reference, proxy_scene);
+        t.addRow({std::to_string(th), Table::mult(base_ms / ms),
+                  Table::num(100.0 * fidelity, 1) + "%",
+                  Table::num(100.0 * (fidelity - 1.0), 1)});
+    }
+    fcb::emit(t, "fig17_threshold",
+              "Fig. 17: threshold selection vs speedup and "
+              "feature-fidelity proxy (PointNeXt seg sim @131K, "
+              "fidelity on a 2K proxy scene)");
+}
+
+} // namespace
+
+FC_BENCH_MAIN(printTables)

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Reproduces Fig. 18: the BPPO ablation waterfall on PointNeXt
+ * segmentation at 289K points. Optimizations are enabled in the
+ * paper's order: Baseline -> +delayed aggregation (Meso) -> +RSPU
+ * (reuse/skip) -> +BWS -> +BWG -> +BWI -> +BWGa.
+ *
+ * Paper shape: Meso adds ~1.004x; RSPU 1.37x/1.48x; BWS 2.3x/2.5x;
+ * BWG 2.2x/2.2x; BWI 20x/16x; BWGa 1.5x/1.4x; cumulatively 209x
+ * speedup and 192x energy saving over the baseline.
+ */
+
+#include "bench_common.h"
+
+#include <functional>
+
+#include "accel/accelerator.h"
+#include "nn/models.h"
+
+namespace {
+
+using namespace fc;
+
+constexpr std::size_t kPoints = 289000;
+
+void
+BM_AblationSimStep(benchmark::State &state)
+{
+    const data::PointCloud &cloud = fcb::scene(kPoints);
+    const nn::ModelConfig model = nn::pointNeXtSemSeg();
+    const auto fc_model = accel::makeFractalCloud(256);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            fc_model.run(model, cloud).totalCycles());
+}
+BENCHMARK(BM_AblationSimStep)->Unit(benchmark::kMillisecond);
+
+void
+printTables()
+{
+    const nn::ModelConfig model = nn::pointNeXtSemSeg();
+    const data::PointCloud &cloud = fcb::scene(kPoints);
+
+    // Start from our hardware with everything off (the "Baseline" of
+    // Fig. 18: FractalCloud without optimizations).
+    accel::Policy p;
+    p.partition_method = part::Method::None;
+    p.partition_threshold = 256;
+    p.delayed_aggregation = false;
+    p.block_parallel = false;
+    p.block_sampling = false;
+    p.block_grouping = false;
+    p.block_interpolation = false;
+    p.block_gathering = false;
+    p.window_check = false;
+    p.coord_reuse = false;
+
+    struct Step
+    {
+        const char *name;
+        std::function<void(accel::Policy &)> enable;
+        const char *paper;
+    };
+    const std::vector<Step> steps = {
+        {"Baseline", [](accel::Policy &) {}, "1x"},
+        {"Baseline (Meso)",
+         [](accel::Policy &q) { q.delayed_aggregation = true; },
+         "1.004x"},
+        {"+RSPU (reuse & skip)",
+         [](accel::Policy &q) {
+             q.window_check = true;
+             q.coord_reuse = true;
+         },
+         "1.37x / 1.48x"},
+        {"+BWS (block sampling)",
+         [](accel::Policy &q) {
+             q.partition_method = part::Method::Fractal;
+             q.block_parallel = true;
+             q.block_sampling = true;
+         },
+         "2.3x / 2.5x"},
+        {"+BWG (block grouping)",
+         [](accel::Policy &q) { q.block_grouping = true; },
+         "2.2x / 2.2x"},
+        {"+BWI (block interpolation)",
+         [](accel::Policy &q) { q.block_interpolation = true; },
+         "20x / 16x"},
+        {"+BWGa (block gathering)",
+         [](accel::Policy &q) { q.block_gathering = true; },
+         "1.5x / 1.4x"},
+    };
+
+    Table t({"configuration", "latency (ms)", "energy (mJ)",
+             "step speedup", "step energy saving",
+             "paper step (lat/en)", "cumulative speedup"});
+    double prev_ms = 0.0, prev_mj = 0.0, base_ms = 0.0;
+    for (const Step &step : steps) {
+        step.enable(p);
+        const accel::RunReport r =
+            accel::makeFractalCloudWithPolicy(p).run(model, cloud);
+        const double ms = r.totalLatencyMs();
+        const double mj = r.totalEnergyMj();
+        if (base_ms == 0.0) {
+            base_ms = ms;
+            prev_ms = ms;
+            prev_mj = mj;
+        }
+        t.addRow({step.name, Table::num(ms, 1), Table::num(mj, 1),
+                  Table::mult(prev_ms / ms),
+                  Table::mult(prev_mj / mj), step.paper,
+                  Table::mult(base_ms / ms)});
+        prev_ms = ms;
+        prev_mj = mj;
+    }
+    t.addRow({"paper cumulative", "-", "-", "-", "-",
+              "209x / 192x", "-"});
+    fcb::emit(t, "fig18_bppo_ablation",
+              "Fig. 18: BPPO ablation waterfall, PointNeXt (s) @ "
+              "289K");
+}
+
+} // namespace
+
+FC_BENCH_MAIN(printTables)

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Extension experiment (paper §VI-D, "Potential Adaptations"):
+ * Fractal-accelerated dynamic-graph construction for DGCNN-style
+ * networks. Builds the k-NN graph exactly (all-to-all) and block-wise
+ * (search space = parent block) and reports work reduction and edge
+ * recall across scales, plus the density sensitivity of recall.
+ */
+
+#include "bench_common.h"
+
+#include "ops/knn_graph.h"
+#include "partition/fractal.h"
+
+namespace {
+
+using namespace fc;
+
+void
+BM_ExactGraph2k(benchmark::State &state)
+{
+    const data::PointCloud &cloud = fcb::scene(2048);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            ops::buildKnnGraph(cloud, 8).edges.data());
+}
+BENCHMARK(BM_ExactGraph2k)->Unit(benchmark::kMillisecond);
+
+void
+BM_BlockGraph2k(benchmark::State &state)
+{
+    const data::PointCloud &cloud = fcb::scene(2048);
+    part::FractalPartitioner p;
+    part::PartitionConfig config;
+    config.threshold = 128;
+    const part::PartitionResult part = p.partition(cloud, config);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            ops::buildBlockKnnGraph(cloud, part.tree, 8)
+                .edges.data());
+}
+BENCHMARK(BM_BlockGraph2k)->Unit(benchmark::kMillisecond);
+
+void
+printTables()
+{
+    Table t({"points", "k", "exact dist evals", "block dist evals",
+             "work reduction", "edge recall"});
+    for (const std::size_t n : {1024ul, 2048ul, 4096ul, 8192ul}) {
+        const data::PointCloud &cloud = fcb::scene(n);
+        part::FractalPartitioner p;
+        part::PartitionConfig config;
+        config.threshold = 128;
+        const part::PartitionResult part =
+            p.partition(cloud, config);
+        const ops::KnnGraph exact = ops::buildKnnGraph(cloud, 8);
+        const ops::KnnGraph blocked =
+            ops::buildBlockKnnGraph(cloud, part.tree, 8);
+        t.addRow(
+            {std::to_string(n), "8",
+             std::to_string(exact.stats.distance_computations),
+             std::to_string(blocked.stats.distance_computations),
+             Table::mult(static_cast<double>(
+                             exact.stats.distance_computations) /
+                         static_cast<double>(
+                             blocked.stats.distance_computations)),
+             Table::num(100.0 * ops::graphEdgeRecall(exact, blocked),
+                        1) +
+                 "%"});
+    }
+    fcb::emit(t, "knn_graph_extension",
+              "Extension (SVI-D): Fractal-accelerated DGCNN dynamic "
+              "graph construction");
+
+    // Recall vs threshold: bigger blocks buy recall with work.
+    const data::PointCloud &cloud = fcb::scene(4096);
+    const ops::KnnGraph exact = ops::buildKnnGraph(cloud, 8);
+    Table t2({"threshold th", "blocks", "work reduction",
+              "edge recall"});
+    for (const std::uint32_t th : {32u, 64u, 128u, 256u, 512u}) {
+        part::FractalPartitioner p;
+        part::PartitionConfig config;
+        config.threshold = th;
+        const part::PartitionResult part =
+            p.partition(cloud, config);
+        const ops::KnnGraph blocked =
+            ops::buildBlockKnnGraph(cloud, part.tree, 8);
+        t2.addRow(
+            {std::to_string(th),
+             std::to_string(part.tree.leaves().size()),
+             Table::mult(static_cast<double>(
+                             exact.stats.distance_computations) /
+                         static_cast<double>(
+                             blocked.stats.distance_computations)),
+             Table::num(100.0 * ops::graphEdgeRecall(exact, blocked),
+                        1) +
+                 "%"});
+    }
+    fcb::emit(t2, "knn_graph_threshold",
+              "Dynamic-graph recall vs threshold (4K scene)");
+}
+
+} // namespace
+
+FC_BENCH_MAIN(printTables)

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Reproduces Table II (evaluated hardware accelerators) and Fig. 12
+ * (FractalCloud chip specifications and area/power breakdown), and
+ * demonstrates the RISC-V configuration path of §V-A.
+ */
+
+#include "bench_common.h"
+
+#include "accel/accelerator.h"
+#include "accel/config.h"
+#include "sim/riscv.h"
+
+namespace {
+
+using namespace fc;
+
+/** Microbenchmark: RV32IM interpreter throughput. */
+void
+BM_RiscvConfigProgram(benchmark::State &state)
+{
+    using namespace sim::rv;
+    std::vector<Insn> program;
+    for (const Insn i : li(1, 0x4000'0000u))
+        program.push_back(i);
+    for (int s = 0; s < 8; ++s) {
+        for (const Insn i : li(2, 0x1234u + static_cast<unsigned>(s)))
+            program.push_back(i);
+        program.push_back(sw(2, 1, s * 4));
+    }
+    program.push_back(ecall());
+    for (auto _ : state) {
+        sim::RiscvCore core;
+        core.loadProgram(program);
+        benchmark::DoNotOptimize(core.run());
+    }
+}
+BENCHMARK(BM_RiscvConfigProgram);
+
+void
+printTables()
+{
+    // --- Table II -------------------------------------------------------
+    Table t2({"accelerator", "cores", "SRAM (KB)", "freq", "area (mm2)",
+              "DRAM", "tech", "peak GOPS"});
+    for (const accel::HardwareConfig &cfg :
+         {accel::mesorasiConfig(), accel::pointAccConfig(),
+          accel::crescentConfig(), accel::fractalCloudConfig()}) {
+        t2.addRow({cfg.name,
+                   std::to_string(cfg.pe_rows) + "x" +
+                       std::to_string(cfg.pe_cols),
+                   Table::num(cfg.sram_kb, 1),
+                   Table::num(cfg.freq_ghz, 0) + " GHz",
+                   Table::num(cfg.area_mm2, 2),
+                   "DDR4-2133 " + Table::num(cfg.dram_gbps, 0) + " GB/s",
+                   std::to_string(cfg.technology_nm) + " nm",
+                   Table::num(cfg.peakGops(), 0)});
+    }
+    fcb::emit(t2, "table2_hardware",
+              "Table II: evaluated hardware accelerators");
+
+    // --- Fig. 12: floorplan ---------------------------------------------
+    Table fp({"module", "area (mm2)", "area %", "power (mW)",
+              "power %"});
+    double area = 0.0, power = 0.0;
+    for (const accel::ModuleBudget &m : accel::fractalCloudFloorplan()) {
+        area += m.area_mm2;
+        power += m.power_mw;
+    }
+    for (const accel::ModuleBudget &m : accel::fractalCloudFloorplan()) {
+        fp.addRow({m.module, Table::num(m.area_mm2, 2),
+                   Table::num(100.0 * m.area_mm2 / area, 1),
+                   Table::num(m.power_mw, 0),
+                   Table::num(100.0 * m.power_mw / power, 1)});
+    }
+    fp.addRow({"TOTAL (Table II: 1.5 mm2 / 0.58 W)", Table::num(area, 2),
+               "100.0", Table::num(power, 0), "100.0"});
+    fcb::emit(fp, "fig12_floorplan",
+              "Fig. 12: FractalCloud 28nm area / average power "
+              "breakdown");
+
+    // --- RISC-V configuration demo --------------------------------------
+    using namespace sim::rv;
+    std::vector<Insn> program;
+    for (const Insn i : li(1, 0x4000'0000u))
+        program.push_back(i);
+    const std::uint32_t csr[4] = {33000, 8250, 32, 256}; // n, m, k, th
+    for (int s = 0; s < 4; ++s) {
+        for (const Insn i : li(2, csr[s]))
+            program.push_back(i);
+        program.push_back(sw(2, 1, s * 4));
+    }
+    program.push_back(ecall());
+    sim::RiscvCore core;
+    core.loadProgram(program);
+    const std::uint64_t retired = core.run();
+    Table rv({"CSR address", "value", "meaning"});
+    const char *meaning[4] = {"input points", "sampled centers",
+                              "neighbors k", "fractal threshold"};
+    for (std::size_t i = 0; i < core.mmioWrites().size(); ++i) {
+        char addr[16];
+        std::snprintf(addr, sizeof(addr), "0x%08x",
+                      core.mmioWrites()[i].address);
+        rv.addRow({addr, std::to_string(core.mmioWrites()[i].value),
+                   meaning[i]});
+    }
+    fcb::emit(rv, "riscv_config",
+              "RISC-V control core: unit CSR writes (" +
+                  std::to_string(retired) + " instructions retired)");
+}
+
+} // namespace
+
+FC_BENCH_MAIN(printTables)

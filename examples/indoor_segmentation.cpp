@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Indoor semantic segmentation scenario (the paper's S3DIS workload):
+ * run a fixed-weight PointNet++ segmentation network over an indoor
+ * scene with exact global operations and with block-parallel
+ * operations, and measure what the approximation costs — per-point
+ * feature fidelity and label-transfer quality — next to what it buys
+ * (work reduction and simulated latency).
+ *
+ * Build & run:  ./build/examples/indoor_segmentation
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "accel/accelerator.h"
+#include "dataset/s3dis.h"
+#include "nn/classifier.h"
+#include "nn/network.h"
+
+int
+main()
+{
+    using namespace fc;
+
+    const data::PointCloud scene = data::makeS3disScene(4096, 42);
+    const nn::Network net(nn::pointNet2SemSeg(), 42);
+    std::printf("scene: %zu points | network: %s\n", scene.size(),
+                net.config().long_name.c_str());
+
+    // Exact global point operations (the lossless reference).
+    const nn::InferenceResult exact = net.run(scene);
+
+    // Block-parallel operations under Fractal partitioning.
+    nn::BackendOptions blocked;
+    blocked.method = part::Method::Fractal;
+    blocked.threshold = 128;
+    const nn::InferenceResult approx = net.run(scene, blocked);
+
+    // Feature fidelity: per-point cosine similarity.
+    double fidelity = 0.0;
+    for (std::size_t i = 0; i < scene.size(); ++i) {
+        double dot = 0.0, na = 0.0, nb = 0.0;
+        for (std::size_t c = 0; c < exact.point_features.cols();
+             ++c) {
+            const double a = exact.point_features.at(i, c);
+            const double b = approx.point_features.at(i, c);
+            dot += a * b;
+            na += a * a;
+            nb += b * b;
+        }
+        fidelity += dot / (std::sqrt(na * nb) + 1e-12);
+    }
+    fidelity /= static_cast<double>(scene.size());
+
+    // Prediction agreement through a shared nearest-centroid head.
+    nn::NearestCentroid head;
+    std::vector<int> labels(scene.labels().begin(),
+                            scene.labels().end());
+    head.fit(exact.point_features.data(),
+             exact.point_features.cols(), labels,
+             data::kS3disNumClasses);
+    std::size_t agree = 0;
+    std::vector<int> preds_exact, preds_approx;
+    for (std::size_t i = 0; i < scene.size(); ++i) {
+        const int pe = head.predict(exact.point_features.row(i));
+        const int pa = head.predict(approx.point_features.row(i));
+        agree += pe == pa;
+        preds_exact.push_back(pe);
+        preds_approx.push_back(pa);
+    }
+
+    std::printf("\nfidelity of block-parallel features: %.2f%% "
+                "cosine, %.2f%% identical head predictions\n",
+                100.0 * fidelity,
+                100.0 * static_cast<double>(agree) /
+                    static_cast<double>(scene.size()));
+    std::printf("head mIoU: %.1f%% (exact ops) vs %.1f%% (block "
+                "ops)\n",
+                100.0 * nn::meanIoU(preds_exact, labels,
+                                    data::kS3disNumClasses),
+                100.0 * nn::meanIoU(preds_approx, labels,
+                                    data::kS3disNumClasses));
+    std::printf("point-op work: %llu distance evals (exact) vs %llu "
+                "(block) -> %.1fx less\n",
+                static_cast<unsigned long long>(
+                    exact.op_stats.distance_computations),
+                static_cast<unsigned long long>(
+                    approx.op_stats.distance_computations),
+                static_cast<double>(
+                    exact.op_stats.distance_computations) /
+                    static_cast<double>(
+                        approx.op_stats.distance_computations));
+
+    // What it looks like on silicon at deployment scale.
+    const data::PointCloud big = data::makeS3disScene(131000, 43);
+    const accel::RunReport ours =
+        accel::makeFractalCloud(256).run(net.config(), big);
+    const accel::RunReport base =
+        accel::makePointAcc().run(net.config(), big);
+    std::printf("\nat 131K points on the accelerator model: "
+                "FractalCloud %.1f ms / %.1f mJ, PointAcc-style "
+                "%.1f ms / %.1f mJ (%.1fx faster, %.1fx less "
+                "energy)\n",
+                ours.totalLatencyMs(), ours.totalEnergyMj(),
+                base.totalLatencyMs(), base.totalEnergyMj(),
+                base.totalLatencyMs() / ours.totalLatencyMs(),
+                base.totalEnergyMj() / ours.totalEnergyMj());
+    return 0;
+}

@@ -1,0 +1,62 @@
+#include "accel/config.h"
+
+namespace fc::accel {
+
+HardwareConfig
+mesorasiConfig()
+{
+    HardwareConfig c;
+    c.name = "Mesorasi";
+    c.sram_kb = 1624.0;
+    c.area_mm2 = 4.59;
+    return c;
+}
+
+HardwareConfig
+pointAccConfig()
+{
+    HardwareConfig c;
+    c.name = "PointAcc";
+    c.sram_kb = 274.0;
+    c.area_mm2 = 1.91;
+    return c;
+}
+
+HardwareConfig
+crescentConfig()
+{
+    HardwareConfig c;
+    c.name = "Crescent";
+    c.sram_kb = 1622.8;
+    c.area_mm2 = 4.75;
+    return c;
+}
+
+HardwareConfig
+fractalCloudConfig()
+{
+    HardwareConfig c;
+    c.name = "FractalCloud";
+    c.sram_kb = 274.0;
+    c.area_mm2 = 1.5;
+    return c;
+}
+
+std::vector<ModuleBudget>
+fractalCloudFloorplan()
+{
+    // 28 nm unit-cost model; area sums to the 1.5 mm^2 core of
+    // Table II, power averages 0.58 W under PointNeXt segmentation.
+    return {
+        {"PE array (16x16, fp16)", 0.42, 182.0},
+        {"RSPU cluster (16 lanes)", 0.26, 118.0},
+        {"Fractal engine", 0.05, 21.0},
+        {"Gather units", 0.08, 34.0},
+        {"Pooling unit", 0.03, 12.0},
+        {"Global buffer (274 KB)", 0.48, 146.0},
+        {"NoC + DMA", 0.10, 38.0},
+        {"RISC-V core + config", 0.08, 29.0},
+    };
+}
+
+} // namespace fc::accel

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Accelerator hardware configurations (paper Table II) and the 28 nm
+ * area/power breakdown model behind Fig. 12.
+ */
+
+#ifndef FC_ACCEL_CONFIG_H
+#define FC_ACCEL_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fc::accel {
+
+/** Table II row. */
+struct HardwareConfig
+{
+    std::string name;
+
+    /** PE array geometry (16x16 for every design). */
+    std::uint32_t pe_rows = 16;
+    std::uint32_t pe_cols = 16;
+
+    /** Point-operation lanes (distance units / sorter lanes). */
+    std::uint32_t point_lanes = 16;
+
+    /** Global buffer capacity in KB. */
+    double sram_kb = 274.0;
+
+    /** SRAM banks. */
+    std::uint32_t sram_banks = 16;
+
+    /** Core frequency in GHz. */
+    double freq_ghz = 1.0;
+
+    /** Post-layout core area in mm^2 (Table II). */
+    double area_mm2 = 1.5;
+
+    /** DRAM peak bandwidth in GB/s (DDR4-2133). */
+    double dram_gbps = 17.0;
+
+    /** Technology node. */
+    std::uint32_t technology_nm = 28;
+
+    /** Peak performance in GOPS (2 ops/MAC x PEs x freq). */
+    double
+    peakGops() const
+    {
+        return 2.0 * pe_rows * pe_cols * freq_ghz;
+    }
+
+    std::uint64_t
+    sramBytes() const
+    {
+        return static_cast<std::uint64_t>(sram_kb * 1024.0);
+    }
+};
+
+/** Table II entries. */
+HardwareConfig mesorasiConfig();
+HardwareConfig pointAccConfig();
+HardwareConfig crescentConfig();
+HardwareConfig fractalCloudConfig();
+
+/** One module of the Fig. 12 area/power breakdown. */
+struct ModuleBudget
+{
+    std::string module;
+    double area_mm2 = 0.0;
+    double power_mw = 0.0;
+};
+
+/**
+ * FractalCloud's on-chip budget (chip layout of Fig. 12): PE array,
+ * RSPUs, fractal engine, gather/pooling units, global buffer, NoC/DMA,
+ * RISC-V. Derived from per-module unit costs at 28 nm; totals match
+ * Table II (1.5 mm^2, 0.58 W average).
+ */
+std::vector<ModuleBudget> fractalCloudFloorplan();
+
+} // namespace fc::accel
+
+#endif // FC_ACCEL_CONFIG_H

@@ -1,0 +1,116 @@
+#include "accel/report.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fc::accel {
+
+std::string
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Partition:
+        return "partition";
+      case Phase::Sample:
+        return "sample";
+      case Phase::Group:
+        return "group";
+      case Phase::Gather:
+        return "gather";
+      case Phase::Interpolate:
+        return "interpolate";
+      case Phase::Mlp:
+        return "mlp";
+      case Phase::Other:
+        return "other";
+    }
+    fc_panic("unknown phase");
+}
+
+sim::Cycles
+RunReport::totalCycles() const
+{
+    sim::Cycles total = 0;
+    for (const auto &[phase, cycles] : phase_cycles)
+        total += cycles;
+    return total;
+}
+
+double
+RunReport::totalLatencyMs() const
+{
+    return sim::cyclesToMs(totalCycles(), freq_ghz);
+}
+
+double
+RunReport::totalEnergyMj() const
+{
+    return (compute_pj + sram_pj + dram_pj + static_pj) * 1e-9;
+}
+
+sim::Cycles
+RunReport::pointOpCycles() const
+{
+    sim::Cycles total = 0;
+    for (const Phase p : {Phase::Sample, Phase::Group, Phase::Gather,
+                          Phase::Interpolate}) {
+        const auto it = phase_cycles.find(p);
+        if (it != phase_cycles.end())
+            total += it->second;
+    }
+    return total;
+}
+
+sim::Cycles
+RunReport::mlpCycles() const
+{
+    const auto it = phase_cycles.find(Phase::Mlp);
+    return it == phase_cycles.end() ? 0 : it->second;
+}
+
+sim::Cycles
+RunReport::otherCycles() const
+{
+    sim::Cycles total = 0;
+    for (const Phase p : {Phase::Partition, Phase::Other}) {
+        const auto it = phase_cycles.find(p);
+        if (it != phase_cycles.end())
+            total += it->second;
+    }
+    return total;
+}
+
+RunReport &
+RunReport::operator+=(const RunReport &other)
+{
+    for (const auto &[phase, cycles] : other.phase_cycles)
+        phase_cycles[phase] += cycles;
+    compute_pj += other.compute_pj;
+    sram_pj += other.sram_pj;
+    dram_pj += other.dram_pj;
+    static_pj += other.static_pj;
+    dram_bytes += other.dram_bytes;
+    sram_bytes += other.sram_bytes;
+    num_points += other.num_points;
+    return *this;
+}
+
+std::string
+RunReport::summary() const
+{
+    std::ostringstream os;
+    os << accelerator << " / " << model << " @ " << num_points
+       << " pts: " << totalLatencyMs() << " ms, " << totalEnergyMj()
+       << " mJ\n";
+    for (const auto &[phase, cycles] : phase_cycles) {
+        os << "  " << phaseName(phase) << ": "
+           << sim::cyclesToMs(cycles, freq_ghz) << " ms\n";
+    }
+    os << "  energy pJ: compute " << compute_pj << ", sram " << sram_pj
+       << ", dram " << dram_pj << ", static " << static_pj << "\n";
+    os << "  dram bytes " << dram_bytes << ", sram bytes " << sram_bytes;
+    return os.str();
+}
+
+} // namespace fc::accel

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Latency/energy report for one simulated inference, with the phase
+ * and component breakdowns that Figs. 13, 15, and 18 are built from.
+ */
+
+#ifndef FC_ACCEL_REPORT_H
+#define FC_ACCEL_REPORT_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/cycles.h"
+
+namespace fc::accel {
+
+/** Latency phases (paper Fig. 15(a) groups these into 3 bars). */
+enum class Phase
+{
+    Partition,
+    Sample,
+    Group,
+    Gather,
+    Interpolate,
+    Mlp,
+    Other,
+};
+
+std::string phaseName(Phase phase);
+
+struct RunReport
+{
+    std::string accelerator;
+    std::string model;
+    std::uint64_t num_points = 0;
+    double freq_ghz = 1.0;
+
+    /** Cycles per phase. */
+    std::map<Phase, sim::Cycles> phase_cycles;
+
+    /** Energy breakdown in pJ (paper Fig. 15(b)). */
+    double compute_pj = 0.0;
+    double sram_pj = 0.0;
+    double dram_pj = 0.0;
+    double static_pj = 0.0;
+
+    /** Memory traffic. */
+    std::uint64_t dram_bytes = 0;
+    std::uint64_t sram_bytes = 0;
+
+    /** SRAM traffic attributed to each phase. */
+    std::map<Phase, std::uint64_t> phase_sram_bytes;
+
+    std::uint64_t
+    sramBytes(Phase phase) const
+    {
+        const auto it = phase_sram_bytes.find(phase);
+        return it == phase_sram_bytes.end() ? 0 : it->second;
+    }
+
+    sim::Cycles totalCycles() const;
+    double totalLatencyMs() const;
+    double totalEnergyMj() const;
+
+    /** Point operations = sample + group + gather + interpolate. */
+    sim::Cycles pointOpCycles() const;
+    sim::Cycles mlpCycles() const;
+    sim::Cycles otherCycles() const;
+
+    double
+    latencyMs(Phase phase) const
+    {
+        const auto it = phase_cycles.find(phase);
+        return it == phase_cycles.end()
+                   ? 0.0
+                   : sim::cyclesToMs(it->second, freq_ghz);
+    }
+
+    void
+    addCycles(Phase phase, sim::Cycles cycles)
+    {
+        phase_cycles[phase] += cycles;
+    }
+
+    /** Element-wise accumulate (multi-frame totals). */
+    RunReport &operator+=(const RunReport &other);
+
+    /** Human-readable multi-line summary. */
+    std::string summary() const;
+};
+
+} // namespace fc::accel
+
+#endif // FC_ACCEL_REPORT_H

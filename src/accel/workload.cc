@@ -1,0 +1,143 @@
+#include "accel/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fc::accel {
+
+std::uint64_t
+NetworkShape::totalMacs(bool delayed_aggregation) const
+{
+    std::uint64_t total = 0;
+    for (const SaShape &s : sa) {
+        const std::uint64_t rows =
+            delayed_aggregation ? s.n_in : s.n_out * s.k;
+        for (const auto &[in, out] : s.gemm)
+            total += rows * in * out;
+    }
+    for (const FpShape &s : fp) {
+        for (const auto &[in, out] : s.gemm)
+            total += s.n_fine * in * out;
+    }
+    for (const auto &[in, out] : head)
+        total += head_rows * in * out;
+    return total;
+}
+
+NetworkShape
+buildNetworkShape(const nn::ModelConfig &model, std::uint64_t n_points)
+{
+    fc_assert(n_points > 0, "empty workload");
+    NetworkShape shape;
+    shape.model = model.name;
+    shape.task = model.task;
+    shape.n_points = n_points;
+
+    std::uint64_t n = n_points;
+    std::uint64_t channels = 3 + model.input_channels;
+    std::vector<std::uint64_t> level_n{n};
+    std::vector<std::uint64_t> level_c{channels};
+
+    for (const nn::SaStageConfig &stage : model.sa) {
+        SaShape s;
+        s.n_in = n;
+        s.n_out = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   std::llround(stage.sample_rate *
+                                static_cast<double>(n))));
+        s.k = stage.k;
+        s.radius = stage.radius;
+        s.c_in = channels;
+        std::uint64_t cur = 3 + channels; // rel-coords + features
+        for (const std::size_t width : stage.mlp) {
+            s.gemm.emplace_back(cur, width);
+            cur = width;
+        }
+        s.c_out = cur;
+        shape.sa.push_back(std::move(s));
+        n = shape.sa.back().n_out;
+        channels = cur;
+        level_n.push_back(n);
+        level_c.push_back(channels);
+    }
+
+    if (model.isSegmentation()) {
+        std::uint64_t c_coarse = channels;
+        for (std::size_t i = 0; i < model.fp.size(); ++i) {
+            const std::size_t level = model.sa.size() - i;
+            FpShape f;
+            f.n_coarse = level_n[level];
+            f.n_fine = level_n[level - 1];
+            f.c_in = c_coarse + level_c[level - 1];
+            std::uint64_t cur = f.c_in;
+            for (const std::size_t width : model.fp[i].mlp) {
+                f.gemm.emplace_back(cur, width);
+                cur = width;
+            }
+            f.c_out = cur;
+            shape.fp.push_back(std::move(f));
+            c_coarse = cur;
+        }
+        channels = c_coarse;
+        shape.head_rows = n_points;
+    } else {
+        shape.head_rows = 1;
+    }
+
+    std::uint64_t cur = channels;
+    for (const std::size_t width : model.head) {
+        shape.head.emplace_back(cur, width);
+        cur = width;
+    }
+    return shape;
+}
+
+BlockSummary
+BlockSummary::scaled(double rate) const
+{
+    fc_assert(rate > 0.0 && rate <= 1.0, "bad scale rate %f", rate);
+    BlockSummary out;
+    out.max_depth = max_depth;
+    out.stats = stats;
+    out.leaf_sizes.reserve(leaf_sizes.size());
+    out.space_sizes.reserve(space_sizes.size());
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < leaf_sizes.size(); ++i) {
+        const std::uint32_t ls =
+            leaf_sizes[i] == 0
+                ? 0u
+                : std::max<std::uint32_t>(
+                      1, static_cast<std::uint32_t>(std::llround(
+                             rate * static_cast<double>(leaf_sizes[i]))));
+        const std::uint32_t ss = std::max<std::uint32_t>(
+            ls, static_cast<std::uint32_t>(std::llround(
+                    rate * static_cast<double>(space_sizes[i]))));
+        out.leaf_sizes.push_back(ls);
+        out.space_sizes.push_back(ss);
+        total += ls;
+    }
+    out.total_points = total;
+    return out;
+}
+
+BlockSummary
+summarizeBlocks(const part::PartitionResult &result)
+{
+    BlockSummary summary;
+    const part::BlockTree &tree = result.tree;
+    summary.leaf_sizes.reserve(tree.leaves().size());
+    summary.space_sizes.reserve(tree.leaves().size());
+    for (const part::NodeIdx leaf : tree.leaves()) {
+        summary.leaf_sizes.push_back(tree.node(leaf).size());
+        summary.space_sizes.push_back(
+            tree.node(tree.searchSpaceNode(leaf)).size());
+    }
+    summary.max_depth = tree.maxDepth();
+    summary.stats = result.stats;
+    summary.total_points = tree.numPoints();
+    return summary;
+}
+
+} // namespace fc::accel

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Network workload shapes: the per-stage operation sizes the
+ * accelerator timing models consume.
+ *
+ * The functional library measures its own work counters on real data;
+ * for the O(n^2) global baselines at 289K points the simulator instead
+ * times *shapes* (how many candidates, centers, channels each stage
+ * touches) which are exact functions of the model configuration and
+ * input size. Block-structure information comes from an actual
+ * partition of the input cloud (BlockSummary).
+ */
+
+#ifndef FC_ACCEL_WORKLOAD_H
+#define FC_ACCEL_WORKLOAD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/models.h"
+#include "partition/partitioner.h"
+
+namespace fc::accel {
+
+/** One set-abstraction stage's sizes. */
+struct SaShape
+{
+    std::uint64_t n_in = 0;   ///< candidate points entering the stage
+    std::uint64_t n_out = 0;  ///< sampled centers
+    std::uint64_t k = 0;      ///< neighbors per center
+    float radius = 0.0f;
+    std::uint64_t c_in = 0;   ///< feature channels entering
+    std::uint64_t c_out = 0;  ///< feature channels leaving
+
+    /** GEMM layers as (in, out) channel pairs. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> gemm;
+};
+
+/** One feature-propagation stage's sizes. */
+struct FpShape
+{
+    std::uint64_t n_fine = 0;   ///< interpolation queries
+    std::uint64_t n_coarse = 0; ///< known (sampled) points
+    std::uint64_t k = 3;
+    std::uint64_t c_in = 0;  ///< channels after concat
+    std::uint64_t c_out = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> gemm;
+};
+
+/** Whole-network workload. */
+struct NetworkShape
+{
+    std::string model;
+    nn::Task task = nn::Task::Classification;
+    std::uint64_t n_points = 0;
+    std::vector<SaShape> sa;
+    std::vector<FpShape> fp;
+
+    /** Head GEMM layers; rows = 1 (classification) or n (seg). */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> head;
+    std::uint64_t head_rows = 1;
+
+    /** Total MLP MACs with and without delayed aggregation. */
+    std::uint64_t totalMacs(bool delayed_aggregation) const;
+};
+
+/** Build the shape of @p model over @p n_points inputs. */
+NetworkShape buildNetworkShape(const nn::ModelConfig &model,
+                               std::uint64_t n_points);
+
+/**
+ * Block structure digest handed to the timing models: leaf sizes and
+ * per-leaf search-space sizes, in DFT order, plus the partitioning
+ * work record.
+ */
+struct BlockSummary
+{
+    std::vector<std::uint32_t> leaf_sizes;
+    std::vector<std::uint32_t> space_sizes;
+    std::uint32_t max_depth = 0;
+    part::PartitionStats stats;
+    std::uint64_t total_points = 0;
+
+    /**
+     * Stage-scaled copy: after fixed-rate sampling at cumulative rate
+     * @p rate each leaf holds about rate * size points (>= 1 for
+     * non-empty leaves). Mirrors the on-chip refractal of deeper
+     * stages without re-partitioning.
+     */
+    BlockSummary scaled(double rate) const;
+};
+
+/** Digest an actual partition result. */
+BlockSummary summarizeBlocks(const part::PartitionResult &result);
+
+} // namespace fc::accel
+
+#endif // FC_ACCEL_WORKLOAD_H

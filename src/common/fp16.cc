@@ -1,0 +1,84 @@
+#include "common/fp16.h"
+
+#include <bit>
+
+namespace fc {
+
+std::uint16_t
+fp32ToFp16Bits(float value)
+{
+    const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+    const std::uint32_t sign = (f >> 16) & 0x8000u;
+    std::int32_t exponent =
+        static_cast<std::int32_t>((f >> 23) & 0xffu) - 127 + 15;
+    std::uint32_t mantissa = f & 0x7fffffu;
+
+    if (((f >> 23) & 0xffu) == 0xffu) {
+        // Inf / NaN: keep a quiet-NaN payload bit if any mantissa bit set.
+        return static_cast<std::uint16_t>(
+            sign | 0x7c00u | (mantissa ? 0x200u : 0u));
+    }
+
+    if (exponent >= 0x1f) {
+        // Overflow to infinity.
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+
+    if (exponent <= 0) {
+        if (exponent < -10) {
+            // Underflows to signed zero.
+            return static_cast<std::uint16_t>(sign);
+        }
+        // Subnormal: shift mantissa (with implicit leading 1) right.
+        mantissa |= 0x800000u;
+        const int shift = 14 - exponent;
+        std::uint32_t sub = mantissa >> shift;
+        // Round to nearest even.
+        const std::uint32_t rem = mantissa & ((1u << shift) - 1u);
+        const std::uint32_t half = 1u << (shift - 1);
+        if (rem > half || (rem == half && (sub & 1u)))
+            ++sub;
+        return static_cast<std::uint16_t>(sign | sub);
+    }
+
+    // Normal number: round mantissa from 23 to 10 bits, nearest even.
+    std::uint32_t out = sign |
+        (static_cast<std::uint32_t>(exponent) << 10) | (mantissa >> 13);
+    const std::uint32_t rem = mantissa & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (out & 1u)))
+        ++out; // Carry may roll into the exponent; that is correct.
+    return static_cast<std::uint16_t>(out);
+}
+
+float
+fp16BitsToFp32(std::uint16_t bits)
+{
+    const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u)
+                               << 16;
+    const std::uint32_t exponent = (bits >> 10) & 0x1fu;
+    std::uint32_t mantissa = bits & 0x3ffu;
+
+    std::uint32_t f;
+    if (exponent == 0) {
+        if (mantissa == 0) {
+            f = sign; // Signed zero.
+        } else {
+            // Subnormal: normalize.
+            int e = -1;
+            std::uint32_t m = mantissa;
+            do {
+                ++e;
+                m <<= 1;
+            } while ((m & 0x400u) == 0);
+            f = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+                ((m & 0x3ffu) << 13);
+        }
+    } else if (exponent == 0x1f) {
+        f = sign | 0x7f800000u | (mantissa << 13);
+    } else {
+        f = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+    }
+    return std::bit_cast<float>(f);
+}
+
+} // namespace fc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * IEEE 754 binary16 (half precision) emulation.
+ *
+ * FractalCloud computes in 16-bit half-precision floating point "to
+ * align with all SOTA works and preserve network accuracy" (paper
+ * §VI-A). The simulator and the NN substrate store activations and
+ * weights as fp16 and compute in fp32, matching typical fp16 MAC
+ * hardware with fp32 accumulation.
+ */
+
+#ifndef FC_COMMON_FP16_H
+#define FC_COMMON_FP16_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace fc {
+
+/** Convert a single-precision float to its binary16 bit pattern. */
+std::uint16_t fp32ToFp16Bits(float value);
+
+/** Convert a binary16 bit pattern to single precision. */
+float fp16BitsToFp32(std::uint16_t bits);
+
+/**
+ * Half-precision storage type.
+ *
+ * Arithmetic promotes to float; assignment rounds to nearest-even
+ * binary16, which models the precision loss of the hardware datapath.
+ */
+class Fp16
+{
+  public:
+    Fp16() = default;
+    Fp16(float value) : bits_(fp32ToFp16Bits(value)) {}
+
+    operator float() const { return fp16BitsToFp32(bits_); }
+
+    Fp16 &
+    operator=(float value)
+    {
+        bits_ = fp32ToFp16Bits(value);
+        return *this;
+    }
+
+    std::uint16_t bits() const { return bits_; }
+
+    static Fp16
+    fromBits(std::uint16_t bits)
+    {
+        Fp16 h;
+        h.bits_ = bits;
+        return h;
+    }
+
+  private:
+    std::uint16_t bits_ = 0;
+};
+
+/** Round a float through binary16 precision (round-to-nearest-even). */
+inline float
+fp16Round(float value)
+{
+    return fp16BitsToFp32(fp32ToFp16Bits(value));
+}
+
+} // namespace fc
+
+#endif // FC_COMMON_FP16_H

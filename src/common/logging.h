@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Status / error reporting helpers in the gem5 tradition.
+ *
+ * - panic():  an internal invariant was violated (library bug); aborts.
+ * - fatal():  the caller supplied an impossible configuration; exits.
+ * - warn():   something works but is suspicious.
+ * - inform(): progress messages.
+ */
+
+#ifndef FC_COMMON_LOGGING_H
+#define FC_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace fc {
+
+/** Verbosity levels for inform(). */
+enum class LogLevel { Silent = 0, Normal = 1, Verbose = 2 };
+
+/** Global log level; benches set Silent to keep tables clean. */
+LogLevel &logLevel();
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg, LogLevel level);
+
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace fc
+
+/** Abort with message: internal invariant violated. */
+#define fc_panic(...)                                                      \
+    ::fc::detail::panicImpl(__FILE__, __LINE__,                            \
+                            ::fc::detail::formatMessage(__VA_ARGS__))
+
+/** Exit with message: unusable user configuration. */
+#define fc_fatal(...)                                                      \
+    ::fc::detail::fatalImpl(::fc::detail::formatMessage(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define fc_warn(...)                                                       \
+    ::fc::detail::warnImpl(::fc::detail::formatMessage(__VA_ARGS__))
+
+/** Progress message (respects fc::logLevel()). */
+#define fc_inform(...)                                                     \
+    ::fc::detail::informImpl(::fc::detail::formatMessage(__VA_ARGS__),     \
+                             ::fc::LogLevel::Normal)
+
+/** Assert an invariant with a formatted message. */
+#define fc_assert(cond, ...)                                               \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            fc_panic("assertion '%s' failed: %s", #cond,                   \
+                     ::fc::detail::formatMessage(__VA_ARGS__).c_str());    \
+    } while (0)
+
+#endif // FC_COMMON_LOGGING_H

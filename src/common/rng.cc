@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace fc {
+
+float
+Pcg32::normal()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    // Box-Muller transform on two uniforms in (0, 1].
+    float u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-12f);
+    const float u2 = uniform();
+    const float mag = std::sqrt(-2.0f * std::log(u1));
+    const float two_pi = 6.28318530717958647692f;
+    spare_ = mag * std::sin(two_pi * u2);
+    hasSpare_ = true;
+    return mag * std::cos(two_pi * u2);
+}
+
+} // namespace fc

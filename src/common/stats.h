@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Lightweight statistics counters for the simulator and library.
+ *
+ * A StatGroup is a named bag of scalar counters and distributions; the
+ * simulator components own one each and the report code renders them.
+ */
+
+#ifndef FC_COMMON_STATS_H
+#define FC_COMMON_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fc {
+
+/** A scalar accumulating counter. */
+class Counter
+{
+  public:
+    void operator+=(double v) { value_ += v; }
+    void operator++() { value_ += 1.0; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Streaming distribution: count / sum / min / max / mean / stddev
+ * without storing samples.
+ */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        sumSq_ += v * v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    double
+    stddev() const
+    {
+        if (count_ < 2)
+            return 0.0;
+        const double m = mean();
+        const double var =
+            std::max(0.0, sumSq_ / count_ - m * m);
+        return std::sqrt(var);
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = sumSq_ = 0.0;
+        min_ = 1e300;
+        max_ = -1e300;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 1e300;
+    double max_ = -1e300;
+};
+
+/** Named collection of counters, for component-level bookkeeping. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    Counter &counter(const std::string &key) { return counters_[key]; }
+    Distribution &dist(const std::string &key) { return dists_[key]; }
+
+    double
+    counterValue(const std::string &key) const
+    {
+        const auto it = counters_.find(key);
+        return it == counters_.end() ? 0.0 : it->second.value();
+    }
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Distribution> &dists() const
+    {
+        return dists_;
+    }
+    const std::string &name() const { return name_; }
+
+    void
+    reset()
+    {
+        for (auto &kv : counters_)
+            kv.second.reset();
+        for (auto &kv : dists_)
+            kv.second.reset();
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> dists_;
+};
+
+} // namespace fc
+
+#endif // FC_COMMON_STATS_H

@@ -1,0 +1,125 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    fc_assert(!header_.empty(), "table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    fc_assert(cells.size() == header_.size(),
+              "row arity %zu != header arity %zu", cells.size(),
+              header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_sep = [&] {
+        os << '+';
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            for (std::size_t i = 0; i < widths[c] + 2; ++i)
+                os << '-';
+            os << '+';
+        }
+        os << '\n';
+    };
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        os << '|';
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << ' ' << row[c];
+            for (std::size_t i = row[c].size(); i < widths[c] + 1; ++i)
+                os << ' ';
+            os << '|';
+        }
+        os << '\n';
+    };
+
+    emit_sep();
+    emit_row(header_);
+    emit_sep();
+    for (const auto &row : rows_)
+        emit_row(row);
+    emit_sep();
+    return os.str();
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+Table::renderCsv() const
+{
+    std::ostringstream os;
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        os << (c ? "," : "") << csvEscape(header_[c]);
+    os << '\n';
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << csvEscape(row[c]);
+        os << '\n';
+    }
+    return os.str();
+}
+
+bool
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << renderCsv();
+    return static_cast<bool>(out);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::mult(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+    return buf;
+}
+
+} // namespace fc

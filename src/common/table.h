@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ASCII table and CSV rendering used by the bench harness to print the
+ * paper's tables and figures as aligned text.
+ */
+
+#ifndef FC_COMMON_TABLE_H
+#define FC_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace fc {
+
+/**
+ * Column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"workload", "speedup", "energy"});
+ *   t.addRow({"PN++ (c) 1K", "6.8", "66"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with box-drawing separators. */
+    std::string render() const;
+
+    /** Render as CSV (RFC-4180 quoting for commas/quotes). */
+    std::string renderCsv() const;
+
+    /** Write the CSV rendering to a file; returns success. */
+    bool writeCsv(const std::string &path) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Format helper: fixed-precision float to string. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format helper: "12.3x" style multiplier. */
+    static std::string mult(double v, int precision = 1);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fc
+
+#endif // FC_COMMON_TABLE_H

@@ -1,0 +1,81 @@
+#include "core/pipeline.h"
+
+#include "common/logging.h"
+
+namespace fc {
+
+FractalCloudPipeline::FractalCloudPipeline(data::PointCloud cloud,
+                                           const PipelineOptions &options)
+    : cloud_(std::move(cloud)), options_(options)
+{
+    fc_assert(!cloud_.empty(), "pipeline requires a non-empty cloud");
+    const auto partitioner = part::makePartitioner(options_.method);
+    part::PartitionConfig config;
+    config.threshold = options_.threshold;
+    partition_ = partitioner->partition(cloud_, config);
+}
+
+data::PointCloud
+FractalCloudPipeline::reordered() const
+{
+    return cloud_.permuted(partition_.tree.order());
+}
+
+ops::BlockSampleResult
+FractalCloudPipeline::sample(double rate) const
+{
+    ops::FpsOptions fps;
+    fps.window_check = options_.window_check;
+    return ops::blockFarthestPointSample(cloud_, partition_.tree, rate,
+                                         fps);
+}
+
+ops::NeighborResult
+FractalCloudPipeline::group(const ops::BlockSampleResult &centers,
+                            float radius, std::size_t k) const
+{
+    return ops::blockBallQuery(cloud_, partition_.tree, centers, radius,
+                               k);
+}
+
+ops::GatherResult
+FractalCloudPipeline::gather(const ops::BlockSampleResult &centers,
+                             const ops::NeighborResult &neighbors) const
+{
+    return ops::blockGatherNeighborhoods(cloud_, partition_.tree,
+                                         centers.indices,
+                                         centers.leaf_offsets, neighbors);
+}
+
+ops::InterpolateResult
+FractalCloudPipeline::interpolate(
+    const ops::BlockSampleResult &sampled,
+    const std::vector<float> &known_features, std::size_t channels,
+    std::size_t k) const
+{
+    return ops::blockInterpolate(cloud_, partition_.tree, sampled,
+                                 known_features, channels, k);
+}
+
+nn::InferenceResult
+FractalCloudPipeline::infer(const nn::Network &network) const
+{
+    nn::BackendOptions backend;
+    backend.method = options_.method;
+    backend.threshold = options_.threshold;
+    return network.run(cloud_, backend);
+}
+
+accel::RunReport
+FractalCloudPipeline::estimate(const nn::ModelConfig &model) const
+{
+    const accel::AcceleratorModel accel =
+        accel::makeFractalCloud(options_.threshold);
+    const accel::NetworkShape shape =
+        accel::buildNetworkShape(model, cloud_.size());
+    const accel::BlockSummary blocks =
+        accel::summarizeBlocks(partition_);
+    return accel.runShape(shape, blocks);
+}
+
+} // namespace fc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * FractalCloudPipeline: the library's high-level public API.
+ *
+ * Wraps the full flow of the paper behind one object:
+ *
+ *   1. Fractal partitioning of a point cloud (Alg. 1) with the DFT
+ *      memory layout,
+ *   2. block-parallel point operations (sampling, grouping,
+ *      gathering, interpolation),
+ *   3. fixed-weight PNN inference with block-wise backends, and
+ *   4. hardware latency/energy estimation on the FractalCloud
+ *      accelerator model.
+ *
+ * See examples/quickstart.cc for a guided tour.
+ */
+
+#ifndef FC_CORE_PIPELINE_H
+#define FC_CORE_PIPELINE_H
+
+#include <memory>
+#include <optional>
+
+#include "accel/accelerator.h"
+#include "dataset/point_cloud.h"
+#include "nn/network.h"
+#include "ops/fps.h"
+#include "ops/gather.h"
+#include "ops/interpolate.h"
+#include "ops/neighbor.h"
+#include "partition/partitioner.h"
+
+namespace fc {
+
+/** Pipeline configuration. */
+struct PipelineOptions
+{
+    /** Partitioning strategy (Fractal is the paper's contribution). */
+    part::Method method = part::Method::Fractal;
+
+    /** Block threshold th: 64 for object-scale inputs, 256 for
+     *  scene-scale (paper §VI-B). */
+    std::uint32_t threshold = 256;
+
+    /** Model the RSPU window-check when counting sampling work. */
+    bool window_check = true;
+};
+
+/**
+ * A partitioned point cloud with block-parallel operations.
+ *
+ * The pipeline owns a copy of the cloud and its BlockTree; operations
+ * return results in original-cloud index space.
+ */
+class FractalCloudPipeline
+{
+  public:
+    /** Partition @p cloud according to @p options. */
+    FractalCloudPipeline(data::PointCloud cloud,
+                         const PipelineOptions &options = {});
+
+    const data::PointCloud &cloud() const { return cloud_; }
+    const part::BlockTree &tree() const { return partition_.tree; }
+    const part::PartitionResult &partition() const { return partition_; }
+    const PipelineOptions &options() const { return options_; }
+
+    /** The cloud in DFT (block-contiguous) memory order. */
+    data::PointCloud reordered() const;
+
+    /** Block-wise farthest point sampling at a fixed rate. */
+    ops::BlockSampleResult sample(double rate) const;
+
+    /** Block-wise ball query around previously sampled centers. */
+    ops::NeighborResult group(const ops::BlockSampleResult &centers,
+                              float radius, std::size_t k) const;
+
+    /** Block-wise gather of neighborhood features. */
+    ops::GatherResult gather(const ops::BlockSampleResult &centers,
+                             const ops::NeighborResult &neighbors) const;
+
+    /** Block-wise 3-NN feature interpolation from sampled points. */
+    ops::InterpolateResult
+    interpolate(const ops::BlockSampleResult &sampled,
+                const std::vector<float> &known_features,
+                std::size_t channels, std::size_t k = 3) const;
+
+    /** Run a fixed-weight network with block-wise point operations. */
+    nn::InferenceResult infer(const nn::Network &network) const;
+
+    /**
+     * Estimate latency/energy of one inference on the FractalCloud
+     * accelerator (cycle-level model, Table II configuration).
+     */
+    accel::RunReport estimate(const nn::ModelConfig &model) const;
+
+  private:
+    data::PointCloud cloud_;
+    PipelineOptions options_;
+    part::PartitionResult partition_;
+};
+
+} // namespace fc
+
+#endif // FC_CORE_PIPELINE_H

@@ -1,0 +1,137 @@
+#include "dataset/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fc::data {
+
+bool
+savePly(const PointCloud &cloud, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    const bool labeled = cloud.hasLabels();
+    out << "ply\nformat ascii 1.0\n"
+        << "comment FractalCloud point cloud\n"
+        << "element vertex " << cloud.size() << "\n"
+        << "property float x\nproperty float y\nproperty float z\n";
+    if (labeled)
+        out << "property int label\n";
+    out << "end_header\n";
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        out << cloud[i].x << ' ' << cloud[i].y << ' ' << cloud[i].z;
+        if (labeled)
+            out << ' ' << cloud.labels()[i];
+        out << '\n';
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+loadPly(PointCloud &cloud, const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    if (!std::getline(in, line) || line != "ply")
+        return false;
+
+    std::size_t vertices = 0;
+    bool labeled = false;
+    int property_index = 0;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string token;
+        ls >> token;
+        if (token == "end_header")
+            break;
+        if (token == "element") {
+            std::string kind;
+            ls >> kind >> vertices;
+            if (kind != "vertex")
+                return false;
+        } else if (token == "property") {
+            std::string type, name;
+            ls >> type >> name;
+            // Expect x, y, z first; any following int property is
+            // treated as the label.
+            if (property_index >= 3 &&
+                (type == "int" || type == "uchar"))
+                labeled = true;
+            ++property_index;
+        }
+    }
+
+    PointCloud result;
+    result.coords().reserve(vertices);
+    for (std::size_t i = 0; i < vertices; ++i) {
+        if (!std::getline(in, line))
+            return false;
+        std::istringstream ls(line);
+        Vec3 p;
+        ls >> p.x >> p.y >> p.z;
+        if (!ls)
+            return false;
+        if (labeled) {
+            std::int32_t label = 0;
+            ls >> label;
+            result.addPoint(p, label);
+        } else {
+            result.addPoint(p);
+        }
+    }
+    cloud = std::move(result);
+    return true;
+}
+
+bool
+saveXyz(const PointCloud &cloud, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    const bool labeled = cloud.hasLabels();
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        out << cloud[i].x << ' ' << cloud[i].y << ' ' << cloud[i].z;
+        if (labeled)
+            out << ' ' << cloud.labels()[i];
+        out << '\n';
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+loadXyz(PointCloud &cloud, const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    PointCloud result;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        Vec3 p;
+        ls >> p.x >> p.y >> p.z;
+        if (!ls)
+            return false;
+        std::int32_t label;
+        if (ls >> label)
+            result.addPoint(p, label);
+        else
+            result.addPoint(p);
+    }
+    if (!result.labels().empty() &&
+        result.labels().size() != result.size()) {
+        return false; // mixed labeled/unlabeled rows
+    }
+    cloud = std::move(result);
+    return true;
+}
+
+} // namespace fc::data

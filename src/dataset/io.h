@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Point-cloud file I/O: ASCII PLY (with optional per-point labels)
+ * and plain XYZ. Lets users round-trip the synthetic datasets into
+ * standard visualization tools and load external clouds into the
+ * pipeline.
+ */
+
+#ifndef FC_DATASET_IO_H
+#define FC_DATASET_IO_H
+
+#include <string>
+
+#include "dataset/point_cloud.h"
+
+namespace fc::data {
+
+/**
+ * Write an ASCII PLY file. Labels (when present) are stored as a
+ * `label` int property; features are not serialized.
+ * @return false on I/O failure.
+ */
+bool savePly(const PointCloud &cloud, const std::string &path);
+
+/**
+ * Read an ASCII PLY produced by savePly (or any ASCII PLY whose
+ * vertex element starts with float x/y/z, optionally followed by an
+ * int label property).
+ * @param cloud output (replaced on success)
+ * @return false on parse or I/O failure.
+ */
+bool loadPly(PointCloud &cloud, const std::string &path);
+
+/** Write whitespace-separated "x y z [label]" lines. */
+bool saveXyz(const PointCloud &cloud, const std::string &path);
+
+/** Read "x y z [label]" lines (comments starting with '#' skipped). */
+bool loadXyz(PointCloud &cloud, const std::string &path);
+
+} // namespace fc::data
+
+#endif // FC_DATASET_IO_H

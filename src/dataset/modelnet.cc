@@ -1,0 +1,236 @@
+#include "dataset/modelnet.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "dataset/synthetic.h"
+
+namespace fc::data {
+
+namespace {
+
+/**
+ * Each class is defined by a recipe: a blend of primitive surfaces with
+ * class-specific proportions and parameter ranges. Families repeat
+ * with different parameter regimes to reach 40 distinct classes, the
+ * way ModelNet repeats furniture archetypes at different aspect
+ * ratios.
+ */
+enum class Family
+{
+    Sphere,
+    Box,
+    Cylinder,
+    Cone,
+    Torus,
+    TableLike,  // flat top + legs
+    ChairLike,  // seat + back + legs
+    LampLike,   // pole + shade cone
+    StackedBoxes,
+    RingStack,  // stacked tori
+};
+
+struct Recipe
+{
+    Family family;
+    float scale_a; // primary parameter (radius / half extent)
+    float scale_b; // secondary parameter (height / minor radius)
+    float jitter;  // surface noise sigma
+};
+
+constexpr int kFamilies = 10;
+
+Recipe
+classRecipe(int class_id, Pcg32 &rng)
+{
+    const int family = class_id % kFamilies;
+    const int variant = class_id / kFamilies; // 0..3
+    const float va = 0.55f + 0.3f * static_cast<float>(variant);
+    const float vb = 1.45f - 0.3f * static_cast<float>(variant);
+    Recipe r;
+    r.family = static_cast<Family>(family);
+    r.scale_a = va * rng.uniform(0.9f, 1.1f);
+    r.scale_b = vb * rng.uniform(0.9f, 1.1f);
+    r.jitter = 0.004f + 0.002f * static_cast<float>(variant);
+    return r;
+}
+
+void
+emitFamily(PointCloud &cloud, const Recipe &r, std::size_t n, Pcg32 &rng)
+{
+    switch (r.family) {
+      case Family::Sphere:
+        for (std::size_t i = 0; i < n; ++i)
+            cloud.addPoint(sampleSphereSurface(rng, r.scale_a));
+        break;
+      case Family::Box:
+        for (std::size_t i = 0; i < n; ++i)
+            cloud.addPoint(sampleBoxSurface(
+                rng, {r.scale_a, r.scale_a * 0.8f, r.scale_b}));
+        break;
+      case Family::Cylinder:
+        for (std::size_t i = 0; i < n; ++i)
+            cloud.addPoint(
+                sampleCylinderSurface(rng, r.scale_a, 2.0f * r.scale_b));
+        break;
+      case Family::Cone:
+        for (std::size_t i = 0; i < n; ++i)
+            cloud.addPoint(
+                sampleConeSurface(rng, r.scale_a, 2.0f * r.scale_b));
+        break;
+      case Family::Torus:
+        for (std::size_t i = 0; i < n; ++i)
+            cloud.addPoint(
+                sampleTorusSurface(rng, r.scale_a, 0.3f * r.scale_b));
+        break;
+      case Family::TableLike: {
+        const std::size_t top = n * 7 / 10;
+        for (std::size_t i = 0; i < top; ++i) {
+            Vec3 p = sampleBoxSurface(
+                rng, {r.scale_a, r.scale_a, 0.05f * r.scale_b});
+            p.z += r.scale_b;
+            cloud.addPoint(p);
+        }
+        for (std::size_t i = top; i < n; ++i) {
+            const int leg = static_cast<int>(rng.bounded(4));
+            const float sx = (leg & 1) ? 1.0f : -1.0f;
+            const float sy = (leg & 2) ? 1.0f : -1.0f;
+            Vec3 p = sampleCylinderSurface(rng, 0.06f * r.scale_a,
+                                           2.0f * r.scale_b);
+            p.x += sx * 0.8f * r.scale_a;
+            p.y += sy * 0.8f * r.scale_a;
+            cloud.addPoint(p);
+        }
+        break;
+      }
+      case Family::ChairLike: {
+        const std::size_t seat = n / 2;
+        const std::size_t back = n / 4;
+        for (std::size_t i = 0; i < seat; ++i) {
+            Vec3 p = sampleBoxSurface(
+                rng, {r.scale_a, r.scale_a, 0.06f * r.scale_b});
+            cloud.addPoint(p);
+        }
+        for (std::size_t i = 0; i < back; ++i) {
+            Vec3 p = sampleBoxSurface(
+                rng, {r.scale_a, 0.05f * r.scale_a, r.scale_b});
+            p.y -= r.scale_a;
+            p.z += r.scale_b;
+            cloud.addPoint(p);
+        }
+        for (std::size_t i = seat + back; i < n; ++i) {
+            const int leg = static_cast<int>(rng.bounded(4));
+            const float sx = (leg & 1) ? 1.0f : -1.0f;
+            const float sy = (leg & 2) ? 1.0f : -1.0f;
+            Vec3 p = sampleCylinderSurface(rng, 0.05f * r.scale_a,
+                                           1.6f * r.scale_b);
+            p.x += sx * 0.8f * r.scale_a;
+            p.y += sy * 0.8f * r.scale_a;
+            p.z -= r.scale_b;
+            cloud.addPoint(p);
+        }
+        break;
+      }
+      case Family::LampLike: {
+        const std::size_t pole = n / 3;
+        for (std::size_t i = 0; i < pole; ++i)
+            cloud.addPoint(sampleCylinderSurface(rng, 0.06f * r.scale_a,
+                                                 3.0f * r.scale_b));
+        for (std::size_t i = pole; i < n; ++i) {
+            Vec3 p = sampleConeSurface(rng, r.scale_a, r.scale_b);
+            p.z += 1.5f * r.scale_b;
+            cloud.addPoint(p);
+        }
+        break;
+      }
+      case Family::StackedBoxes: {
+        const std::size_t per = n / 3 + 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            const int level = static_cast<int>(i / per);
+            const float shrink =
+                1.0f - 0.28f * static_cast<float>(level);
+            Vec3 p = sampleBoxSurface(
+                rng, {r.scale_a * shrink, r.scale_a * shrink,
+                      0.3f * r.scale_b});
+            p.z += 0.62f * r.scale_b * static_cast<float>(level);
+            cloud.addPoint(p);
+        }
+        break;
+      }
+      case Family::RingStack: {
+        const std::size_t per = n / 3 + 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            const int level = static_cast<int>(i / per);
+            Vec3 p = sampleTorusSurface(
+                rng, r.scale_a * (1.0f - 0.2f * level),
+                0.18f * r.scale_b);
+            p.z += 0.45f * r.scale_b * static_cast<float>(level);
+            cloud.addPoint(p);
+        }
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+modelNetClassName(int class_id)
+{
+    static const std::array<const char *, kFamilies> family_names = {
+        "sphere", "box",   "cylinder", "cone",    "torus",
+        "table",  "chair", "lamp",     "stack",   "rings",
+    };
+    fc_assert(class_id >= 0 && class_id < kModelNetNumClasses,
+              "class id %d out of range", class_id);
+    const int family = class_id % kFamilies;
+    const int variant = class_id / kFamilies;
+    return std::string(family_names[static_cast<std::size_t>(family)]) +
+           "_v" + std::to_string(variant);
+}
+
+PointCloud
+makeModelNetObject(int class_id, std::size_t num_points,
+                   std::uint64_t seed)
+{
+    fc_assert(class_id >= 0 && class_id < kModelNetNumClasses,
+              "class id %d out of range", class_id);
+    Pcg32 rng(seed, 0x9e3779b97f4a7c15ULL ^
+                        static_cast<std::uint64_t>(class_id));
+    const Recipe recipe = classRecipe(class_id, rng);
+    PointCloud cloud;
+    cloud.coords().reserve(num_points);
+    emitFamily(cloud, recipe, num_points, rng);
+    // Surface jitter models sensor noise.
+    for (Vec3 &p : cloud.coords()) {
+        p.x += rng.normal(0.0f, recipe.jitter);
+        p.y += rng.normal(0.0f, recipe.jitter);
+        p.z += rng.normal(0.0f, recipe.jitter);
+    }
+    cloud.normalizeToUnitSphere();
+    return cloud;
+}
+
+ObjectDataset
+makeModelNetDataset(std::size_t per_class, std::size_t num_points,
+                    std::uint64_t seed)
+{
+    ObjectDataset ds;
+    ds.clouds.reserve(per_class * kModelNetNumClasses);
+    ds.labels.reserve(per_class * kModelNetNumClasses);
+    for (int c = 0; c < kModelNetNumClasses; ++c) {
+        for (std::size_t i = 0; i < per_class; ++i) {
+            const std::uint64_t instance_seed =
+                seed * 1000003ULL + static_cast<std::uint64_t>(c) * 131ULL +
+                i;
+            ds.clouds.push_back(
+                makeModelNetObject(c, num_points, instance_seed));
+            ds.labels.push_back(c);
+        }
+    }
+    return ds;
+}
+
+} // namespace fc::data

@@ -1,0 +1,102 @@
+#include "dataset/point_cloud.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fc::data {
+
+void
+PointCloud::allocateFeatures(std::size_t dim)
+{
+    featureDim_ = dim;
+    features_.assign(coords_.size() * dim, 0.0f);
+}
+
+Aabb
+PointCloud::bounds() const
+{
+    Aabb box;
+    for (const Vec3 &p : coords_)
+        box.extend(p);
+    return box;
+}
+
+PointCloud
+PointCloud::permuted(const std::vector<PointIdx> &order) const
+{
+    fc_assert(order.size() == coords_.size(),
+              "permutation arity %zu != cloud size %zu", order.size(),
+              coords_.size());
+    PointCloud out;
+    out.coords_.resize(coords_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        out.coords_[i] = coords_[order[i]];
+    if (featureDim_ > 0) {
+        out.featureDim_ = featureDim_;
+        out.features_.resize(features_.size());
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            const float *src = features_.data() + order[i] * featureDim_;
+            float *dst = out.features_.data() + i * featureDim_;
+            std::copy(src, src + featureDim_, dst);
+        }
+    }
+    if (!labels_.empty()) {
+        out.labels_.resize(labels_.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            out.labels_[i] = labels_[order[i]];
+    }
+    return out;
+}
+
+PointCloud
+PointCloud::subset(const std::vector<PointIdx> &indices) const
+{
+    PointCloud out;
+    out.coords_.reserve(indices.size());
+    for (PointIdx idx : indices) {
+        fc_assert(idx < coords_.size(), "subset index %u out of range",
+                  idx);
+        out.coords_.push_back(coords_[idx]);
+    }
+    if (featureDim_ > 0) {
+        out.featureDim_ = featureDim_;
+        out.features_.reserve(indices.size() * featureDim_);
+        for (PointIdx idx : indices) {
+            const float *src = features_.data() + idx * featureDim_;
+            out.features_.insert(out.features_.end(), src,
+                                 src + featureDim_);
+        }
+    }
+    if (!labels_.empty()) {
+        out.labels_.reserve(indices.size());
+        for (PointIdx idx : indices)
+            out.labels_.push_back(labels_[idx]);
+    }
+    return out;
+}
+
+void
+PointCloud::normalizeToUnitSphere()
+{
+    if (coords_.empty())
+        return;
+    Vec3 centroid{0, 0, 0};
+    for (const Vec3 &p : coords_)
+        centroid += p;
+    const float inv_n = 1.0f / static_cast<float>(coords_.size());
+    centroid = centroid * inv_n;
+    float max_r2 = 0.0f;
+    for (Vec3 &p : coords_) {
+        p = p - centroid;
+        max_r2 = std::max(max_r2, p.norm2());
+    }
+    if (max_r2 <= 0.0f)
+        return;
+    const float inv_r = 1.0f / std::sqrt(max_r2);
+    for (Vec3 &p : coords_)
+        p = p * inv_r;
+}
+
+} // namespace fc::data

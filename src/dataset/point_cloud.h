@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Point cloud container: spatial coordinates plus an optional dense
+ * feature matrix and per-point labels.
+ *
+ * Coordinates are stored as a contiguous array of Vec3; features are a
+ * row-major [numPoints x featureDim] matrix. This mirrors the paper's
+ * split between the coordinate stream consumed by point operations and
+ * the feature stream consumed by gathering / MLPs (§II-A).
+ */
+
+#ifndef FC_DATASET_POINT_CLOUD_H
+#define FC_DATASET_POINT_CLOUD_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fc::data {
+
+/**
+ * A point cloud of n points with optional features and labels.
+ */
+class PointCloud
+{
+  public:
+    PointCloud() = default;
+
+    /** Construct with coordinates only. */
+    explicit PointCloud(std::vector<Vec3> coords)
+        : coords_(std::move(coords))
+    {}
+
+    std::size_t size() const { return coords_.size(); }
+    bool empty() const { return coords_.empty(); }
+
+    const Vec3 &operator[](std::size_t i) const { return coords_[i]; }
+    Vec3 &operator[](std::size_t i) { return coords_[i]; }
+
+    const std::vector<Vec3> &coords() const { return coords_; }
+    std::vector<Vec3> &coords() { return coords_; }
+
+    /** Feature channel count (0 when the cloud has no features). */
+    std::size_t featureDim() const { return featureDim_; }
+
+    /** Row-major [size x featureDim] feature matrix. */
+    const std::vector<float> &features() const { return features_; }
+    std::vector<float> &features() { return features_; }
+
+    /** Feature row for one point. */
+    std::span<const float>
+    featureRow(std::size_t i) const
+    {
+        return {features_.data() + i * featureDim_, featureDim_};
+    }
+
+    std::span<float>
+    featureRow(std::size_t i)
+    {
+        return {features_.data() + i * featureDim_, featureDim_};
+    }
+
+    /** Allocate (zero-filled) features with @p dim channels. */
+    void allocateFeatures(std::size_t dim);
+
+    /** Per-point integer labels (empty if unlabeled). */
+    const std::vector<std::int32_t> &labels() const { return labels_; }
+    std::vector<std::int32_t> &labels() { return labels_; }
+    bool hasLabels() const { return !labels_.empty(); }
+
+    void
+    addPoint(const Vec3 &p)
+    {
+        coords_.push_back(p);
+    }
+
+    void
+    addPoint(const Vec3 &p, std::int32_t label)
+    {
+        coords_.push_back(p);
+        labels_.push_back(label);
+    }
+
+    /** Bounding box of all coordinates. */
+    Aabb bounds() const;
+
+    /**
+     * Return a new cloud with the given point order; features and
+     * labels (when present) are permuted consistently. Used to realize
+     * the DFT memory layout after partitioning.
+     */
+    PointCloud permuted(const std::vector<PointIdx> &order) const;
+
+    /** Subset selection; indices may repeat. */
+    PointCloud subset(const std::vector<PointIdx> &indices) const;
+
+    /**
+     * Normalize coordinates to fit the unit sphere centred at the
+     * origin (standard ModelNet preprocessing).
+     */
+    void normalizeToUnitSphere();
+
+    /** Bytes of coordinate storage (3 x fp16 per point, padded to 8B). */
+    std::size_t
+    coordBytesFp16() const
+    {
+        return coords_.size() * 8;
+    }
+
+    /** Bytes of feature storage at fp16. */
+    std::size_t
+    featureBytesFp16() const
+    {
+        return coords_.size() * featureDim_ * 2;
+    }
+
+  private:
+    std::vector<Vec3> coords_;
+    std::vector<float> features_;
+    std::size_t featureDim_ = 0;
+    std::vector<std::int32_t> labels_;
+};
+
+} // namespace fc::data
+
+#endif // FC_DATASET_POINT_CLOUD_H

@@ -1,0 +1,173 @@
+#include "dataset/s3dis.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "dataset/synthetic.h"
+
+namespace fc::data {
+
+namespace {
+
+struct Cluster
+{
+    Vec3 center;
+    Vec3 half;
+    S3disClass label;
+};
+
+} // namespace
+
+PointCloud
+makeS3disScene(std::size_t num_points, std::uint64_t seed,
+               const SceneOptions &options)
+{
+    fc_assert(num_points >= 16, "scene needs at least 16 points");
+    Pcg32 rng(seed, 0x5851f42d4c957f2dULL);
+    PointCloud cloud;
+    cloud.coords().reserve(num_points);
+    const Vec3 rh = options.room_half;
+
+    if (options.adversarial_two_clusters) {
+        // Two dense, well-separated blobs; worst case for spatial
+        // partitioning balance (paper §VI-D).
+        const Vec3 c0{-rh.x * 0.8f, -rh.y * 0.8f, 0.0f};
+        const Vec3 c1{rh.x * 0.8f, rh.y * 0.8f, 0.0f};
+        for (std::size_t i = 0; i < num_points; ++i) {
+            const Vec3 c = (i % 2 == 0) ? c0 : c1;
+            cloud.addPoint(sampleGaussianBlob(rng, c, 0.35f),
+                           static_cast<std::int32_t>(S3disClass::Clutter));
+        }
+        return cloud;
+    }
+
+    // Budget split: structural surfaces vs furniture clusters vs
+    // outliers. Clusters get a density boost over their area share.
+    const std::size_t outlier_n = static_cast<std::size_t>(
+        static_cast<float>(num_points) * options.outlier_fraction);
+    const float boost = options.cluster_density_boost;
+    const float cluster_share = boost / (boost + 2.0f);
+    const std::size_t cluster_n = static_cast<std::size_t>(
+        static_cast<float>(num_points - outlier_n) * cluster_share);
+    const std::size_t structure_n = num_points - outlier_n - cluster_n;
+
+    // --- Structural surfaces: floor, ceiling, 4 walls. -----------------
+    struct Surface
+    {
+        Vec3 origin, u, v;
+        S3disClass label;
+        float area;
+    };
+    std::vector<Surface> surfaces;
+    const float lx = 2.0f * rh.x, ly = 2.0f * rh.y, lz = 2.0f * rh.z;
+    surfaces.push_back({{-rh.x, -rh.y, -rh.z},
+                        {lx, 0, 0},
+                        {0, ly, 0},
+                        S3disClass::Floor,
+                        lx * ly});
+    surfaces.push_back({{-rh.x, -rh.y, rh.z},
+                        {lx, 0, 0},
+                        {0, ly, 0},
+                        S3disClass::Ceiling,
+                        lx * ly});
+    surfaces.push_back({{-rh.x, -rh.y, -rh.z},
+                        {lx, 0, 0},
+                        {0, 0, lz},
+                        S3disClass::Wall,
+                        lx * lz});
+    surfaces.push_back({{-rh.x, rh.y, -rh.z},
+                        {lx, 0, 0},
+                        {0, 0, lz},
+                        S3disClass::Wall,
+                        lx * lz});
+    surfaces.push_back({{-rh.x, -rh.y, -rh.z},
+                        {0, ly, 0},
+                        {0, 0, lz},
+                        S3disClass::Wall,
+                        ly * lz});
+    surfaces.push_back({{rh.x, -rh.y, -rh.z},
+                        {0, ly, 0},
+                        {0, 0, lz},
+                        S3disClass::Wall,
+                        ly * lz});
+    float total_area = 0.0f;
+    for (const Surface &s : surfaces)
+        total_area += s.area;
+    for (std::size_t i = 0; i < structure_n; ++i) {
+        float pick = rng.uniform(0.0f, total_area);
+        const Surface *chosen = &surfaces.back();
+        for (const Surface &s : surfaces) {
+            if (pick < s.area) {
+                chosen = &s;
+                break;
+            }
+            pick -= s.area;
+        }
+        Vec3 p = samplePlanePatch(rng, chosen->origin, chosen->u,
+                                  chosen->v);
+        p.x += rng.normal(0.0f, 0.01f);
+        p.y += rng.normal(0.0f, 0.01f);
+        p.z += rng.normal(0.0f, 0.01f);
+        cloud.addPoint(p, static_cast<std::int32_t>(chosen->label));
+    }
+
+    // --- Furniture clusters: dense boxes/blobs on the floor. -----------
+    std::vector<Cluster> clusters;
+    clusters.reserve(options.num_clusters);
+    static const S3disClass kFurniture[] = {
+        S3disClass::Table, S3disClass::Chair, S3disClass::Bookcase,
+        S3disClass::Clutter};
+    for (std::size_t k = 0; k < options.num_clusters; ++k) {
+        Cluster c;
+        c.half = {rng.uniform(0.2f, 0.7f), rng.uniform(0.2f, 0.7f),
+                  rng.uniform(0.2f, 0.6f)};
+        // Keep furniture inside the room: the cluster extent must not
+        // poke through the floor or walls.
+        c.center = {rng.uniform(-rh.x * 0.85f + c.half.x,
+                                rh.x * 0.85f - c.half.x),
+                    rng.uniform(-rh.y * 0.85f + c.half.y,
+                                rh.y * 0.85f - c.half.y),
+                    rng.uniform(-rh.z + c.half.z, -rh.z * 0.2f)};
+        c.label = kFurniture[rng.bounded(4)];
+        clusters.push_back(c);
+    }
+    // Cluster sizes follow a power-ish law: some clusters much denser,
+    // mirroring the heavy-tailed density of real scans.
+    std::vector<float> weights(clusters.size());
+    float wsum = 0.0f;
+    for (std::size_t k = 0; k < clusters.size(); ++k) {
+        weights[k] = 1.0f / static_cast<float>(k + 1);
+        wsum += weights[k];
+    }
+    for (std::size_t i = 0; i < cluster_n && !clusters.empty(); ++i) {
+        float pick = rng.uniform(0.0f, wsum);
+        std::size_t k = clusters.size() - 1;
+        for (std::size_t j = 0; j < clusters.size(); ++j) {
+            if (pick < weights[j]) {
+                k = j;
+                break;
+            }
+            pick -= weights[j];
+        }
+        const Cluster &c = clusters[k];
+        Vec3 p = sampleBoxSurface(rng, c.half) + c.center;
+        p.x += rng.normal(0.0f, 0.008f);
+        p.y += rng.normal(0.0f, 0.008f);
+        p.z += rng.normal(0.0f, 0.008f);
+        cloud.addPoint(p, static_cast<std::int32_t>(c.label));
+    }
+
+    // --- Outliers: uniform in an inflated room volume. ------------------
+    for (std::size_t i = 0; i < outlier_n; ++i) {
+        cloud.addPoint({rng.uniform(-rh.x * 1.3f, rh.x * 1.3f),
+                        rng.uniform(-rh.y * 1.3f, rh.y * 1.3f),
+                        rng.uniform(-rh.z * 1.3f, rh.z * 1.3f)},
+                       static_cast<std::int32_t>(S3disClass::Clutter));
+    }
+
+    return cloud;
+}
+
+} // namespace fc::data

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * S3DIS-like procedural indoor-scene dataset for semantic segmentation.
+ *
+ * Real S3DIS scans cover office rooms: large planar surfaces (floor,
+ * ceiling, walls) plus dense furniture clusters, with strongly
+ * non-uniform point density and a small fraction of outliers (the
+ * paper reports 0.5-2.5% in §VI-D). The generator reproduces those
+ * density statistics, which drive every hardware result in the paper:
+ * block balance, search-space sizes, and cache behaviour.
+ *
+ * Scene sizes span the paper's evaluation range: 4K-289K points, and
+ * up to 1M for the asymptotic study.
+ */
+
+#ifndef FC_DATASET_S3DIS_H
+#define FC_DATASET_S3DIS_H
+
+#include <cstdint>
+
+#include "dataset/point_cloud.h"
+
+namespace fc::data {
+
+/** Semantic classes, a subset of the 13 S3DIS classes. */
+enum class S3disClass : std::int32_t
+{
+    Floor = 0,
+    Ceiling = 1,
+    Wall = 2,
+    Table = 3,
+    Chair = 4,
+    Bookcase = 5,
+    Clutter = 6,
+    NumClasses = 7,
+};
+
+inline constexpr int kS3disNumClasses =
+    static_cast<int>(S3disClass::NumClasses);
+
+/** Scene-shape controls for stress experiments. */
+struct SceneOptions
+{
+    /** Room half extents in metres. */
+    Vec3 room_half{4.0f, 3.0f, 1.5f};
+    /** Furniture clusters (each is a dense region). */
+    std::size_t num_clusters = 10;
+    /** Fraction of points that are uniform outliers (0.005-0.025). */
+    float outlier_fraction = 0.015f;
+    /**
+     * Density contrast: ratio of cluster to structural point density.
+     * Real scans concentrate points on furniture near the scanner.
+     */
+    float cluster_density_boost = 6.0f;
+    /**
+     * Adversarial mode for the imbalance study (§VI-D): two distant
+     * dense regions and nothing else.
+     */
+    bool adversarial_two_clusters = false;
+};
+
+/**
+ * Generate one indoor scene with per-point semantic labels.
+ *
+ * @param num_points total points (4K..1M)
+ * @param seed       scene seed
+ * @param options    scene-shape controls
+ */
+PointCloud makeS3disScene(std::size_t num_points, std::uint64_t seed,
+                          const SceneOptions &options = {});
+
+} // namespace fc::data
+
+#endif // FC_DATASET_S3DIS_H

@@ -1,0 +1,247 @@
+#include "dataset/shapenet.h"
+
+#include <array>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "dataset/synthetic.h"
+
+namespace fc::data {
+
+namespace {
+
+struct PartSpec
+{
+    // Offsets/extents are in object-local units before normalization.
+    Vec3 offset;
+    Vec3 extent;
+    int kind; // 0=box surface, 1=cylinder, 2=cone, 3=sphere
+    float weight; // share of points
+};
+
+using CategorySpec = std::array<PartSpec, kShapeNetMaxParts>;
+
+/**
+ * Category recipes. Part counts differ per category, as in real
+ * ShapeNet (airplane: 4, mug: 2, ...). Unused slots have weight 0.
+ */
+const std::array<std::pair<int, CategorySpec>, kShapeNetNumCategories> &
+categoryTable()
+{
+    static const std::array<std::pair<int, CategorySpec>,
+                            kShapeNetNumCategories>
+        table = {{
+            // airplane: body / wings / tail / engines
+            {4,
+             {{{{0, 0, 0}, {0.2f, 0.2f, 1.2f}, 1, 0.4f},
+               {{0, 0, 0.1f}, {1.4f, 0.06f, 0.25f}, 0, 0.35f},
+               {{0, 0.25f, -1.0f}, {0.5f, 0.3f, 0.1f}, 0, 0.15f},
+               {{0.55f, -0.1f, 0.2f}, {0.1f, 0.1f, 0.35f}, 1, 0.10f},
+               {{}, {}, 0, 0.0f}}}},
+            // bag: body / handle
+            {2,
+             {{{{0, 0, 0}, {0.6f, 0.3f, 0.7f}, 0, 0.8f},
+               {{0, 0, 0.8f}, {0.4f, 0.08f, 0.2f}, 4, 0.2f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f}}}},
+            // cap: crown / peak
+            {2,
+             {{{{0, 0, 0}, {0.6f, 0.6f, 0.35f}, 3, 0.7f},
+               {{0, 0.6f, -0.1f}, {0.5f, 0.45f, 0.05f}, 0, 0.3f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f}}}},
+            // car: body / roof / wheels
+            {3,
+             {{{{0, 0, 0}, {1.0f, 0.45f, 0.3f}, 0, 0.55f},
+               {{0, 0, 0.45f}, {0.55f, 0.4f, 0.18f}, 0, 0.2f},
+               {{0.6f, 0.4f, -0.3f}, {0.2f, 0.08f, 0.2f}, 1, 0.25f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f}}}},
+            // chair: seat / back / legs / arms
+            {4,
+             {{{{0, 0, 0}, {0.5f, 0.5f, 0.06f}, 0, 0.35f},
+               {{0, -0.5f, 0.55f}, {0.5f, 0.05f, 0.5f}, 0, 0.3f},
+               {{0.4f, 0.4f, -0.5f}, {0.05f, 0.05f, 0.5f}, 1, 0.25f},
+               {{0.5f, 0, 0.25f}, {0.05f, 0.3f, 0.05f}, 1, 0.10f},
+               {{}, {}, 0, 0.0f}}}},
+            // earphone: cups / band
+            {2,
+             {{{{0.5f, 0, 0}, {0.22f, 0.22f, 0.1f}, 1, 0.6f},
+               {{0, 0, 0.4f}, {0.55f, 0.08f, 0.3f}, 4, 0.4f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f}}}},
+            // guitar: body / neck / head
+            {3,
+             {{{{0, 0, -0.4f}, {0.5f, 0.15f, 0.6f}, 0, 0.6f},
+               {{0, 0, 0.55f}, {0.07f, 0.05f, 0.55f}, 0, 0.3f},
+               {{0, 0, 1.15f}, {0.12f, 0.06f, 0.12f}, 0, 0.10f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f}}}},
+            // knife: blade / handle
+            {2,
+             {{{{0, 0, 0.35f}, {0.08f, 0.02f, 0.65f}, 0, 0.6f},
+               {{0, 0, -0.45f}, {0.07f, 0.05f, 0.3f}, 1, 0.4f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f}}}},
+            // lamp: base / pole / shade
+            {3,
+             {{{{0, 0, -0.8f}, {0.4f, 0.4f, 0.05f}, 1, 0.2f},
+               {{0, 0, 0}, {0.05f, 0.05f, 0.8f}, 1, 0.3f},
+               {{0, 0, 0.8f}, {0.45f, 0.45f, 0.3f}, 2, 0.5f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f}}}},
+            // laptop: base / screen
+            {2,
+             {{{{0, 0, 0}, {0.6f, 0.45f, 0.03f}, 0, 0.5f},
+               {{0, -0.45f, 0.4f}, {0.6f, 0.03f, 0.4f}, 0, 0.5f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f}}}},
+            // motorbike: frame / wheels / seat / handlebars
+            {4,
+             {{{{0, 0, 0}, {0.8f, 0.12f, 0.25f}, 0, 0.35f},
+               {{0.65f, 0, -0.25f}, {0.3f, 0.06f, 0.3f}, 1, 0.35f},
+               {{-0.15f, 0, 0.3f}, {0.3f, 0.15f, 0.06f}, 0, 0.15f},
+               {{0.55f, 0, 0.45f}, {0.05f, 0.3f, 0.05f}, 1, 0.15f},
+               {{}, {}, 0, 0.0f}}}},
+            // mug: body / handle
+            {2,
+             {{{{0, 0, 0}, {0.45f, 0.45f, 0.55f}, 1, 0.8f},
+               {{0.55f, 0, 0}, {0.2f, 0.06f, 0.25f}, 4, 0.2f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f}}}},
+            // pistol: barrel / grip / trigger
+            {3,
+             {{{{0.2f, 0, 0.15f}, {0.45f, 0.06f, 0.1f}, 0, 0.5f},
+               {{-0.2f, 0, -0.25f}, {0.1f, 0.07f, 0.3f}, 0, 0.35f},
+               {{0.0f, 0, -0.05f}, {0.06f, 0.03f, 0.08f}, 4, 0.15f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f}}}},
+            // rocket: body / fins / nose
+            {3,
+             {{{{0, 0, 0}, {0.2f, 0.2f, 0.9f}, 1, 0.6f},
+               {{0.25f, 0, -0.8f}, {0.25f, 0.03f, 0.25f}, 0, 0.2f},
+               {{0, 0, 1.05f}, {0.2f, 0.2f, 0.3f}, 2, 0.2f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f}}}},
+            // skateboard: deck / wheels / trucks
+            {3,
+             {{{{0, 0, 0}, {0.8f, 0.2f, 0.02f}, 0, 0.6f},
+               {{0.55f, 0.15f, -0.12f}, {0.07f, 0.04f, 0.07f}, 1, 0.25f},
+               {{0.55f, 0, -0.06f}, {0.12f, 0.1f, 0.03f}, 0, 0.15f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f}}}},
+            // table: top / legs
+            {2,
+             {{{{0, 0, 0.4f}, {0.8f, 0.55f, 0.05f}, 0, 0.65f},
+               {{0.65f, 0.45f, -0.2f}, {0.05f, 0.05f, 0.6f}, 1, 0.35f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f},
+               {{}, {}, 0, 0.0f}}}},
+        }};
+    return table;
+}
+
+Vec3
+samplePart(Pcg32 &rng, const PartSpec &part)
+{
+    Vec3 p;
+    switch (part.kind) {
+      case 0:
+        p = sampleBoxSurface(rng, part.extent);
+        break;
+      case 1:
+        p = sampleCylinderSurface(
+            rng, std::max(part.extent.x, part.extent.y),
+            2.0f * part.extent.z);
+        break;
+      case 2:
+        p = sampleConeSurface(rng, part.extent.x, 2.0f * part.extent.z);
+        break;
+      case 3:
+        p = sampleSphereSurface(rng, part.extent.x);
+        p.z *= part.extent.z / std::max(part.extent.x, 1e-6f);
+        break;
+      case 4:
+        p = sampleTorusSurface(rng, part.extent.x, part.extent.y);
+        break;
+      default:
+        fc_panic("unknown part kind %d", part.kind);
+    }
+    return p + part.offset;
+}
+
+} // namespace
+
+int
+shapeNetPartCount(int category)
+{
+    fc_assert(category >= 0 && category < kShapeNetNumCategories,
+              "category %d out of range", category);
+    return categoryTable()[static_cast<std::size_t>(category)].first;
+}
+
+std::string
+shapeNetCategoryName(int category)
+{
+    static const std::array<const char *, kShapeNetNumCategories> names = {
+        "airplane", "bag",    "cap",    "car",       "chair",
+        "earphone", "guitar", "knife",  "lamp",      "laptop",
+        "motorbike", "mug",   "pistol", "rocket",    "skateboard",
+        "table",
+    };
+    fc_assert(category >= 0 && category < kShapeNetNumCategories,
+              "category %d out of range", category);
+    return names[static_cast<std::size_t>(category)];
+}
+
+PointCloud
+makeShapeNetObject(int category, std::size_t num_points,
+                   std::uint64_t seed)
+{
+    const auto &entry =
+        categoryTable()[static_cast<std::size_t>(category)];
+    const int parts = entry.first;
+    const CategorySpec &spec = entry.second;
+
+    Pcg32 rng(seed, 0xabcdef1234567890ULL ^
+                        static_cast<std::uint64_t>(category));
+    PointCloud cloud;
+    cloud.coords().reserve(num_points);
+
+    float total_weight = 0.0f;
+    for (int k = 0; k < parts; ++k)
+        total_weight += spec[static_cast<std::size_t>(k)].weight;
+
+    // Mirror symmetric parts (wings, legs, wheels) across x.
+    for (std::size_t i = 0; i < num_points; ++i) {
+        float pick = rng.uniform(0.0f, total_weight);
+        int part = 0;
+        for (int k = 0; k < parts; ++k) {
+            const float w = spec[static_cast<std::size_t>(k)].weight;
+            if (pick < w) {
+                part = k;
+                break;
+            }
+            pick -= w;
+        }
+        Vec3 p = samplePart(rng, spec[static_cast<std::size_t>(part)]);
+        if (spec[static_cast<std::size_t>(part)].offset.x > 0.05f &&
+            rng.uniform() < 0.5f) {
+            p.x = -p.x;
+        }
+        p.x += rng.normal(0.0f, 0.004f);
+        p.y += rng.normal(0.0f, 0.004f);
+        p.z += rng.normal(0.0f, 0.004f);
+        cloud.addPoint(p, part);
+    }
+    cloud.normalizeToUnitSphere();
+    return cloud;
+}
+
+} // namespace fc::data

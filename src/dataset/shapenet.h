@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ShapeNet-Part-like procedural part-segmentation dataset.
+ *
+ * Objects are composites of 2-5 labelled parts (e.g. an "airplane" has
+ * body / wings / tail / engines). The per-point part label is the
+ * segmentation ground truth used by the accuracy proxy.
+ */
+
+#ifndef FC_DATASET_SHAPENET_H
+#define FC_DATASET_SHAPENET_H
+
+#include <cstdint>
+#include <string>
+
+#include "dataset/point_cloud.h"
+
+namespace fc::data {
+
+/** Number of object categories (real ShapeNet-Part has 16). */
+inline constexpr int kShapeNetNumCategories = 16;
+
+/** Maximum number of parts per category. */
+inline constexpr int kShapeNetMaxParts = 5;
+
+/** Number of parts for one category. */
+int shapeNetPartCount(int category);
+
+/** Category name. */
+std::string shapeNetCategoryName(int category);
+
+/**
+ * Generate one part-labelled object (labels in [0, partCount)).
+ *
+ * @param category   category in [0, kShapeNetNumCategories)
+ * @param num_points points per cloud (paper uses 2K)
+ * @param seed       instance seed
+ */
+PointCloud makeShapeNetObject(int category, std::size_t num_points,
+                              std::uint64_t seed);
+
+} // namespace fc::data
+
+#endif // FC_DATASET_SHAPENET_H

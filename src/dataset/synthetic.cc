@@ -1,0 +1,159 @@
+#include "dataset/synthetic.h"
+
+#include <cmath>
+
+namespace fc::data {
+
+namespace {
+constexpr float kTwoPi = 6.28318530717958647692f;
+} // namespace
+
+Vec3
+sampleSphereSurface(Pcg32 &rng, float radius)
+{
+    // Marsaglia: z uniform in [-1,1], angle uniform.
+    const float z = rng.uniform(-1.0f, 1.0f);
+    const float phi = rng.uniform(0.0f, kTwoPi);
+    const float r = std::sqrt(std::max(0.0f, 1.0f - z * z));
+    return {radius * r * std::cos(phi), radius * r * std::sin(phi),
+            radius * z};
+}
+
+Vec3
+sampleBall(Pcg32 &rng, float radius)
+{
+    const Vec3 dir = sampleSphereSurface(rng, 1.0f);
+    const float r = radius * std::cbrt(rng.uniform());
+    return dir * r;
+}
+
+Vec3
+sampleBoxSurface(Pcg32 &rng, const Vec3 &half_extent)
+{
+    // Pick a face with probability proportional to its area.
+    const float ax = half_extent.y * half_extent.z;
+    const float ay = half_extent.x * half_extent.z;
+    const float az = half_extent.x * half_extent.y;
+    const float total = 2.0f * (ax + ay + az);
+    float pick = rng.uniform(0.0f, total);
+    const float sign = rng.uniform() < 0.5f ? -1.0f : 1.0f;
+    const float u = rng.uniform(-1.0f, 1.0f);
+    const float v = rng.uniform(-1.0f, 1.0f);
+    if (pick < 2.0f * ax) {
+        return {sign * half_extent.x, u * half_extent.y,
+                v * half_extent.z};
+    }
+    pick -= 2.0f * ax;
+    if (pick < 2.0f * ay) {
+        return {u * half_extent.x, sign * half_extent.y,
+                v * half_extent.z};
+    }
+    return {u * half_extent.x, v * half_extent.y, sign * half_extent.z};
+}
+
+Vec3
+sampleCylinderSurface(Pcg32 &rng, float radius, float height)
+{
+    const float phi = rng.uniform(0.0f, kTwoPi);
+    const float z = rng.uniform(-0.5f, 0.5f) * height;
+    return {radius * std::cos(phi), radius * std::sin(phi), z};
+}
+
+Vec3
+sampleConeSurface(Pcg32 &rng, float radius, float height)
+{
+    // Area element grows linearly with distance from apex; sample
+    // sqrt-uniform in the slant parameter.
+    const float t = std::sqrt(rng.uniform());
+    const float phi = rng.uniform(0.0f, kTwoPi);
+    const float r = radius * t;
+    const float z = height * (0.5f - t); // apex at +height/2
+    return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+Vec3
+sampleTorusSurface(Pcg32 &rng, float major, float minor)
+{
+    // Rejection sampling for the non-uniform circumference weight.
+    for (;;) {
+        const float u = rng.uniform(0.0f, kTwoPi);
+        const float v = rng.uniform(0.0f, kTwoPi);
+        const float w = rng.uniform();
+        const float weight =
+            (major + minor * std::cos(v)) / (major + minor);
+        if (w <= weight) {
+            const float r = major + minor * std::cos(v);
+            return {r * std::cos(u), r * std::sin(u),
+                    minor * std::sin(v)};
+        }
+    }
+}
+
+Vec3
+samplePlanePatch(Pcg32 &rng, const Vec3 &origin, const Vec3 &u,
+                 const Vec3 &v)
+{
+    const float a = rng.uniform();
+    const float b = rng.uniform();
+    return origin + u * a + v * b;
+}
+
+Vec3
+sampleGaussianBlob(Pcg32 &rng, const Vec3 &center, float sigma)
+{
+    return {rng.normal(center.x, sigma), rng.normal(center.y, sigma),
+            rng.normal(center.z, sigma)};
+}
+
+PointCloud
+makeLidarFrame(Pcg32 &rng, std::size_t num_points,
+               std::size_t num_obstacles)
+{
+    PointCloud cloud;
+    cloud.coords().reserve(num_points);
+
+    struct Obstacle
+    {
+        Vec3 center;
+        Vec3 half;
+    };
+    std::vector<Obstacle> obstacles;
+    obstacles.reserve(num_obstacles);
+    for (std::size_t i = 0; i < num_obstacles; ++i) {
+        const float range = rng.uniform(4.0f, 40.0f);
+        const float theta = rng.uniform(0.0f, kTwoPi);
+        obstacles.push_back(
+            {{range * std::cos(theta), range * std::sin(theta),
+              rng.uniform(0.5f, 1.5f)},
+             {rng.uniform(0.4f, 2.5f), rng.uniform(0.4f, 2.5f),
+              rng.uniform(0.5f, 1.8f)}});
+    }
+
+    // 60% of the budget goes to ground returns whose density decays
+    // with range (1/r sampling), 40% to obstacle surfaces. Labels:
+    // 0 = ground, 1..num_obstacles = obstacle ids.
+    const std::size_t ground_n = num_points * 3 / 5;
+    for (std::size_t i = 0; i < ground_n; ++i) {
+        const float r = 2.0f + 58.0f * rng.uniform() * rng.uniform();
+        const float theta = rng.uniform(0.0f, kTwoPi);
+        cloud.addPoint({r * std::cos(theta), r * std::sin(theta),
+                        rng.normal(0.0f, 0.02f)},
+                       0);
+    }
+    const std::size_t obs_n = num_points - ground_n;
+    for (std::size_t i = 0; i < obs_n; ++i) {
+        const std::size_t k =
+            obstacles.empty() ? 0 : rng.bounded(static_cast<std::uint32_t>(
+                                        obstacles.size()));
+        if (obstacles.empty()) {
+            cloud.addPoint({0, 0, 0}, 0);
+            continue;
+        }
+        const Obstacle &ob = obstacles[k];
+        const Vec3 p = sampleBoxSurface(rng, ob.half) + ob.center;
+        cloud.addPoint(p, static_cast<std::int32_t>(k + 1));
+    }
+    return cloud;
+}
+
+} // namespace fc::data

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Procedural point-sampling primitives used to build the synthetic
+ * datasets (DESIGN.md §4, substitution 1).
+ *
+ * All samplers draw from a caller-provided Pcg32 so composite scenes
+ * are deterministic.
+ */
+
+#ifndef FC_DATASET_SYNTHETIC_H
+#define FC_DATASET_SYNTHETIC_H
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "dataset/point_cloud.h"
+
+namespace fc::data {
+
+/** Uniform sample on a sphere surface of given radius. */
+Vec3 sampleSphereSurface(Pcg32 &rng, float radius);
+
+/** Uniform sample inside a solid ball. */
+Vec3 sampleBall(Pcg32 &rng, float radius);
+
+/** Uniform sample on the surface of an axis-aligned box. */
+Vec3 sampleBoxSurface(Pcg32 &rng, const Vec3 &half_extent);
+
+/** Uniform sample on a cylinder side surface (axis = z). */
+Vec3 sampleCylinderSurface(Pcg32 &rng, float radius, float height);
+
+/** Uniform sample on a cone side surface (apex up, axis = z). */
+Vec3 sampleConeSurface(Pcg32 &rng, float radius, float height);
+
+/** Uniform sample on a torus surface (major/minor radii, axis = z). */
+Vec3 sampleTorusSurface(Pcg32 &rng, float major, float minor);
+
+/** Uniform sample on an axis-aligned rectangle in a given plane. */
+Vec3 samplePlanePatch(Pcg32 &rng, const Vec3 &origin, const Vec3 &u,
+                      const Vec3 &v);
+
+/** Gaussian blob around a centre. */
+Vec3 sampleGaussianBlob(Pcg32 &rng, const Vec3 &center, float sigma);
+
+/**
+ * Append @p n samples drawn by @p sampler-like callables to a cloud
+ * with an optional label.
+ */
+template <typename Sampler>
+void
+appendSamples(PointCloud &cloud, std::size_t n, std::int32_t label,
+              Sampler &&sampler)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        cloud.addPoint(sampler(), label);
+}
+
+/**
+ * Simulated spinning-LiDAR frame: points on concentric elevation rings
+ * intersected with a synthetic ground plane and random obstacles.
+ * Mirrors the 30K-300K points/frame regime of automotive sensors
+ * (paper §I). Density falls off with range, as for a real scanner.
+ *
+ * @param rng          seeded generator
+ * @param num_points   approximate output size
+ * @param num_obstacles number of box-like obstacles in the scene
+ */
+PointCloud makeLidarFrame(Pcg32 &rng, std::size_t num_points,
+                          std::size_t num_obstacles = 12);
+
+} // namespace fc::data
+
+#endif // FC_DATASET_SYNTHETIC_H

@@ -1,0 +1,142 @@
+#include "nn/classifier.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fc::nn {
+
+void
+NearestCentroid::fit(const std::vector<float> &features, std::size_t dim,
+                     const std::vector<int> &labels, int num_classes)
+{
+    fc_assert(dim > 0, "feature dim must be positive");
+    fc_assert(num_classes > 0, "need at least one class");
+    fc_assert(features.size() == labels.size() * dim,
+              "feature matrix shape mismatch (%zu values, %zu labels, "
+              "dim %zu)",
+              features.size(), labels.size(), dim);
+
+    dim_ = dim;
+    num_classes_ = num_classes;
+    centroids_.assign(static_cast<std::size_t>(num_classes) * dim, 0.0f);
+    seen_.assign(static_cast<std::size_t>(num_classes), false);
+    std::vector<std::size_t> counts(
+        static_cast<std::size_t>(num_classes), 0);
+
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        const int y = labels[i];
+        fc_assert(y >= 0 && y < num_classes, "label %d out of range", y);
+        float *centroid =
+            centroids_.data() + static_cast<std::size_t>(y) * dim;
+        const float *row = features.data() + i * dim;
+        for (std::size_t c = 0; c < dim; ++c)
+            centroid[c] += row[c];
+        ++counts[static_cast<std::size_t>(y)];
+        seen_[static_cast<std::size_t>(y)] = true;
+    }
+
+    for (int y = 0; y < num_classes; ++y) {
+        if (counts[static_cast<std::size_t>(y)] == 0)
+            continue;
+        float *centroid =
+            centroids_.data() + static_cast<std::size_t>(y) * dim;
+        double norm2 = 0.0;
+        for (std::size_t c = 0; c < dim; ++c)
+            norm2 += static_cast<double>(centroid[c]) * centroid[c];
+        const float inv =
+            norm2 > 0.0
+                ? static_cast<float>(1.0 / std::sqrt(norm2))
+                : 0.0f;
+        for (std::size_t c = 0; c < dim; ++c)
+            centroid[c] *= inv;
+    }
+}
+
+int
+NearestCentroid::predict(std::span<const float> feature) const
+{
+    fc_assert(feature.size() == dim_, "feature dim %zu != %zu",
+              feature.size(), dim_);
+    double norm2 = 0.0;
+    for (const float v : feature)
+        norm2 += static_cast<double>(v) * v;
+    const double inv = norm2 > 0.0 ? 1.0 / std::sqrt(norm2) : 0.0;
+
+    int best_class = 0;
+    double best_score = -2.0;
+    for (int y = 0; y < num_classes_; ++y) {
+        if (!seen_[static_cast<std::size_t>(y)])
+            continue;
+        const float *centroid =
+            centroids_.data() + static_cast<std::size_t>(y) * dim_;
+        double dot = 0.0;
+        for (std::size_t c = 0; c < dim_; ++c)
+            dot += static_cast<double>(centroid[c]) * feature[c] * inv;
+        if (dot > best_score) {
+            best_score = dot;
+            best_class = y;
+        }
+    }
+    return best_class;
+}
+
+double
+overallAccuracy(const std::vector<int> &predictions,
+                const std::vector<int> &labels)
+{
+    fc_assert(predictions.size() == labels.size(),
+              "prediction/label size mismatch");
+    if (predictions.empty())
+        return 0.0;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < predictions.size(); ++i)
+        hits += predictions[i] == labels[i];
+    return static_cast<double>(hits) /
+           static_cast<double>(predictions.size());
+}
+
+double
+meanIoU(const std::vector<int> &predictions,
+        const std::vector<int> &labels, int num_classes)
+{
+    fc_assert(predictions.size() == labels.size(),
+              "prediction/label size mismatch");
+    fc_assert(num_classes > 0, "need classes");
+    std::vector<std::uint64_t> inter(
+        static_cast<std::size_t>(num_classes), 0);
+    std::vector<std::uint64_t> uni(static_cast<std::size_t>(num_classes),
+                                   0);
+    std::vector<bool> present(static_cast<std::size_t>(num_classes),
+                              false);
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+        const int p = predictions[i];
+        const int y = labels[i];
+        if (y >= 0 && y < num_classes)
+            present[static_cast<std::size_t>(y)] = true;
+        if (p == y) {
+            ++inter[static_cast<std::size_t>(y)];
+            ++uni[static_cast<std::size_t>(y)];
+        } else {
+            if (p >= 0 && p < num_classes)
+                ++uni[static_cast<std::size_t>(p)];
+            if (y >= 0 && y < num_classes)
+                ++uni[static_cast<std::size_t>(y)];
+        }
+    }
+    double sum = 0.0;
+    int counted = 0;
+    for (int y = 0; y < num_classes; ++y) {
+        if (!present[static_cast<std::size_t>(y)])
+            continue;
+        const std::uint64_t u = uni[static_cast<std::size_t>(y)];
+        sum += u == 0 ? 0.0
+                      : static_cast<double>(
+                            inter[static_cast<std::size_t>(y)]) /
+                            static_cast<double>(u);
+        ++counted;
+    }
+    return counted == 0 ? 0.0 : sum / counted;
+}
+
+} // namespace fc::nn

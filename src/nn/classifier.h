@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Nearest-centroid heads for the accuracy proxy (DESIGN.md §4.2).
+ *
+ * With fixed network weights, a nearest-centroid classifier over the
+ * network's embeddings measures how much discriminative information
+ * each point-operation pipeline preserves: degraded sampling or
+ * grouping perturbs embeddings and lowers accuracy, reproducing the
+ * paper's accuracy ordering without a training loop.
+ */
+
+#ifndef FC_NN_CLASSIFIER_H
+#define FC_NN_CLASSIFIER_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fc::nn {
+
+/** Cosine-distance nearest-centroid classifier. */
+class NearestCentroid
+{
+  public:
+    /**
+     * Fit per-class centroids.
+     *
+     * @param features    row-major [n x dim]
+     * @param dim         feature dimension
+     * @param labels      n class labels in [0, num_classes)
+     * @param num_classes class count
+     */
+    void fit(const std::vector<float> &features, std::size_t dim,
+             const std::vector<int> &labels, int num_classes);
+
+    /** Predict the class of one feature row. */
+    int predict(std::span<const float> feature) const;
+
+    std::size_t dim() const { return dim_; }
+    int numClasses() const { return num_classes_; }
+
+  private:
+    std::size_t dim_ = 0;
+    int num_classes_ = 0;
+    std::vector<float> centroids_; ///< [num_classes x dim], L2-normed
+    std::vector<bool> seen_;       ///< classes with >=1 training row
+};
+
+/** Overall accuracy (the paper's OA metric). */
+double overallAccuracy(const std::vector<int> &predictions,
+                       const std::vector<int> &labels);
+
+/** Mean intersection-over-union (the paper's mIoU metric). */
+double meanIoU(const std::vector<int> &predictions,
+               const std::vector<int> &labels, int num_classes);
+
+} // namespace fc::nn
+
+#endif // FC_NN_CLASSIFIER_H

@@ -1,0 +1,130 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fc::nn {
+
+LinearRelu::LinearRelu(std::size_t in, std::size_t out,
+                       std::uint64_t seed, bool relu)
+    : in_(in), out_(out), relu_(relu), weights_(out, in),
+      bias_(out, 0.0f)
+{
+    fc_assert(in > 0 && out > 0, "degenerate layer %zux%zu", in, out);
+    Pcg32 rng(seed, 0x2545f4914f6cdd1dULL);
+    const float scale =
+        std::sqrt(2.0f / static_cast<float>(in)); // He init
+    for (std::size_t o = 0; o < out; ++o)
+        for (std::size_t i = 0; i < in; ++i)
+            weights_.at(o, i) = rng.normal(0.0f, scale);
+    for (std::size_t o = 0; o < out; ++o)
+        bias_[o] = rng.normal(0.0f, 0.01f);
+    weights_.quantizeFp16();
+}
+
+Tensor
+LinearRelu::forward(const Tensor &x) const
+{
+    fc_assert(x.cols() == in_, "layer expects %zu channels, got %zu",
+              in_, x.cols());
+    Tensor y(x.rows(), out_);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const auto xin = x.row(r);
+        auto yout = y.row(r);
+        for (std::size_t o = 0; o < out_; ++o) {
+            // fp32 accumulation over fp16 operands, as in the PE
+            // array.
+            float acc = bias_[o];
+            const auto w = weights_.row(o);
+            for (std::size_t i = 0; i < in_; ++i)
+                acc += w[i] * xin[i];
+            if (relu_ && acc < 0.0f)
+                acc = 0.0f;
+            yout[o] = fp16Round(acc);
+        }
+    }
+    return y;
+}
+
+Mlp::Mlp(const std::vector<std::size_t> &widths, std::uint64_t seed)
+{
+    fc_assert(widths.size() >= 2, "MLP needs at least in/out widths");
+    layers_.reserve(widths.size() - 1);
+    for (std::size_t i = 0; i + 1 < widths.size(); ++i)
+        layers_.emplace_back(widths[i], widths[i + 1], seed + i);
+}
+
+Tensor
+Mlp::forward(const Tensor &x) const
+{
+    fc_assert(!layers_.empty(), "forward through empty MLP");
+    Tensor cur = layers_.front().forward(x);
+    for (std::size_t i = 1; i < layers_.size(); ++i)
+        cur = layers_[i].forward(cur);
+    return cur;
+}
+
+std::size_t
+Mlp::inDim() const
+{
+    fc_assert(!layers_.empty(), "empty MLP");
+    return layers_.front().inDim();
+}
+
+std::size_t
+Mlp::outDim() const
+{
+    fc_assert(!layers_.empty(), "empty MLP");
+    return layers_.back().outDim();
+}
+
+std::uint64_t
+Mlp::macs(std::uint64_t rows) const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer.macs(rows);
+    return total;
+}
+
+Tensor
+maxPoolGroups(const Tensor &x, std::size_t group_size)
+{
+    fc_assert(group_size > 0, "group size must be positive");
+    fc_assert(x.rows() % group_size == 0,
+              "rows %zu not a multiple of group size %zu", x.rows(),
+              group_size);
+    const std::size_t groups = x.rows() / group_size;
+    Tensor y(groups, x.cols());
+    for (std::size_t g = 0; g < groups; ++g) {
+        auto out = y.row(g);
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            out[c] = x.at(g * group_size, c);
+        for (std::size_t j = 1; j < group_size; ++j) {
+            const auto in = x.row(g * group_size + j);
+            for (std::size_t c = 0; c < x.cols(); ++c)
+                out[c] = std::max(out[c], in[c]);
+        }
+    }
+    return y;
+}
+
+Tensor
+globalMaxPool(const Tensor &x)
+{
+    fc_assert(x.rows() > 0, "global pool over empty tensor");
+    Tensor y(1, x.cols());
+    auto out = y.row(0);
+    for (std::size_t c = 0; c < x.cols(); ++c)
+        out[c] = x.at(0, c);
+    for (std::size_t r = 1; r < x.rows(); ++r) {
+        const auto in = x.row(r);
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            out[c] = std::max(out[c], in[c]);
+    }
+    return y;
+}
+
+} // namespace fc::nn

@@ -1,0 +1,194 @@
+#include "nn/models.h"
+
+#include "common/logging.h"
+
+namespace fc::nn {
+
+std::string
+taskName(Task task)
+{
+    switch (task) {
+      case Task::Classification:
+        return "classification";
+      case Task::PartSegmentation:
+        return "part segmentation";
+      case Task::SemanticSegmentation:
+        return "semantic segmentation";
+    }
+    fc_panic("unknown task");
+}
+
+ModelConfig
+pointNet2Classification()
+{
+    // PointNet++ SSG (Qi et al. 2017), ModelNet40 @ 1K points.
+    ModelConfig m;
+    m.name = "PN++ (c)";
+    m.long_name = "PointNet++ classification";
+    m.task = Task::Classification;
+    m.sa = {
+        {0.5, 0.2f, 32, {64, 64, 128}},
+        {0.25, 0.4f, 64, {128, 128, 256}},
+    };
+    m.head = {256, 512, 1024, 512, 256};
+    m.num_classes = 40;
+    return m;
+}
+
+ModelConfig
+pointNeXtClassification()
+{
+    // PointNeXt-S (Qian et al. 2022): 4 stages, stride-4 sampling.
+    ModelConfig m;
+    m.name = "PNXt (c)";
+    m.long_name = "PointNeXt classification";
+    m.task = Task::Classification;
+    m.sa = {
+        {0.25, 0.15f, 32, {64, 64}},
+        {0.25, 0.3f, 32, {128, 128}},
+        {0.25, 0.6f, 32, {256, 256}},
+        {0.25, 1.2f, 32, {512, 512}},
+    };
+    m.head = {512, 512, 256};
+    m.num_classes = 40;
+    return m;
+}
+
+ModelConfig
+pointNet2PartSeg()
+{
+    // PointNet++ part segmentation, ShapeNet @ 2K points.
+    ModelConfig m;
+    m.name = "PN++ (ps)";
+    m.long_name = "PointNet++ part segmentation";
+    m.task = Task::PartSegmentation;
+    m.sa = {
+        {0.25, 0.2f, 32, {64, 64, 128}},
+        {0.25, 0.4f, 64, {128, 128, 256}},
+    };
+    m.fp = {
+        {{256, 256}},
+        {{256, 128}},
+    };
+    m.head = {128, 128};
+    m.num_classes = 5; // max parts per category
+    return m;
+}
+
+ModelConfig
+pointNeXtPartSeg()
+{
+    ModelConfig m;
+    m.name = "PNXt (ps)";
+    m.long_name = "PointNeXt part segmentation";
+    m.task = Task::PartSegmentation;
+    m.sa = {
+        {0.25, 0.15f, 32, {64, 64}},
+        {0.25, 0.3f, 32, {128, 128}},
+        {0.25, 0.6f, 32, {256, 256}},
+    };
+    m.fp = {
+        {{256, 256}},
+        {{256, 128}},
+        {{128, 128}},
+    };
+    m.head = {128, 64};
+    m.num_classes = 5;
+    return m;
+}
+
+ModelConfig
+pointNet2SemSeg()
+{
+    // PointNet++ semantic segmentation, S3DIS.
+    ModelConfig m;
+    m.name = "PN++ (s)";
+    m.long_name = "PointNet++ semantic segmentation";
+    m.task = Task::SemanticSegmentation;
+    m.sa = {
+        {0.25, 0.1f, 32, {32, 32, 64}},
+        {0.25, 0.2f, 32, {64, 64, 128}},
+        {0.25, 0.4f, 32, {128, 128, 256}},
+        {0.25, 0.8f, 32, {256, 256, 512}},
+    };
+    m.fp = {
+        {{256, 256}},
+        {{256, 256}},
+        {{256, 128}},
+        {{128, 128, 128}},
+    };
+    m.head = {128, 64};
+    m.num_classes = 13;
+    return m;
+}
+
+ModelConfig
+pointNeXtSemSeg()
+{
+    // PointNeXt-S semantic segmentation.
+    ModelConfig m;
+    m.name = "PNXt (s)";
+    m.long_name = "PointNeXt semantic segmentation";
+    m.task = Task::SemanticSegmentation;
+    m.sa = {
+        {0.25, 0.1f, 32, {64, 64}},
+        {0.25, 0.2f, 32, {128, 128}},
+        {0.25, 0.4f, 32, {256, 256}},
+        {0.25, 0.8f, 32, {512, 512}},
+    };
+    m.fp = {
+        {{256, 256}},
+        {{256, 256}},
+        {{128, 128}},
+        {{64, 64}},
+    };
+    m.head = {64, 32};
+    m.num_classes = 13;
+    return m;
+}
+
+ModelConfig
+pointVectorSemSeg()
+{
+    // PointVector-L: vector representation, wider channels.
+    ModelConfig m;
+    m.name = "PVr (s)";
+    m.long_name = "PointVector semantic segmentation";
+    m.task = Task::SemanticSegmentation;
+    m.sa = {
+        {0.25, 0.1f, 32, {96, 96}},
+        {0.25, 0.2f, 32, {192, 192}},
+        {0.25, 0.4f, 32, {384, 384}},
+        {0.25, 0.8f, 32, {768, 768}},
+    };
+    m.fp = {
+        {{384, 384}},
+        {{384, 192}},
+        {{192, 96}},
+        {{96, 96}},
+    };
+    m.head = {96, 48};
+    m.num_classes = 13;
+    return m;
+}
+
+std::vector<ModelConfig>
+allModels()
+{
+    return {
+        pointNet2Classification(), pointNeXtClassification(),
+        pointNet2PartSeg(),        pointNeXtPartSeg(),
+        pointNet2SemSeg(),         pointNeXtSemSeg(),
+        pointVectorSemSeg(),
+    };
+}
+
+ModelConfig
+scaledRadii(ModelConfig config, float factor)
+{
+    for (auto &stage : config.sa)
+        stage.radius *= factor;
+    return config;
+}
+
+} // namespace fc::nn

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The evaluated network zoo (paper Table I): PointNet++, PointNeXt,
+ * and PointVector on classification, part segmentation, and semantic
+ * segmentation. Stage shapes (sampling rates, radii, neighbor counts,
+ * MLP widths) follow the published configurations of each network.
+ */
+
+#ifndef FC_NN_MODELS_H
+#define FC_NN_MODELS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fc::nn {
+
+enum class Task
+{
+    Classification,
+    PartSegmentation,
+    SemanticSegmentation,
+};
+
+std::string taskName(Task task);
+
+/** One set-abstraction stage. */
+struct SaStageConfig
+{
+    /** Fraction of incoming points kept by sampling. */
+    double sample_rate = 0.25;
+
+    /** Ball-query radius (scene units). */
+    float radius = 0.2f;
+
+    /** Neighbors per center. */
+    std::size_t k = 32;
+
+    /** MLP widths applied per gathered point (excluding input dim). */
+    std::vector<std::size_t> mlp;
+};
+
+/** One feature-propagation (interpolation) stage. */
+struct FpStageConfig
+{
+    /** MLP widths applied after interpolation (excluding input dim). */
+    std::vector<std::size_t> mlp;
+};
+
+/** A full network. */
+struct ModelConfig
+{
+    std::string name;     ///< e.g. "PNXt (s)"
+    std::string long_name; ///< e.g. "PointNeXt semantic segmentation"
+    Task task = Task::Classification;
+
+    std::vector<SaStageConfig> sa;
+
+    /** Propagation stages (segmentation only), coarse-to-fine. */
+    std::vector<FpStageConfig> fp;
+
+    /** Head MLP widths (after global pool for classification). */
+    std::vector<std::size_t> head;
+
+    int num_classes = 40;
+
+    /** Input feature channels in addition to xyz (0 = coords only). */
+    std::size_t input_channels = 0;
+
+    bool isSegmentation() const { return !fp.empty(); }
+};
+
+/** Table I rows. */
+ModelConfig pointNet2Classification();
+ModelConfig pointNeXtClassification();
+ModelConfig pointNet2PartSeg();
+ModelConfig pointNeXtPartSeg();
+ModelConfig pointNet2SemSeg();
+ModelConfig pointNeXtSemSeg();
+ModelConfig pointVectorSemSeg();
+
+/** All seven workloads of Table I, in the paper's order. */
+std::vector<ModelConfig> allModels();
+
+/** Scale every radius by @p factor (scene-size adaptation). */
+ModelConfig scaledRadii(ModelConfig config, float factor);
+
+} // namespace fc::nn
+
+#endif // FC_NN_MODELS_H

@@ -1,0 +1,351 @@
+#include "nn/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "ops/gather.h"
+#include "ops/interpolate.h"
+#include "ops/neighbor.h"
+
+namespace fc::nn {
+
+namespace {
+
+/** Features of one abstraction level. */
+struct Level
+{
+    data::PointCloud cloud;                ///< coordinates at this level
+    Tensor features;                       ///< [n x c]
+    std::vector<PointIdx> parent_indices;  ///< into the previous level
+};
+
+/** Copy a gather result into a tensor [centers*k x channels]. */
+Tensor
+gatherToTensor(const ops::GatherResult &gathered)
+{
+    Tensor t(gathered.num_centers * gathered.k, gathered.channels,
+             gathered.values);
+    return t;
+}
+
+} // namespace
+
+ops::BlockSampleResult
+makeBlockSample(const part::BlockTree &tree,
+                const std::vector<PointIdx> &indices)
+{
+    ops::BlockSampleResult result;
+
+    std::vector<std::uint32_t> inverse(tree.order().size());
+    for (std::uint32_t pos = 0;
+         pos < static_cast<std::uint32_t>(tree.order().size()); ++pos)
+        inverse[tree.order()[pos]] = pos;
+
+    // Sort samples by DFT position: leaves are contiguous ranges, so
+    // the sorted list is automatically grouped by leaf.
+    std::vector<std::uint32_t> positions;
+    positions.reserve(indices.size());
+    for (const PointIdx idx : indices)
+        positions.push_back(inverse[idx]);
+    std::sort(positions.begin(), positions.end());
+
+    result.positions = positions;
+    result.indices.reserve(positions.size());
+    for (const std::uint32_t pos : positions)
+        result.indices.push_back(tree.order()[pos]);
+
+    // Leaf offsets via a scan over leaves.
+    const auto &leaves = tree.leaves();
+    result.leaf_offsets.reserve(leaves.size() + 1);
+    std::size_t cursor = 0;
+    result.leaf_offsets.push_back(0);
+    for (const part::NodeIdx leaf : leaves) {
+        const part::BlockNode &node = tree.node(leaf);
+        while (cursor < positions.size() &&
+               positions[cursor] < node.end)
+            ++cursor;
+        result.leaf_offsets.push_back(
+            static_cast<std::uint32_t>(cursor));
+    }
+    return result;
+}
+
+Network::Network(ModelConfig config, std::uint64_t seed)
+    : config_(std::move(config)), headMlp_()
+{
+    // Channel bookkeeping. Initial per-point features are the raw
+    // coordinates (3 channels) plus any dataset channels.
+    std::size_t channels = 3 + config_.input_channels;
+    levelChannels_.push_back(channels);
+    std::uint64_t layer_seed = seed * 7919ULL;
+
+    for (std::size_t i = 0; i < config_.sa.size(); ++i) {
+        const SaStageConfig &stage = config_.sa[i];
+        fc_assert(!stage.mlp.empty(), "SA stage %zu has empty MLP", i);
+        std::vector<std::size_t> widths;
+        widths.push_back(3 + channels); // rel. coords + features
+        widths.insert(widths.end(), stage.mlp.begin(), stage.mlp.end());
+        saMlps_.emplace_back(widths, layer_seed);
+        layer_seed += 101;
+        channels = stage.mlp.back();
+        levelChannels_.push_back(channels);
+    }
+
+    if (config_.isSegmentation()) {
+        fc_assert(config_.fp.size() == config_.sa.size(),
+                  "FP stage count %zu != SA stage count %zu",
+                  config_.fp.size(), config_.sa.size());
+        std::size_t cur = channels;
+        for (std::size_t i = 0; i < config_.fp.size(); ++i) {
+            const std::size_t skip_c =
+                levelChannels_[config_.sa.size() - 1 - i];
+            std::vector<std::size_t> widths;
+            widths.push_back(cur + skip_c);
+            widths.insert(widths.end(), config_.fp[i].mlp.begin(),
+                          config_.fp[i].mlp.end());
+            fpMlps_.emplace_back(widths, layer_seed);
+            layer_seed += 101;
+            cur = config_.fp[i].mlp.back();
+        }
+        channels = cur;
+    }
+
+    if (!config_.head.empty()) {
+        std::vector<std::size_t> widths;
+        widths.push_back(channels);
+        widths.insert(widths.end(), config_.head.begin(),
+                      config_.head.end());
+        headMlp_ = Mlp(widths, layer_seed);
+    }
+}
+
+std::size_t
+Network::outputDim() const
+{
+    if (!config_.head.empty())
+        return config_.head.back();
+    if (config_.isSegmentation())
+        return config_.fp.back().mlp.back();
+    return config_.sa.back().mlp.back();
+}
+
+InferenceResult
+Network::run(const data::PointCloud &cloud,
+             const BackendOptions &backend) const
+{
+    fc_assert(!cloud.empty(), "inference over empty cloud");
+    InferenceResult result;
+
+    const bool use_blocks = backend.anyBlockOp();
+    std::unique_ptr<part::Partitioner> partitioner;
+    if (use_blocks)
+        partitioner = part::makePartitioner(backend.method);
+    part::PartitionConfig pconfig;
+    pconfig.threshold = backend.threshold;
+
+    // ---- Abstraction stages -------------------------------------------
+    std::vector<Level> levels;
+    {
+        Level base;
+        base.cloud = cloud;
+        base.features = Tensor(cloud.size(), 3 + config_.input_channels);
+        for (std::size_t i = 0; i < cloud.size(); ++i) {
+            auto row = base.features.row(i);
+            row[0] = cloud[i].x;
+            row[1] = cloud[i].y;
+            row[2] = cloud[i].z;
+            for (std::size_t c = 0; c < config_.input_channels; ++c)
+                row[3 + c] = cloud.featureRow(i)[c];
+        }
+        base.features.quantizeFp16();
+        levels.push_back(std::move(base));
+    }
+
+    // Per-level partitions, kept for the propagation pass.
+    std::vector<part::PartitionResult> partitions(config_.sa.size());
+
+    for (std::size_t si = 0; si < config_.sa.size(); ++si) {
+        const SaStageConfig &stage = config_.sa[si];
+        Level &cur = levels.back();
+        const std::size_t n = cur.cloud.size();
+        const std::size_t num_samples = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::llround(stage.sample_rate *
+                                static_cast<double>(n))));
+
+        if (use_blocks) {
+            partitions[si] =
+                partitioner->partition(cur.cloud, pconfig);
+            result.partition_stats.elements_traversed +=
+                partitions[si].stats.elements_traversed;
+            result.partition_stats.num_sorts +=
+                partitions[si].stats.num_sorts;
+            result.partition_stats.sort_compares +=
+                partitions[si].stats.sort_compares;
+            result.partition_stats.traversal_passes +=
+                partitions[si].stats.traversal_passes;
+            result.partition_stats.num_splits +=
+                partitions[si].stats.num_splits;
+        }
+
+        // --- Sampling ---------------------------------------------------
+        std::vector<PointIdx> sampled;
+        ops::BlockSampleResult block_sampled;
+        if (use_blocks && backend.block_sampling) {
+            ops::FpsOptions fps;
+            fps.fixed_count_per_block =
+                backend.fixed_count_sampling ||
+                backend.method == part::Method::Uniform;
+            block_sampled = ops::blockFarthestPointSample(
+                cur.cloud, partitions[si].tree, stage.sample_rate,
+                fps);
+            sampled = block_sampled.indices;
+            result.op_stats += block_sampled.stats;
+        } else {
+            ops::SampleResult s =
+                ops::farthestPointSample(cur.cloud, num_samples);
+            sampled = std::move(s.indices);
+            result.op_stats += s.stats;
+            if (use_blocks && backend.block_grouping) {
+                block_sampled =
+                    makeBlockSample(partitions[si].tree, sampled);
+                sampled = block_sampled.indices;
+            }
+        }
+
+        // --- Grouping (ball query) ---------------------------------------
+        ops::NeighborResult neighbors;
+        if (use_blocks && backend.block_grouping) {
+            if (block_sampled.indices.empty())
+                block_sampled =
+                    makeBlockSample(partitions[si].tree, sampled);
+            neighbors = ops::blockBallQuery(
+                cur.cloud, partitions[si].tree, block_sampled,
+                stage.radius, stage.k);
+        } else {
+            neighbors = ops::ballQuery(cur.cloud, sampled, stage.radius,
+                                       stage.k);
+        }
+        result.op_stats += neighbors.stats;
+
+        // --- Gathering ----------------------------------------------------
+        // Attach current features to the cloud for gathering.
+        data::PointCloud feat_cloud = cur.cloud;
+        feat_cloud.allocateFeatures(cur.features.cols());
+        std::copy(cur.features.data().begin(),
+                  cur.features.data().end(),
+                  feat_cloud.features().begin());
+
+        ops::GatherResult gathered;
+        if (use_blocks && backend.block_grouping) {
+            gathered = ops::blockGatherNeighborhoods(
+                feat_cloud, partitions[si].tree, sampled,
+                block_sampled.leaf_offsets, neighbors);
+        } else {
+            gathered =
+                ops::gatherNeighborhoods(feat_cloud, sampled, neighbors);
+        }
+        result.op_stats += gathered.stats;
+
+        // --- Feature computation: MLP + max pool -------------------------
+        Tensor grouped = gatherToTensor(gathered);
+        grouped.quantizeFp16();
+        Tensor transformed = saMlps_[si].forward(grouped);
+        result.total_macs += saMlps_[si].macs(grouped.rows());
+        Tensor pooled = maxPoolGroups(transformed, stage.k);
+
+        Level next;
+        next.cloud = cur.cloud.subset(sampled);
+        next.features = std::move(pooled);
+        next.parent_indices = std::move(sampled);
+        levels.push_back(std::move(next));
+    }
+
+    // ---- Readout -------------------------------------------------------
+    if (!config_.isSegmentation()) {
+        Tensor pooled = globalMaxPool(levels.back().features);
+        if (!config_.head.empty()) {
+            result.embedding = headMlp_.forward(pooled);
+            result.total_macs += headMlp_.macs(1);
+        } else {
+            result.embedding = std::move(pooled);
+        }
+        return result;
+    }
+
+    // ---- Propagation stages ---------------------------------------------
+    Tensor coarse = levels.back().features;
+    for (std::size_t fi = 0; fi < config_.fp.size(); ++fi) {
+        const std::size_t level_idx = config_.sa.size() - fi; // coarse
+        const Level &coarse_level = levels[level_idx];
+        const Level &fine_level = levels[level_idx - 1];
+
+        // Interpolate coarse features onto the fine points.
+        ops::InterpolateResult interp;
+        if (use_blocks && backend.block_interpolation) {
+            const part::BlockTree &tree =
+                partitions[level_idx - 1].tree;
+            ops::BlockSampleResult known =
+                makeBlockSample(tree, coarse_level.parent_indices);
+            // Reorder the coarse feature rows to match the reordered
+            // sample list.
+            std::vector<float> known_feats(known.indices.size() *
+                                           coarse.cols());
+            // Map parent index -> coarse feature row.
+            std::vector<std::int64_t> row_of(
+                fine_level.cloud.size(), -1);
+            for (std::size_t r = 0;
+                 r < coarse_level.parent_indices.size(); ++r)
+                row_of[coarse_level.parent_indices[r]] =
+                    static_cast<std::int64_t>(r);
+            for (std::size_t i = 0; i < known.indices.size(); ++i) {
+                const std::int64_t r = row_of[known.indices[i]];
+                fc_assert(r >= 0, "sample %u missing coarse feature",
+                          known.indices[i]);
+                std::copy(
+                    coarse.row(static_cast<std::size_t>(r)).begin(),
+                    coarse.row(static_cast<std::size_t>(r)).end(),
+                    known_feats.begin() + i * coarse.cols());
+            }
+            interp = ops::blockInterpolate(fine_level.cloud, tree,
+                                           known, known_feats,
+                                           coarse.cols());
+        } else {
+            interp = ops::globalInterpolate(
+                fine_level.cloud, coarse.data(), coarse.cols(),
+                coarse_level.parent_indices);
+        }
+        result.op_stats += interp.stats;
+
+        // Concat with the fine level's skip features and apply MLP.
+        const std::size_t fine_c = fine_level.features.cols();
+        Tensor merged(fine_level.cloud.size(),
+                      coarse.cols() + fine_c);
+        for (std::size_t i = 0; i < fine_level.cloud.size(); ++i) {
+            auto out = merged.row(i);
+            const float *src = interp.values.data() + i * coarse.cols();
+            for (std::size_t c = 0; c < coarse.cols(); ++c)
+                out[c] = src[c];
+            const auto skip = fine_level.features.row(i);
+            for (std::size_t c = 0; c < fine_c; ++c)
+                out[coarse.cols() + c] = skip[c];
+        }
+        merged.quantizeFp16();
+        coarse = fpMlps_[fi].forward(merged);
+        result.total_macs += fpMlps_[fi].macs(merged.rows());
+    }
+
+    if (!config_.head.empty()) {
+        result.point_features = headMlp_.forward(coarse);
+        result.total_macs += headMlp_.macs(coarse.rows());
+    } else {
+        result.point_features = std::move(coarse);
+    }
+    // Segmentation embedding: global pool of the point features (used
+    // by scene-level diagnostics).
+    result.embedding = globalMaxPool(result.point_features);
+    return result;
+}
+
+} // namespace fc::nn

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal dense 2D tensor for the PNN substrate.
+ *
+ * Row-major float storage; the quantize() helper rounds every element
+ * through IEEE binary16 to model the fp16 datapath of the accelerator
+ * (weights and activations are fp16, accumulation fp32).
+ */
+
+#ifndef FC_NN_TENSOR_H
+#define FC_NN_TENSOR_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/fp16.h"
+#include "common/logging.h"
+
+namespace fc::nn {
+
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    Tensor(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {}
+
+    Tensor(std::size_t rows, std::size_t cols, std::vector<float> data)
+        : rows_(rows), cols_(cols), data_(std::move(data))
+    {
+        fc_assert(data_.size() == rows_ * cols_,
+                  "tensor data size %zu != %zu x %zu", data_.size(),
+                  rows_, cols_);
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float &
+    at(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+
+    float
+    at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    std::span<float>
+    row(std::size_t r)
+    {
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    std::span<const float>
+    row(std::size_t r) const
+    {
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+    /** Round every element through binary16. */
+    void
+    quantizeFp16()
+    {
+        for (float &v : data_)
+            v = fp16Round(v);
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace fc::nn
+
+#endif // FC_NN_TENSOR_H

@@ -1,0 +1,153 @@
+#include "ops/fps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fc::ops {
+
+namespace {
+
+/**
+ * FPS over an index view. @p view maps dense positions [0, view_size)
+ * to original point indices. Emits original indices into @p out.
+ */
+void
+fpsOverView(const data::PointCloud &cloud,
+            const std::vector<PointIdx> &order, std::uint32_t begin,
+            std::uint32_t end, std::size_t num_samples,
+            std::uint32_t start_offset, bool window_check,
+            std::vector<PointIdx> &out, OpStats &stats)
+{
+    const std::uint32_t n = end - begin;
+    if (n == 0 || num_samples == 0)
+        return;
+    num_samples = std::min<std::size_t>(num_samples, n);
+
+    std::vector<float> min_dist(n, std::numeric_limits<float>::max());
+    std::vector<bool> sampled(n, false);
+
+    std::uint32_t current = std::min(start_offset, n - 1);
+    sampled[current] = true;
+    out.push_back(order[begin + current]);
+
+    for (std::size_t s = 1; s < num_samples; ++s) {
+        ++stats.iterations;
+        const Vec3 &cur_pt = cloud[order[begin + current]];
+        float best = -1.0f;
+        std::uint32_t best_pos = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (sampled[i]) {
+                // The window-check module (paper Fig. 11(c)) filters
+                // sampled points out of the candidate stream entirely;
+                // without it the hardware still reads and re-compares
+                // them.
+                if (window_check)
+                    ++stats.skipped;
+                else
+                    ++stats.points_visited;
+                continue;
+            }
+            ++stats.points_visited;
+            ++stats.distance_computations;
+            const float d =
+                distance2(cur_pt, cloud[order[begin + i]]);
+            if (d < min_dist[i])
+                min_dist[i] = d;
+            if (min_dist[i] > best) {
+                best = min_dist[i];
+                best_pos = i;
+            }
+        }
+        current = best_pos;
+        sampled[current] = true;
+        out.push_back(order[begin + current]);
+    }
+    // Final iteration bookkeeping: the first sample costs one setup
+    // iteration as well.
+    ++stats.iterations;
+}
+
+} // namespace
+
+SampleResult
+farthestPointSample(const data::PointCloud &cloud,
+                    std::size_t num_samples, const FpsOptions &options)
+{
+    SampleResult result;
+    if (cloud.empty() || num_samples == 0)
+        return result;
+
+    // Identity view over the whole cloud.
+    static thread_local std::vector<PointIdx> identity;
+    if (identity.size() < cloud.size()) {
+        const std::size_t old = identity.size();
+        identity.resize(cloud.size());
+        for (std::size_t i = old; i < cloud.size(); ++i)
+            identity[i] = static_cast<PointIdx>(i);
+    }
+    result.indices.reserve(std::min(num_samples, cloud.size()));
+    fpsOverView(cloud, identity, 0,
+                static_cast<std::uint32_t>(cloud.size()), num_samples,
+                options.start_index, options.window_check,
+                result.indices, result.stats);
+    return result;
+}
+
+BlockSampleResult
+blockFarthestPointSample(const data::PointCloud &cloud,
+                         const part::BlockTree &tree, double rate,
+                         const FpsOptions &options)
+{
+    fc_assert(rate > 0.0 && rate <= 1.0,
+              "sampling rate %f outside (0, 1]", rate);
+    BlockSampleResult result;
+    const auto &leaves = tree.leaves();
+    result.leaf_offsets.reserve(leaves.size() + 1);
+    result.leaf_offsets.push_back(0);
+
+    // Fixed-count mode: split the total budget evenly over non-empty
+    // leaves (PNNPU-style, see FpsOptions).
+    std::size_t nonempty = 0;
+    for (const part::NodeIdx leaf : leaves)
+        nonempty += tree.node(leaf).size() > 0;
+    const double per_block_count =
+        nonempty == 0
+            ? 0.0
+            : rate * static_cast<double>(tree.numPoints()) /
+                  static_cast<double>(nonempty);
+
+    for (const part::NodeIdx leaf : leaves) {
+        const part::BlockNode &node = tree.node(leaf);
+        const std::uint32_t size = node.size();
+        if (size > 0) {
+            // Fixed rate, rounded to nearest; at least one sample so
+            // sparse regions stay represented.
+            std::size_t quota = static_cast<std::size_t>(std::llround(
+                options.fixed_count_per_block
+                    ? per_block_count
+                    : rate * static_cast<double>(size)));
+            quota = std::clamp<std::size_t>(quota, 1, size);
+            fpsOverView(cloud, tree.order(), node.begin, node.end, quota,
+                        options.start_index, options.window_check,
+                        result.indices, result.stats);
+        }
+        result.leaf_offsets.push_back(
+            static_cast<std::uint32_t>(result.indices.size()));
+    }
+
+    // Recover DFT positions with one inverse-permutation pass.
+    std::vector<std::uint32_t> inverse(tree.order().size());
+    for (std::uint32_t pos = 0;
+         pos < static_cast<std::uint32_t>(tree.order().size()); ++pos)
+        inverse[tree.order()[pos]] = pos;
+    result.positions.resize(result.indices.size());
+    for (std::size_t i = 0; i < result.indices.size(); ++i)
+        result.positions[i] = inverse[result.indices[i]];
+
+    return result;
+}
+
+} // namespace fc::ops

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Farthest Point Sampling: global (paper §II-B) and block-wise
+ * (paper §IV-B, "Block-Wise Sampling").
+ *
+ * Global FPS is the O(n^2) baseline: every iteration updates the
+ * distance of all points to the sampled set and picks the argmax.
+ * Block-wise FPS runs an independent FPS inside every leaf block of a
+ * BlockTree with one fixed sampling rate, and concatenates the
+ * results — the decomposition that makes sampling block-parallel.
+ */
+
+#ifndef FC_OPS_FPS_H
+#define FC_OPS_FPS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/point_cloud.h"
+#include "ops/op_stats.h"
+#include "partition/block_tree.h"
+
+namespace fc::ops {
+
+/** Result of a global sampling operation. */
+struct SampleResult
+{
+    /** Sampled point indices (into the original cloud). */
+    std::vector<PointIdx> indices;
+    OpStats stats;
+};
+
+/** Result of block-wise sampling. */
+struct BlockSampleResult
+{
+    /** Sampled point indices (into the original cloud). */
+    std::vector<PointIdx> indices;
+
+    /** DFT positions of the samples (parallel to indices). */
+    std::vector<std::uint32_t> positions;
+
+    /**
+     * Per-leaf offsets into indices/positions: samples of leaf i are
+     * [leaf_offsets[i], leaf_offsets[i+1]).
+     */
+    std::vector<std::uint32_t> leaf_offsets;
+
+    OpStats stats;
+};
+
+/** Options common to both FPS variants. */
+struct FpsOptions
+{
+    /** Deterministic choice of the initial point (paper uses random;
+     *  we default to index 0 for reproducibility). */
+    PointIdx start_index = 0;
+
+    /**
+     * Model the RSPU window-check: already-sampled points are skipped
+     * instead of re-visited. Does not change the result, only the
+     * work counters (stats.skipped / points_visited).
+     */
+    bool window_check = true;
+
+    /**
+     * Block-quota policy for block-wise FPS. The paper's method uses
+     * one fixed *rate* for every block (enabled by Fractal's balanced
+     * blocks, §IV-B); PNNPU-style space-uniform designs assign a
+     * fixed *count* per block, which distorts density on imbalanced
+     * partitions — the root of their segmentation accuracy loss.
+     */
+    bool fixed_count_per_block = false;
+};
+
+/**
+ * Global farthest point sampling over the whole cloud.
+ *
+ * @param cloud       input points
+ * @param num_samples sampled-set size (clamped to cloud size)
+ */
+SampleResult farthestPointSample(const data::PointCloud &cloud,
+                                 std::size_t num_samples,
+                                 const FpsOptions &options = {});
+
+/**
+ * Block-wise FPS: per-leaf independent FPS at one fixed rate.
+ *
+ * Each leaf contributes round(rate * leaf_size) samples (at least one
+ * for non-empty leaves, so no region disappears), matching the paper's
+ * fixed-rate scheme that relies on Fractal's balanced blocks.
+ *
+ * @param cloud  input points (original order)
+ * @param tree   partition (DFT layout)
+ * @param rate   target sampling rate in (0, 1]
+ */
+BlockSampleResult blockFarthestPointSample(const data::PointCloud &cloud,
+                                           const part::BlockTree &tree,
+                                           double rate,
+                                           const FpsOptions &options = {});
+
+} // namespace fc::ops
+
+#endif // FC_OPS_FPS_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Gathering: retrieve feature rows by neighbor indices (paper §II-B),
+ * with relative-coordinate augmentation as used by set-abstraction
+ * layers, plus the block-wise access-pattern accounting of §IV-B
+ * ("Block-Wise Gathering").
+ *
+ * Functionally, global and block-wise gathering return identical
+ * values (the paper notes gathering "has no impact on network
+ * accuracy"); they differ in memory behaviour, which the stats
+ * capture: global gathering performs random accesses over the whole
+ * feature space, block-wise gathering streams only the blocks of each
+ * search space.
+ */
+
+#ifndef FC_OPS_GATHER_H
+#define FC_OPS_GATHER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/point_cloud.h"
+#include "ops/neighbor.h"
+#include "partition/block_tree.h"
+
+namespace fc::ops {
+
+/** Gathered neighborhood tensor. */
+struct GatherResult
+{
+    std::size_t num_centers = 0;
+    std::size_t k = 0;
+    std::size_t channels = 0; ///< 3 (rel. coords) + featureDim
+
+    /** Row-major [num_centers x k x channels]. */
+    std::vector<float> values;
+
+    OpStats stats;
+
+    float
+    at(std::size_t center, std::size_t j, std::size_t c) const
+    {
+        return values[(center * k + j) * channels + c];
+    }
+};
+
+/**
+ * Gather neighbor features for each (center, neighbor) pair.
+ *
+ * Channel layout per neighbor: [dx, dy, dz, features...] where the
+ * delta is neighbor minus center coordinate (the standard PointNet++
+ * grouping layout). Padded neighbor slots replicate the pad index;
+ * rows with no neighbors at all yield zeros.
+ *
+ * @param cloud     source of coordinates and features
+ * @param centers   center indices (per neighbor-table row)
+ * @param neighbors the neighbor table to gather
+ */
+GatherResult gatherNeighborhoods(const data::PointCloud &cloud,
+                                 const std::vector<PointIdx> &centers,
+                                 const NeighborResult &neighbors);
+
+/**
+ * Same values as gatherNeighborhoods but with block-wise memory
+ * accounting: accesses are counted per block as streamed reads (the
+ * DFT layout makes each block contiguous).
+ */
+GatherResult blockGatherNeighborhoods(
+    const data::PointCloud &cloud, const part::BlockTree &tree,
+    const std::vector<PointIdx> &centers,
+    const std::vector<std::uint32_t> &center_leaf_offsets,
+    const NeighborResult &neighbors);
+
+} // namespace fc::ops
+
+#endif // FC_OPS_GATHER_H

@@ -1,0 +1,120 @@
+#include "ops/interpolate.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace fc::ops {
+
+namespace {
+
+/** Weighted blend of neighbor feature rows into the result. */
+void
+blendRows(const data::PointCloud &cloud,
+          const std::vector<float> &known_features, std::size_t channels,
+          const std::unordered_map<PointIdx, std::size_t> &known_row,
+          const NeighborResult &neighbors, InterpolateResult &result)
+{
+    constexpr float kEps = 1e-8f;
+    for (std::size_t row = 0; row < neighbors.num_centers; ++row) {
+        float *out = result.values.data() + row * channels;
+        const Vec3 &query = cloud[static_cast<PointIdx>(row)];
+        float weight_sum = 0.0f;
+        float weights[64];
+        fc_assert(neighbors.k <= 64, "interpolation k too large");
+        for (std::size_t j = 0; j < neighbors.k; ++j) {
+            const PointIdx nb = neighbors.neighbor(row, j);
+            if (nb == kInvalidPoint) {
+                weights[j] = 0.0f;
+                continue;
+            }
+            const float d2 = distance2(query, cloud[nb]);
+            weights[j] = 1.0f / (d2 + kEps);
+            weight_sum += weights[j];
+        }
+        if (weight_sum <= 0.0f)
+            continue; // leave zeros
+        const float inv = 1.0f / weight_sum;
+        for (std::size_t j = 0; j < neighbors.k; ++j) {
+            if (weights[j] <= 0.0f)
+                continue;
+            const PointIdx nb = neighbors.neighbor(row, j);
+            const auto it = known_row.find(nb);
+            fc_assert(it != known_row.end(),
+                      "neighbor %u is not a known point", nb);
+            const float *src =
+                known_features.data() + it->second * channels;
+            const float w = weights[j] * inv;
+            for (std::size_t c = 0; c < channels; ++c)
+                out[c] += w * src[c];
+            result.stats.bytes_gathered += channels * 2; // fp16 row
+        }
+        ++result.stats.iterations;
+    }
+}
+
+std::unordered_map<PointIdx, std::size_t>
+buildKnownRowMap(const std::vector<PointIdx> &known_indices)
+{
+    std::unordered_map<PointIdx, std::size_t> map;
+    map.reserve(known_indices.size());
+    for (std::size_t i = 0; i < known_indices.size(); ++i)
+        map.emplace(known_indices[i], i);
+    return map;
+}
+
+} // namespace
+
+InterpolateResult
+interpolateFeatures(const data::PointCloud &cloud,
+                    const std::vector<float> &known_features,
+                    std::size_t channels,
+                    const std::vector<PointIdx> &known_indices,
+                    const NeighborResult &neighbors)
+{
+    fc_assert(known_features.size() == known_indices.size() * channels,
+              "known feature matrix shape mismatch");
+    fc_assert(neighbors.num_centers == cloud.size(),
+              "neighbor table rows (%zu) != cloud size (%zu)",
+              neighbors.num_centers, cloud.size());
+
+    InterpolateResult result;
+    result.num_points = cloud.size();
+    result.channels = channels;
+    result.values.assign(result.num_points * channels, 0.0f);
+    result.stats += neighbors.stats;
+
+    const auto known_row = buildKnownRowMap(known_indices);
+    blendRows(cloud, known_features, channels, known_row, neighbors,
+              result);
+    return result;
+}
+
+InterpolateResult
+globalInterpolate(const data::PointCloud &cloud,
+                  const std::vector<float> &known_features,
+                  std::size_t channels,
+                  const std::vector<PointIdx> &known_indices,
+                  std::size_t k)
+{
+    std::vector<Vec3> queries = cloud.coords();
+    const NeighborResult neighbors =
+        knnSearch(cloud, known_indices, queries, k);
+    return interpolateFeatures(cloud, known_features, channels,
+                               known_indices, neighbors);
+}
+
+InterpolateResult
+blockInterpolate(const data::PointCloud &cloud,
+                 const part::BlockTree &tree,
+                 const BlockSampleResult &sampled,
+                 const std::vector<float> &known_features,
+                 std::size_t channels, std::size_t k)
+{
+    const NeighborResult neighbors =
+        blockKnnToSamples(cloud, tree, sampled, k);
+    return interpolateFeatures(cloud, known_features, channels,
+                               sampled.indices, neighbors);
+}
+
+} // namespace fc::ops

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Feature interpolation for the propagation stage (paper §II-A,
+ * Fig. 2(c)): each dense point receives the inverse-distance-weighted
+ * average of the features of its K nearest sampled points (K = 3 in
+ * PointNet++ and descendants).
+ *
+ * The block-wise variant (paper "Block-Wise Interpolation", part of
+ * BWI in Fig. 18) restricts the candidate sampled points to the
+ * query's block search space.
+ */
+
+#ifndef FC_OPS_INTERPOLATE_H
+#define FC_OPS_INTERPOLATE_H
+
+#include <vector>
+
+#include "dataset/point_cloud.h"
+#include "ops/fps.h"
+#include "ops/neighbor.h"
+#include "partition/block_tree.h"
+
+namespace fc::ops {
+
+/** Interpolated feature matrix. */
+struct InterpolateResult
+{
+    std::size_t num_points = 0;
+    std::size_t channels = 0;
+
+    /** Row-major [num_points x channels]. */
+    std::vector<float> values;
+
+    OpStats stats;
+};
+
+/**
+ * Inverse-distance-weighted interpolation from a known neighbor table.
+ *
+ * @param cloud          target points (row per point)
+ * @param known_features row-major [num_known x channels], aligned with
+ *                       @p known_indices
+ * @param known_indices  cloud indices of the known (sampled) points
+ * @param neighbors      KNN table: rows = cloud points, entries =
+ *                       cloud indices that MUST appear in
+ *                       @p known_indices
+ */
+InterpolateResult
+interpolateFeatures(const data::PointCloud &cloud,
+                    const std::vector<float> &known_features,
+                    std::size_t channels,
+                    const std::vector<PointIdx> &known_indices,
+                    const NeighborResult &neighbors);
+
+/**
+ * Convenience wrapper: global 3-NN then interpolation.
+ */
+InterpolateResult
+globalInterpolate(const data::PointCloud &cloud,
+                  const std::vector<float> &known_features,
+                  std::size_t channels,
+                  const std::vector<PointIdx> &known_indices,
+                  std::size_t k = 3);
+
+/**
+ * Block-wise interpolation: 3-NN restricted to each leaf's search
+ * space via blockKnnToSamples, then the same weighted average.
+ */
+InterpolateResult
+blockInterpolate(const data::PointCloud &cloud,
+                 const part::BlockTree &tree,
+                 const BlockSampleResult &sampled,
+                 const std::vector<float> &known_features,
+                 std::size_t channels, std::size_t k = 3);
+
+} // namespace fc::ops
+
+#endif // FC_OPS_INTERPOLATE_H

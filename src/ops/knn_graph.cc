@@ -1,0 +1,143 @@
+#include "ops/knn_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fc::ops {
+
+namespace {
+
+/** Insertion top-k of (distance, id), ascending, excluding self. */
+struct TopK
+{
+    std::size_t k;
+    std::vector<std::pair<float, PointIdx>> best;
+
+    explicit TopK(std::size_t kk) : k(kk) { best.reserve(kk + 1); }
+
+    void
+    offer(float dist, PointIdx idx)
+    {
+        if (best.size() == k && dist >= best.back().first)
+            return;
+        auto it = std::lower_bound(
+            best.begin(), best.end(), dist,
+            [](const auto &a, float d) { return a.first < d; });
+        best.insert(it, {dist, idx});
+        if (best.size() > k)
+            best.pop_back();
+    }
+};
+
+void
+emitRow(const TopK &top, std::size_t k, std::vector<PointIdx> &edges)
+{
+    for (const auto &[dist, idx] : top.best)
+        edges.push_back(idx);
+    const PointIdx pad =
+        top.best.empty() ? kInvalidPoint : top.best[0].second;
+    for (std::size_t j = top.best.size(); j < k; ++j)
+        edges.push_back(pad);
+}
+
+} // namespace
+
+KnnGraph
+buildKnnGraph(const data::PointCloud &cloud, std::size_t k)
+{
+    fc_assert(k > 0, "graph needs k > 0");
+    KnnGraph graph;
+    graph.num_vertices = cloud.size();
+    graph.k = k;
+    graph.edges.reserve(cloud.size() * k);
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        TopK top(k);
+        for (std::size_t j = 0; j < cloud.size(); ++j) {
+            if (j == i)
+                continue;
+            ++graph.stats.points_visited;
+            ++graph.stats.distance_computations;
+            top.offer(distance2(cloud[i], cloud[j]),
+                      static_cast<PointIdx>(j));
+        }
+        emitRow(top, k, graph.edges);
+        ++graph.stats.iterations;
+    }
+    return graph;
+}
+
+KnnGraph
+buildBlockKnnGraph(const data::PointCloud &cloud,
+                   const part::BlockTree &tree, std::size_t k)
+{
+    fc_assert(k > 0, "graph needs k > 0");
+    fc_assert(tree.numPoints() == cloud.size(),
+              "tree (%u points) does not match cloud (%zu)",
+              tree.numPoints(), cloud.size());
+    KnnGraph graph;
+    graph.num_vertices = cloud.size();
+    graph.k = k;
+    graph.edges.assign(cloud.size() * k, kInvalidPoint);
+
+    for (const part::NodeIdx leaf : tree.leaves()) {
+        const part::BlockNode &space =
+            tree.node(tree.searchSpaceNode(leaf));
+        const part::BlockNode &node = tree.node(leaf);
+        for (std::uint32_t pos = node.begin; pos < node.end; ++pos) {
+            const PointIdx self = tree.order()[pos];
+            TopK top(k);
+            for (std::uint32_t cand = space.begin; cand < space.end;
+                 ++cand) {
+                const PointIdx other = tree.order()[cand];
+                if (other == self)
+                    continue;
+                ++graph.stats.points_visited;
+                ++graph.stats.distance_computations;
+                top.offer(distance2(cloud[self], cloud[other]),
+                          other);
+            }
+            // Rows are written at the vertex's original id so the
+            // graph layout matches the exact builder.
+            std::size_t col = 0;
+            for (const auto &[dist, idx] : top.best)
+                graph.edges[self * k + col++] = idx;
+            const PointIdx pad =
+                top.best.empty() ? kInvalidPoint
+                                 : top.best[0].second;
+            for (; col < k; ++col)
+                graph.edges[self * k + col] = pad;
+            ++graph.stats.iterations;
+        }
+    }
+    return graph;
+}
+
+double
+graphEdgeRecall(const KnnGraph &exact, const KnnGraph &test)
+{
+    fc_assert(exact.num_vertices == test.num_vertices &&
+                  exact.k == test.k,
+              "graphs are not comparable");
+    if (exact.num_vertices == 0)
+        return 1.0;
+    std::size_t hits = 0, total = 0;
+    std::vector<PointIdx> row;
+    for (std::size_t v = 0; v < exact.num_vertices; ++v) {
+        row.assign(test.edges.begin() + v * test.k,
+                   test.edges.begin() + (v + 1) * test.k);
+        std::sort(row.begin(), row.end());
+        for (std::size_t j = 0; j < exact.k; ++j) {
+            const PointIdx e = exact.neighbor(v, j);
+            if (e == kInvalidPoint)
+                continue;
+            ++total;
+            hits += std::binary_search(row.begin(), row.end(), e);
+        }
+    }
+    return total == 0 ? 1.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+}
+
+} // namespace fc::ops

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Block-wise k-NN graph construction — the paper's "Potential
+ * Adaptations" extension (§VI-D): dynamic-graph networks (DGCNN)
+ * rebuild a k-NN graph over intermediate features every layer, an
+ * all-to-all O(n^2) operation with the same global-search pathology
+ * as the PNN point operations. Fractal's spatial locality bounds each
+ * vertex's neighbor search to its block's search space.
+ */
+
+#ifndef FC_OPS_KNN_GRAPH_H
+#define FC_OPS_KNN_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/point_cloud.h"
+#include "ops/op_stats.h"
+#include "partition/block_tree.h"
+
+namespace fc::ops {
+
+/** Directed k-NN graph: edge (i -> neighbors of i). */
+struct KnnGraph
+{
+    std::size_t num_vertices = 0;
+    std::size_t k = 0;
+
+    /** Row-major [num_vertices x k] neighbor ids (self excluded). */
+    std::vector<PointIdx> edges;
+
+    OpStats stats;
+
+    PointIdx
+    neighbor(std::size_t vertex, std::size_t j) const
+    {
+        return edges[vertex * k + j];
+    }
+};
+
+/**
+ * Exact global k-NN graph (self-edges excluded); the DGCNN baseline.
+ * O(n^2) distance evaluations.
+ */
+KnnGraph buildKnnGraph(const data::PointCloud &cloud, std::size_t k);
+
+/**
+ * Block-wise k-NN graph: every vertex searches only its leaf's
+ * search-space node (parent block). O(n * search_space) work. Edge
+ * recall against the exact graph is high because Fractal blocks align
+ * with the geometry that k-NN locality follows.
+ */
+KnnGraph buildBlockKnnGraph(const data::PointCloud &cloud,
+                            const part::BlockTree &tree, std::size_t k);
+
+/** Fraction of exact-graph edges present in the test graph. */
+double graphEdgeRecall(const KnnGraph &exact, const KnnGraph &test);
+
+} // namespace fc::ops
+
+#endif // FC_OPS_KNN_GRAPH_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Neighbor searching: Ball Query (grouping) and K-Nearest-Neighbors
+ * (interpolation), in global and block-wise forms (paper §II-B and
+ * §IV-B, "Block-Wise Neighbor Searching").
+ *
+ * Ball Query selects up to K points within radius R of a center (the
+ * first K in scan order, PointNet++ semantics; empty slots are padded
+ * with the first neighbor). KNN selects the K closest points with no
+ * radius bound.
+ *
+ * Block-wise variants restrict the candidate set of a center in leaf L
+ * to the range of searchSpaceNode(L) — the leaf itself at depth <= 1,
+ * otherwise its immediate parent (paper Fig. 7(a)).
+ */
+
+#ifndef FC_OPS_NEIGHBOR_H
+#define FC_OPS_NEIGHBOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/point_cloud.h"
+#include "ops/fps.h"
+#include "ops/op_stats.h"
+#include "partition/block_tree.h"
+
+namespace fc::ops {
+
+/** Dense [num_centers x k] neighbor table. */
+struct NeighborResult
+{
+    std::size_t num_centers = 0;
+    std::size_t k = 0;
+
+    /** Row-major neighbor indices (original cloud ids), padded. */
+    std::vector<PointIdx> indices;
+
+    /** Number of real (un-padded) neighbors per center. */
+    std::vector<std::uint32_t> counts;
+
+    OpStats stats;
+
+    PointIdx
+    neighbor(std::size_t center, std::size_t j) const
+    {
+        return indices[center * k + j];
+    }
+};
+
+/**
+ * Global ball query: candidates are the whole cloud.
+ *
+ * @param cloud   candidate points
+ * @param centers center indices into @p cloud
+ * @param radius  search radius R
+ * @param k       maximum neighbors per center
+ */
+NeighborResult ballQuery(const data::PointCloud &cloud,
+                         const std::vector<PointIdx> &centers,
+                         float radius, std::size_t k);
+
+/**
+ * Global KNN: the k nearest candidates for each query coordinate.
+ *
+ * @param cloud      candidate points
+ * @param candidates candidate indices into @p cloud
+ * @param queries    query coordinates
+ * @param k          neighbor count
+ */
+NeighborResult knnSearch(const data::PointCloud &cloud,
+                         const std::vector<PointIdx> &candidates,
+                         const std::vector<Vec3> &queries, std::size_t k);
+
+/**
+ * Block-wise ball query. Centers come from block-wise sampling; the
+ * candidate range of each center is its leaf's search-space node.
+ */
+NeighborResult blockBallQuery(const data::PointCloud &cloud,
+                              const part::BlockTree &tree,
+                              const BlockSampleResult &centers,
+                              float radius, std::size_t k);
+
+/**
+ * Block-wise KNN used by interpolation: for every point of every leaf
+ * (the queries), find the k nearest *sampled* points within the leaf's
+ * search space. @p sampled must hold DFT positions sorted per leaf
+ * (as produced by blockFarthestPointSample).
+ *
+ * Falls back to the nearest sampled point overall when a search space
+ * contains no samples (cannot happen with >=1 sample per leaf, but
+ * kept for safety with foreign trees).
+ */
+NeighborResult blockKnnToSamples(const data::PointCloud &cloud,
+                                 const part::BlockTree &tree,
+                                 const BlockSampleResult &sampled,
+                                 std::size_t k);
+
+} // namespace fc::ops
+
+#endif // FC_OPS_NEIGHBOR_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Work counters shared by all point operations.
+ *
+ * Functional implementations count the abstract events (distance
+ * computations, candidate reads, FPS iterations) that the hardware
+ * models later convert to cycles and energy. Keeping the counts next
+ * to the functional code means timing always reflects the work the
+ * operation actually did on the actual data.
+ */
+
+#ifndef FC_OPS_OP_STATS_H
+#define FC_OPS_OP_STATS_H
+
+#include <cstdint>
+
+namespace fc::ops {
+
+struct OpStats
+{
+    /** Euclidean distance evaluations. */
+    std::uint64_t distance_computations = 0;
+
+    /** Candidate point reads (coordinate fetches). */
+    std::uint64_t points_visited = 0;
+
+    /** Sequential outer iterations (e.g. FPS rounds). */
+    std::uint64_t iterations = 0;
+
+    /** Candidates skipped by the window-check mechanism (§V-C). */
+    std::uint64_t skipped = 0;
+
+    /** Feature bytes moved by gathering. */
+    std::uint64_t bytes_gathered = 0;
+
+    OpStats &
+    operator+=(const OpStats &o)
+    {
+        distance_computations += o.distance_computations;
+        points_visited += o.points_visited;
+        iterations += o.iterations;
+        skipped += o.skipped;
+        bytes_gathered += o.bytes_gathered;
+        return *this;
+    }
+};
+
+} // namespace fc::ops
+
+#endif // FC_OPS_OP_STATS_H

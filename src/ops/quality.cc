@@ -1,0 +1,113 @@
+#include "ops/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace fc::ops {
+
+namespace {
+
+float
+nearestSampleDistance2(const data::PointCloud &cloud,
+                       const std::vector<PointIdx> &samples,
+                       const Vec3 &p)
+{
+    float best = std::numeric_limits<float>::max();
+    for (const PointIdx s : samples)
+        best = std::min(best, distance2(p, cloud[s]));
+    return best;
+}
+
+} // namespace
+
+float
+coverageRadius(const data::PointCloud &cloud,
+               const std::vector<PointIdx> &samples)
+{
+    if (samples.empty() || cloud.empty())
+        return std::numeric_limits<float>::infinity();
+    float worst = 0.0f;
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        worst = std::max(
+            worst, nearestSampleDistance2(cloud, samples, cloud[i]));
+    }
+    return std::sqrt(worst);
+}
+
+float
+meanCoverage(const data::PointCloud &cloud,
+             const std::vector<PointIdx> &samples)
+{
+    if (samples.empty() || cloud.empty())
+        return std::numeric_limits<float>::infinity();
+    double sum = 0.0;
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        sum += std::sqrt(
+            nearestSampleDistance2(cloud, samples, cloud[i]));
+    }
+    return static_cast<float>(sum / static_cast<double>(cloud.size()));
+}
+
+double
+neighborRecall(const NeighborResult &reference,
+               const NeighborResult &test)
+{
+    fc_assert(reference.num_centers == test.num_centers,
+              "recall tables disagree on centers (%zu vs %zu)",
+              reference.num_centers, test.num_centers);
+    if (reference.num_centers == 0)
+        return 1.0;
+
+    double total = 0.0;
+    std::size_t counted = 0;
+    std::unordered_set<PointIdx> ref_set;
+    for (std::size_t row = 0; row < reference.num_centers; ++row) {
+        ref_set.clear();
+        const std::uint32_t ref_n = reference.counts[row];
+        for (std::uint32_t j = 0; j < ref_n; ++j) {
+            const PointIdx idx = reference.neighbor(row, j);
+            if (idx != kInvalidPoint)
+                ref_set.insert(idx);
+        }
+        if (ref_set.empty())
+            continue;
+        std::size_t hit = 0;
+        const std::uint32_t test_n = test.counts[row];
+        std::unordered_set<PointIdx> seen;
+        for (std::uint32_t j = 0; j < test_n; ++j) {
+            const PointIdx idx = test.neighbor(row, j);
+            if (idx == kInvalidPoint || !seen.insert(idx).second)
+                continue;
+            if (ref_set.count(idx))
+                ++hit;
+        }
+        total += static_cast<double>(hit) /
+                 static_cast<double>(ref_set.size());
+        ++counted;
+    }
+    return counted == 0 ? 1.0 : total / static_cast<double>(counted);
+}
+
+double
+featureRelativeError(const std::vector<float> &reference,
+                     const std::vector<float> &test)
+{
+    fc_assert(reference.size() == test.size(),
+              "feature matrices disagree in size (%zu vs %zu)",
+              reference.size(), test.size());
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        const double d = static_cast<double>(reference[i]) - test[i];
+        num += d * d;
+        den += static_cast<double>(reference[i]) * reference[i];
+    }
+    if (den <= 0.0)
+        return num > 0.0 ? 1.0 : 0.0;
+    return std::sqrt(num / den);
+}
+
+} // namespace fc::ops

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Quality metrics that quantify how closely block-wise operations
+ * track their global counterparts. These drive the accuracy proxy of
+ * Fig. 14 / Fig. 17 (DESIGN.md §4.2): the paper retrains networks and
+ * reports task accuracy; we measure the operator-level degradation
+ * that accuracy differences stem from.
+ */
+
+#ifndef FC_OPS_QUALITY_H
+#define FC_OPS_QUALITY_H
+
+#include <vector>
+
+#include "dataset/point_cloud.h"
+#include "ops/neighbor.h"
+
+namespace fc::ops {
+
+/**
+ * Coverage radius of a sampled set: max over all points of the
+ * distance to the nearest sample. FPS approximately minimizes this;
+ * worse sampling (imbalanced blocks, random-like FPS) increases it.
+ */
+float coverageRadius(const data::PointCloud &cloud,
+                     const std::vector<PointIdx> &samples);
+
+/** Mean (rather than max) distance to the nearest sample. */
+float meanCoverage(const data::PointCloud &cloud,
+                   const std::vector<PointIdx> &samples);
+
+/**
+ * Per-center neighbor recall of @p test against @p reference:
+ * |test ∩ reference| / |reference| averaged over centers (padding and
+ * invalid entries ignored). Both tables must share center ordering.
+ */
+double neighborRecall(const NeighborResult &reference,
+                      const NeighborResult &test);
+
+/** Mean relative L2 error between two row-major feature matrices. */
+double featureRelativeError(const std::vector<float> &reference,
+                            const std::vector<float> &test);
+
+} // namespace fc::ops
+
+#endif // FC_OPS_QUALITY_H

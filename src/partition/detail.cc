@@ -1,0 +1,57 @@
+#include "partition/detail.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fc::part::detail {
+
+void
+computeBounds(BlockTree &tree, const data::PointCloud &cloud)
+{
+    // Leaves first (any order), then internal nodes children-before-
+    // parent. Nodes are appended parent-before-child by all builders,
+    // so a reverse sweep sees children first.
+    for (std::size_t i = tree.numNodes(); i-- > 0;) {
+        BlockNode &n = tree.node(static_cast<NodeIdx>(i));
+        n.bounds = Aabb{};
+        if (n.isLeaf()) {
+            for (std::uint32_t pos = n.begin; pos < n.end; ++pos)
+                n.bounds.extend(cloud[tree.order()[pos]]);
+        } else {
+            n.bounds.extend(tree.node(n.left).bounds);
+            n.bounds.extend(tree.node(n.right).bounds);
+        }
+    }
+}
+
+std::uint32_t
+splitRange(BlockTree &tree, const data::PointCloud &cloud,
+           std::uint32_t begin, std::uint32_t end, int dim,
+           float split_value)
+{
+    auto first = tree.order().begin() + begin;
+    auto last = tree.order().begin() + end;
+    auto mid = std::partition(first, last, [&](PointIdx idx) {
+        return cloud[idx][dim] < split_value;
+    });
+    return static_cast<std::uint32_t>(mid - tree.order().begin());
+}
+
+std::pair<float, float>
+rangeExtrema(const BlockTree &tree, const data::PointCloud &cloud,
+             std::uint32_t begin, std::uint32_t end, int dim)
+{
+    fc_assert(begin < end, "extrema over empty range");
+    float lo = std::numeric_limits<float>::infinity();
+    float hi = -std::numeric_limits<float>::infinity();
+    for (std::uint32_t pos = begin; pos < end; ++pos) {
+        const float v = cloud[tree.order()[pos]][dim];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    return {lo, hi};
+}
+
+} // namespace fc::part::detail

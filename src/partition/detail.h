@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Internal helpers shared by the concrete partitioners. Not part of
+ * the public API.
+ */
+
+#ifndef FC_PARTITION_DETAIL_H
+#define FC_PARTITION_DETAIL_H
+
+#include <cstdint>
+
+#include "dataset/point_cloud.h"
+#include "partition/block_tree.h"
+
+namespace fc::part::detail {
+
+/**
+ * Fill node.bounds for every node from the actual point positions:
+ * leaves from their ranges, internal nodes as the union of children.
+ */
+void computeBounds(BlockTree &tree, const data::PointCloud &cloud);
+
+/**
+ * Stable-partition the order slice [begin, end) of @p tree around
+ * @p split_value on @p dim; returns the index of the first element of
+ * the right side. Points with coordinate < split_value go left.
+ */
+std::uint32_t splitRange(BlockTree &tree, const data::PointCloud &cloud,
+                         std::uint32_t begin, std::uint32_t end, int dim,
+                         float split_value);
+
+/** Min/max of coordinate @p dim over the order slice [begin, end). */
+std::pair<float, float> rangeExtrema(const BlockTree &tree,
+                                     const data::PointCloud &cloud,
+                                     std::uint32_t begin,
+                                     std::uint32_t end, int dim);
+
+} // namespace fc::part::detail
+
+#endif // FC_PARTITION_DETAIL_H

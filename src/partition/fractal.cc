@@ -1,0 +1,116 @@
+#include "partition/fractal.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "partition/detail.h"
+
+namespace fc::part {
+
+namespace {
+
+struct Builder
+{
+    const data::PointCloud &cloud;
+    const PartitionConfig &config;
+    BlockTree &tree;
+    PartitionStats &stats;
+
+    /**
+     * Recursively partition the node's range. @p dim_counter is the
+     * paper's cycling dimension index d.
+     */
+    void
+    build(NodeIdx node_idx, int dim_counter)
+    {
+        // Copy the POD fields we need: addNode() may reallocate nodes.
+        const std::uint32_t begin = tree.node(node_idx).begin;
+        const std::uint32_t end = tree.node(node_idx).end;
+        const std::uint16_t depth = tree.node(node_idx).depth;
+        const std::uint32_t size = end - begin;
+
+        if (size <= config.threshold || depth >= config.max_depth)
+            return; // Leaf.
+
+        // Try the cycling axis first, then the other two for
+        // degenerate (non-splittable) layouts.
+        for (int attempt = 0; attempt < 3; ++attempt) {
+            const int dim = (dim_counter + attempt) % 3;
+            const auto [lo, hi] =
+                detail::rangeExtrema(tree, cloud, begin, end, dim);
+            stats.elements_traversed += size; // extrema traversal
+            const float mid = (lo + hi) * 0.5f;
+            const std::uint32_t split =
+                detail::splitRange(tree, cloud, begin, end, dim, mid);
+            stats.elements_traversed += size; // partition traversal
+            if (split == begin || split == end) {
+                ++stats.degenerate_retries;
+                continue;
+            }
+            ++stats.num_splits;
+
+            BlockNode left;
+            left.begin = begin;
+            left.end = split;
+            left.parent = node_idx;
+            left.depth = static_cast<std::uint16_t>(depth + 1);
+            BlockNode right;
+            right.begin = split;
+            right.end = end;
+            right.parent = node_idx;
+            right.depth = static_cast<std::uint16_t>(depth + 1);
+
+            const NodeIdx left_idx = tree.addNode(left);
+            const NodeIdx right_idx = tree.addNode(right);
+            BlockNode &parent = tree.node(node_idx);
+            parent.left = left_idx;
+            parent.right = right_idx;
+            parent.splitDim = static_cast<std::int8_t>(dim);
+            parent.splitValue = mid;
+
+            build(left_idx, dim_counter + attempt + 1);
+            build(right_idx, dim_counter + attempt + 1);
+            return;
+        }
+        // Degenerate on all three axes: coincident points; keep as a
+        // leaf even above threshold.
+    }
+};
+
+} // namespace
+
+PartitionResult
+FractalPartitioner::partition(const data::PointCloud &cloud,
+                              const PartitionConfig &config) const
+{
+    fc_assert(config.threshold > 0, "threshold must be positive");
+    PartitionResult result;
+    result.method = Method::Fractal;
+    result.config = config;
+    result.tree = BlockTree(static_cast<std::uint32_t>(cloud.size()));
+
+    BlockNode root;
+    root.begin = 0;
+    root.end = static_cast<std::uint32_t>(cloud.size());
+    result.tree.addNode(root);
+
+    Builder builder{cloud, config, result.tree, result.stats};
+    builder.build(0, config.first_dim);
+
+    result.tree.rebuildLeafList();
+    detail::computeBounds(result.tree, cloud);
+
+    // One level-parallel traversal pass per split level: the hardware
+    // processes every node of a level concurrently (Fig. 5 right).
+    std::uint16_t internal_depth = 0;
+    for (std::size_t i = 0; i < result.tree.numNodes(); ++i) {
+        const BlockNode &n = result.tree.node(static_cast<NodeIdx>(i));
+        if (!n.isLeaf())
+            internal_depth = std::max<std::uint16_t>(
+                internal_depth, static_cast<std::uint16_t>(n.depth + 1));
+    }
+    result.stats.traversal_passes = internal_depth;
+    return result;
+}
+
+} // namespace fc::part

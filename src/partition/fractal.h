@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The Fractal shape-aware partitioner (paper §IV-A, Algorithm 1).
+ *
+ * Recursive rule, threshold th = max points per block:
+ *   - if |P| <= th: emit leaf
+ *   - else: dim = d mod 3; mid = (max(P[dim]) + min(P[dim])) / 2;
+ *     split P at mid; recurse on both halves with d+1.
+ * Blocks are laid out in memory by depth-first traversal so adjacent
+ * blocks cover spatially adjacent regions.
+ *
+ * Degenerate splits (all points on one side because the block is flat
+ * along the current axis) retry the next axis, cycling through all
+ * three; a block that is degenerate on every axis (coincident points)
+ * becomes a leaf even above threshold. The paper relies on the same
+ * cyclic-axis argument for coplanar scenes (§VI-D).
+ */
+
+#ifndef FC_PARTITION_FRACTAL_H
+#define FC_PARTITION_FRACTAL_H
+
+#include "partition/partitioner.h"
+
+namespace fc::part {
+
+class FractalPartitioner : public Partitioner
+{
+  public:
+    PartitionResult partition(const data::PointCloud &cloud,
+                              const PartitionConfig &config) const override;
+
+    Method method() const override { return Method::Fractal; }
+};
+
+} // namespace fc::part
+
+#endif // FC_PARTITION_FRACTAL_H

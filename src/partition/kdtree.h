@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Density-aware KD-tree partitioner (Crescent's strategy, paper
+ * §III-B/III-C).
+ *
+ * Each node is split at the median of the cycling axis, producing
+ * strictly balanced blocks, at the cost of one exclusive median sort
+ * per internal node. The stats record one sort of n log2(n) compares
+ * per split — the serial, non-decomposable work that dominates
+ * Crescent's latency (53% in the paper) and that the Fractal method
+ * eliminates.
+ */
+
+#ifndef FC_PARTITION_KDTREE_H
+#define FC_PARTITION_KDTREE_H
+
+#include "partition/partitioner.h"
+
+namespace fc::part {
+
+class KdTreePartitioner : public Partitioner
+{
+  public:
+    PartitionResult partition(const data::PointCloud &cloud,
+                              const PartitionConfig &config) const override;
+
+    Method method() const override { return Method::KdTree; }
+};
+
+} // namespace fc::part
+
+#endif // FC_PARTITION_KDTREE_H

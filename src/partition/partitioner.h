@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Common interface for point-cloud partitioning strategies.
+ *
+ * The four strategies of the paper's Fig. 3 / Fig. 16 — none, uniform
+ * (space-aware, PNNPU), KD-tree (density-aware, Crescent), octree, and
+ * Fractal (shape-aware, this paper) — all produce a BlockTree plus a
+ * PartitionStats record of the algorithmic work performed, which the
+ * hardware models turn into cycles and energy.
+ */
+
+#ifndef FC_PARTITION_PARTITIONER_H
+#define FC_PARTITION_PARTITIONER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dataset/point_cloud.h"
+#include "partition/block_tree.h"
+
+namespace fc::part {
+
+/** Strategy identifiers (paper naming). */
+enum class Method
+{
+    None,    ///< no partitioning (PointAcc baseline)
+    Uniform, ///< space-uniform fixed-depth bisection (PNNPU)
+    Octree,  ///< space-midpoint adaptive subdivision
+    KdTree,  ///< median-split density-aware (Crescent)
+    Fractal, ///< shape-aware extrema-midpoint (this paper)
+};
+
+std::string methodName(Method method);
+
+/** Partitioning controls. */
+struct PartitionConfig
+{
+    /** Threshold th: maximum points per block (paper Alg. 1). */
+    std::uint32_t threshold = 256;
+
+    /** First split dimension (paper cycles x, y, z from d=0). */
+    int first_dim = 0;
+
+    /** Safety bound on recursion depth. */
+    std::uint16_t max_depth = 48;
+};
+
+/**
+ * Algorithmic work performed by a partitioning run. Units are abstract
+ * events; the fractal-engine hardware model assigns cycles/energy.
+ */
+struct PartitionStats
+{
+    /** Point visits during extrema/partition traversals. */
+    std::uint64_t elements_traversed = 0;
+
+    /**
+     * Number of level-parallel traversal passes (Fig. 5: 4 passes for
+     * 1K points at BS=64; 11 for 289K at BS=256). All node splits at
+     * one tree level share a pass because the hardware traverses them
+     * concurrently.
+     */
+    std::uint32_t traversal_passes = 0;
+
+    /** Number of median sorts (KD-tree only; Fig. 5 left). */
+    std::uint64_t num_sorts = 0;
+
+    /** Total comparator operations spent in sorts (n log2 n model). */
+    std::uint64_t sort_compares = 0;
+
+    /** Splits that had to retry on another axis (degenerate dims). */
+    std::uint64_t degenerate_retries = 0;
+
+    /** Number of split operations performed. */
+    std::uint64_t num_splits = 0;
+};
+
+/** Result bundle. */
+struct PartitionResult
+{
+    BlockTree tree;
+    PartitionStats stats;
+    Method method = Method::None;
+    PartitionConfig config;
+};
+
+/** Abstract partitioning strategy. */
+class Partitioner
+{
+  public:
+    virtual ~Partitioner() = default;
+
+    /** Partition a cloud into blocks of at most config.threshold. */
+    virtual PartitionResult
+    partition(const data::PointCloud &cloud,
+              const PartitionConfig &config) const = 0;
+
+    virtual Method method() const = 0;
+
+    std::string name() const { return methodName(method()); }
+};
+
+/** Factory covering every strategy. */
+std::unique_ptr<Partitioner> makePartitioner(Method method);
+
+} // namespace fc::part
+
+#endif // FC_PARTITION_PARTITIONER_H

@@ -1,0 +1,110 @@
+#include "partition/uniform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "partition/detail.h"
+
+namespace fc::part {
+
+namespace {
+
+struct Builder
+{
+    const data::PointCloud &cloud;
+    BlockTree &tree;
+    PartitionStats &stats;
+    std::uint16_t target_depth;
+
+    /**
+     * @p cell is the node's space cell (not the point bounds); splits
+     * happen at the cell's spatial midpoint regardless of the data.
+     */
+    void
+    build(NodeIdx node_idx, int dim_counter, Aabb cell)
+    {
+        const std::uint32_t begin = tree.node(node_idx).begin;
+        const std::uint32_t end = tree.node(node_idx).end;
+        const std::uint16_t depth = tree.node(node_idx).depth;
+
+        if (depth >= target_depth)
+            return;
+
+        const int dim = dim_counter % 3;
+        const float mid = cell.midpoint(dim);
+        const std::uint32_t split =
+            detail::splitRange(tree, cloud, begin, end, dim, mid);
+        stats.elements_traversed += end - begin;
+        ++stats.num_splits;
+
+        BlockNode left;
+        left.begin = begin;
+        left.end = split;
+        left.parent = node_idx;
+        left.depth = static_cast<std::uint16_t>(depth + 1);
+        BlockNode right;
+        right.begin = split;
+        right.end = end;
+        right.parent = node_idx;
+        right.depth = static_cast<std::uint16_t>(depth + 1);
+
+        const NodeIdx left_idx = tree.addNode(left);
+        const NodeIdx right_idx = tree.addNode(right);
+        BlockNode &parent = tree.node(node_idx);
+        parent.left = left_idx;
+        parent.right = right_idx;
+        parent.splitDim = static_cast<std::int8_t>(dim);
+        parent.splitValue = mid;
+
+        Aabb left_cell = cell;
+        left_cell.hi.at(dim) = mid;
+        Aabb right_cell = cell;
+        right_cell.lo.at(dim) = mid;
+
+        build(left_idx, dim_counter + 1, left_cell);
+        build(right_idx, dim_counter + 1, right_cell);
+    }
+};
+
+} // namespace
+
+PartitionResult
+UniformPartitioner::partition(const data::PointCloud &cloud,
+                              const PartitionConfig &config) const
+{
+    fc_assert(config.threshold > 0, "threshold must be positive");
+    PartitionResult result;
+    result.method = Method::Uniform;
+    result.config = config;
+    result.tree = BlockTree(static_cast<std::uint32_t>(cloud.size()));
+
+    BlockNode root;
+    root.begin = 0;
+    root.end = static_cast<std::uint32_t>(cloud.size());
+    result.tree.addNode(root);
+
+    // Fixed depth: enough levels that a uniform cloud would satisfy
+    // the threshold.
+    std::uint16_t depth = 0;
+    std::size_t blocks_needed =
+        (cloud.size() + config.threshold - 1) / config.threshold;
+    std::size_t blocks = 1;
+    while (blocks < blocks_needed && depth < config.max_depth) {
+        blocks *= 2;
+        ++depth;
+    }
+
+    Builder builder{cloud, result.tree, result.stats, depth};
+    if (cloud.size() > 0)
+        builder.build(0, config.first_dim, cloud.bounds());
+
+    result.tree.rebuildLeafList();
+    detail::computeBounds(result.tree, cloud);
+    // Space-uniform partitioning needs one streaming pass per level
+    // (split planes are known a priori; no extrema traversals).
+    result.stats.traversal_passes = depth;
+    return result;
+}
+
+} // namespace fc::part

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Space-uniform partitioner (PNNPU's strategy, paper Fig. 3(b)).
+ *
+ * The 3D space is bisected at fixed spatial midpoints of the root
+ * bounding box, cycling axes, down to a fixed depth chosen so that a
+ * *uniformly distributed* cloud would meet the block threshold:
+ * depth = ceil(log2(n / th)). Real clouds are nothing like uniform, so
+ * blocks end up severely imbalanced (dense regions overflow the
+ * threshold, empty space produces empty blocks) — hardware-friendly
+ * but accuracy-hostile, exactly the trade-off the paper criticizes.
+ */
+
+#ifndef FC_PARTITION_UNIFORM_H
+#define FC_PARTITION_UNIFORM_H
+
+#include "partition/partitioner.h"
+
+namespace fc::part {
+
+class UniformPartitioner : public Partitioner
+{
+  public:
+    PartitionResult partition(const data::PointCloud &cloud,
+                              const PartitionConfig &config) const override;
+
+    Method method() const override { return Method::Uniform; }
+};
+
+} // namespace fc::part
+
+#endif // FC_PARTITION_UNIFORM_H

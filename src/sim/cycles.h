@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Cycle/time base types for the transaction-level simulator.
+ */
+
+#ifndef FC_SIM_CYCLES_H
+#define FC_SIM_CYCLES_H
+
+#include <cstdint>
+
+namespace fc::sim {
+
+/** Clock cycles at the accelerator core frequency. */
+using Cycles = std::uint64_t;
+
+/** Picojoules. */
+using PicoJoules = double;
+
+/** Convert cycles at @p freq_ghz to seconds. */
+inline double
+cyclesToSeconds(Cycles cycles, double freq_ghz)
+{
+    return static_cast<double>(cycles) / (freq_ghz * 1e9);
+}
+
+/** Convert cycles at @p freq_ghz to milliseconds. */
+inline double
+cyclesToMs(Cycles cycles, double freq_ghz)
+{
+    return cyclesToSeconds(cycles, freq_ghz) * 1e3;
+}
+
+/** ceil(a / b) for positive integers. */
+inline std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace fc::sim
+
+#endif // FC_SIM_CYCLES_H

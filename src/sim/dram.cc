@@ -1,0 +1,39 @@
+#include "sim/dram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fc::sim {
+
+Cycles
+Dram::streamCycles(std::uint64_t bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    const double bytes_per_cycle = config_.peak_gbps *
+                                   config_.streamed_efficiency /
+                                   config_.core_ghz;
+    return static_cast<Cycles>(
+        std::ceil(static_cast<double>(bytes) / bytes_per_cycle));
+}
+
+Cycles
+Dram::randomCycles(std::uint64_t accesses,
+                   std::uint32_t useful_bytes) const
+{
+    if (accesses == 0)
+        return 0;
+    // Every touch moves a whole burst; misses add the activate
+    // penalty. Requests overlap across banks/queues.
+    const std::uint64_t bytes =
+        accesses * std::max(config_.burst_bytes, useful_bytes);
+    const Cycles transfer = streamCycles(bytes);
+    const double misses =
+        static_cast<double>(accesses) * (1.0 - config_.random_row_hit);
+    const Cycles stall = static_cast<Cycles>(
+        misses * static_cast<double>(config_.row_miss_penalty) /
+        std::max(1u, config_.parallelism));
+    return transfer + stall;
+}
+
+} // namespace fc::sim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * DDR4-2133 DRAM channel model (17 GB/s, as in Table II).
+ *
+ * A burst-and-row-buffer model in the spirit of DRAMsim3, reduced to
+ * the quantities the accelerator comparison depends on: streamed
+ * transfers run at a fixed fraction of peak bandwidth; random
+ * transfers fetch whole 64 B bursts per touch and pay an expected
+ * row-miss penalty. Energy is charged per bit plus per activation.
+ */
+
+#ifndef FC_SIM_DRAM_H
+#define FC_SIM_DRAM_H
+
+#include <cstdint>
+
+#include "sim/cycles.h"
+
+namespace fc::sim {
+
+struct DramConfig
+{
+    /** Peak bandwidth (DDR4-2133 single channel). */
+    double peak_gbps = 17.0;
+
+    /** Fraction of peak achieved by streamed transfers. */
+    double streamed_efficiency = 0.85;
+
+    /** Burst (cache-line) size fetched per random touch. */
+    std::uint32_t burst_bytes = 64;
+
+    /** Row-buffer hit rate for random accesses. */
+    double random_row_hit = 0.25;
+
+    /** Row activate+precharge penalty in core cycles (1 GHz core). */
+    Cycles row_miss_penalty = 45;
+
+    /** Random-access requests served in parallel (banks/queues). */
+    std::uint32_t parallelism = 4;
+
+    /** Core frequency the cycle counts refer to. */
+    double core_ghz = 1.0;
+};
+
+class Dram
+{
+  public:
+    explicit Dram(DramConfig config = {}) : config_(config) {}
+
+    const DramConfig &config() const { return config_; }
+
+    /** Cycles to stream @p bytes sequentially. */
+    Cycles streamCycles(std::uint64_t bytes) const;
+
+    /**
+     * Cycles for @p accesses random touches of @p useful_bytes each
+     * (whole bursts are fetched regardless).
+     */
+    Cycles randomCycles(std::uint64_t accesses,
+                        std::uint32_t useful_bytes) const;
+
+    /** Bytes actually moved by @p accesses random touches. */
+    std::uint64_t
+    randomBytesMoved(std::uint64_t accesses) const
+    {
+        return accesses * config_.burst_bytes;
+    }
+
+    void
+    recordStream(std::uint64_t bytes)
+    {
+        streamed_bytes_ += bytes;
+    }
+
+    void
+    recordRandom(std::uint64_t accesses)
+    {
+        random_bytes_ += randomBytesMoved(accesses);
+        random_accesses_ += accesses;
+    }
+
+    std::uint64_t streamedBytes() const { return streamed_bytes_; }
+    std::uint64_t randomBytes() const { return random_bytes_; }
+    std::uint64_t randomAccesses() const { return random_accesses_; }
+    std::uint64_t
+    totalBytes() const
+    {
+        return streamed_bytes_ + random_bytes_;
+    }
+
+    void
+    reset()
+    {
+        streamed_bytes_ = 0;
+        random_bytes_ = 0;
+        random_accesses_ = 0;
+    }
+
+  private:
+    DramConfig config_;
+    std::uint64_t streamed_bytes_ = 0;
+    std::uint64_t random_bytes_ = 0;
+    std::uint64_t random_accesses_ = 0;
+};
+
+} // namespace fc::sim
+
+#endif // FC_SIM_DRAM_H

@@ -1,0 +1,29 @@
+#include "sim/energy.h"
+
+#include <cmath>
+
+namespace fc::sim {
+
+void
+EnergyMeter::addSramBytes(std::uint64_t bytes,
+                          std::uint64_t capacity_bytes)
+{
+    const double base_capacity = 274.0 * 1024.0;
+    const double scale = std::pow(
+        std::max(1.0, static_cast<double>(capacity_bytes) /
+                          base_capacity),
+        config_.sram_size_exponent);
+    sram_pj_ += static_cast<double>(bytes) * config_.sram_pj_per_byte *
+                scale;
+}
+
+void
+EnergyMeter::addStatic(Cycles cycles, double freq_ghz)
+{
+    const double seconds = cyclesToSeconds(cycles, freq_ghz);
+    static_pj_ += config_.static_watts * seconds * 1e12;
+    static_pj_ += static_cast<double>(cycles) / 1000.0 *
+                  config_.control_pj_per_kcycle;
+}
+
+} // namespace fc::sim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * 28 nm energy/area cost model.
+ *
+ * Per-event energies follow published 28 nm figures (Horowitz ISSCC'14
+ * scaling, CACTI-class SRAM numbers, DDR4 interface energy); the same
+ * constants apply to every modelled accelerator, matching the paper's
+ * same-technology normalization (§VI-A). Values are picojoules.
+ */
+
+#ifndef FC_SIM_ENERGY_H
+#define FC_SIM_ENERGY_H
+
+#include <cstdint>
+
+#include "sim/cycles.h"
+
+namespace fc::sim {
+
+struct EnergyConfig
+{
+    /** fp16 multiply-accumulate in the PE array. */
+    double mac_pj = 1.1;
+
+    /** One 3D Euclidean distance evaluation (8 fp16 ops + compare). */
+    double distance_pj = 3.2;
+
+    /** Comparator / sorter element op. */
+    double compare_pj = 0.35;
+
+    /** SRAM access, per byte (multi-bank global buffer). */
+    double sram_pj_per_byte = 0.65;
+
+    /**
+     * Extra per-byte cost for large SRAM macros: charged per byte
+     * scaled by (capacity / 274KB)^exponent — bigger arrays burn more
+     * per access (longer bitlines and interconnect), which is how
+     * Crescent's 1.6 MB buffer costs it energy (Fig. 15).
+     */
+    double sram_size_exponent = 1.0;
+
+    /** DRAM transfer energy per byte (DDR4 incl. I/O). */
+    double dram_pj_per_byte = 62.5; // ~500 pJ per 64-bit word
+
+    /** DRAM row activation. */
+    double dram_activate_pj = 909.0;
+
+    /** Static/leakage power of the core in watts. */
+    double static_watts = 0.06;
+
+    /** RISC-V core + NoC control overhead per kilocycle. */
+    double control_pj_per_kcycle = 18.0;
+};
+
+/** Accumulating energy meter. */
+class EnergyMeter
+{
+  public:
+    explicit EnergyMeter(EnergyConfig config = {}) : config_(config) {}
+
+    const EnergyConfig &config() const { return config_; }
+
+    void
+    addMacs(std::uint64_t macs)
+    {
+        compute_pj_ += static_cast<double>(macs) * config_.mac_pj;
+    }
+
+    void
+    addDistances(std::uint64_t count)
+    {
+        compute_pj_ +=
+            static_cast<double>(count) * config_.distance_pj;
+    }
+
+    void
+    addCompares(std::uint64_t count)
+    {
+        compute_pj_ += static_cast<double>(count) * config_.compare_pj;
+    }
+
+    /** @param capacity_bytes the SRAM macro size (scaling factor). */
+    void addSramBytes(std::uint64_t bytes, std::uint64_t capacity_bytes);
+
+    void
+    addDramBytes(std::uint64_t bytes)
+    {
+        dram_pj_ += static_cast<double>(bytes) * config_.dram_pj_per_byte;
+    }
+
+    void
+    addDramActivations(std::uint64_t count)
+    {
+        dram_pj_ +=
+            static_cast<double>(count) * config_.dram_activate_pj;
+    }
+
+    /** Charge leakage + control for an elapsed latency. */
+    void addStatic(Cycles cycles, double freq_ghz);
+
+    double computePj() const { return compute_pj_; }
+    double sramPj() const { return sram_pj_; }
+    double dramPj() const { return dram_pj_; }
+    double staticPj() const { return static_pj_; }
+
+    double
+    totalPj() const
+    {
+        return compute_pj_ + sram_pj_ + dram_pj_ + static_pj_;
+    }
+
+    double totalMj() const { return totalPj() * 1e-9; }
+
+    void
+    reset()
+    {
+        compute_pj_ = sram_pj_ = dram_pj_ = static_pj_ = 0.0;
+    }
+
+  private:
+    EnergyConfig config_;
+    double compute_pj_ = 0.0;
+    double sram_pj_ = 0.0;
+    double dram_pj_ = 0.0;
+    double static_pj_ = 0.0;
+};
+
+} // namespace fc::sim
+
+#endif // FC_SIM_ENERGY_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A timed, pipelined hardware resource.
+ *
+ * Transactions request service of a number of items at a start cycle;
+ * the resource serializes overlapping requests (busy-until semantics)
+ * and reports the finish cycle, occupancy, and utilization. This is
+ * the basic contention primitive from which unit models are composed.
+ */
+
+#ifndef FC_SIM_RESOURCE_H
+#define FC_SIM_RESOURCE_H
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+#include "sim/cycles.h"
+
+namespace fc::sim {
+
+class Resource
+{
+  public:
+    /**
+     * @param name             for reports
+     * @param items_per_cycle  pipelined throughput
+     * @param latency          fixed pipeline fill latency per request
+     */
+    Resource(std::string name, double items_per_cycle,
+             Cycles latency = 0)
+        : name_(std::move(name)), throughput_(items_per_cycle),
+          latency_(latency)
+    {
+        fc_assert(throughput_ > 0.0, "resource '%s' needs throughput",
+                  name_.c_str());
+    }
+
+    /**
+     * Request service for @p items starting no earlier than @p start.
+     * @return the finish cycle.
+     */
+    Cycles
+    acquire(Cycles start, std::uint64_t items)
+    {
+        const Cycles begin = std::max(start, busyUntil_);
+        const Cycles service = latency_ + static_cast<Cycles>(
+            static_cast<double>(items) / throughput_ + 0.999999);
+        busyUntil_ = begin + service;
+        busyCycles_ += service;
+        totalItems_ += items;
+        return busyUntil_;
+    }
+
+    Cycles busyUntil() const { return busyUntil_; }
+    Cycles busyCycles() const { return busyCycles_; }
+    std::uint64_t totalItems() const { return totalItems_; }
+    const std::string &name() const { return name_; }
+
+    /** Utilization relative to an elapsed window. */
+    double
+    utilization(Cycles elapsed) const
+    {
+        return elapsed == 0
+                   ? 0.0
+                   : static_cast<double>(busyCycles_) /
+                         static_cast<double>(elapsed);
+    }
+
+    void
+    reset()
+    {
+        busyUntil_ = 0;
+        busyCycles_ = 0;
+        totalItems_ = 0;
+    }
+
+  private:
+    std::string name_;
+    double throughput_;
+    Cycles latency_;
+    Cycles busyUntil_ = 0;
+    Cycles busyCycles_ = 0;
+    std::uint64_t totalItems_ = 0;
+};
+
+} // namespace fc::sim
+
+#endif // FC_SIM_RESOURCE_H

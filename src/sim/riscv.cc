@@ -1,0 +1,487 @@
+#include "sim/riscv.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace fc::sim {
+
+namespace rv {
+
+namespace {
+
+Insn
+rType(std::uint32_t funct7, int rs2, int rs1, std::uint32_t funct3,
+      int rd, std::uint32_t opcode)
+{
+    return (funct7 << 25) | (static_cast<std::uint32_t>(rs2) << 20) |
+           (static_cast<std::uint32_t>(rs1) << 15) | (funct3 << 12) |
+           (static_cast<std::uint32_t>(rd) << 7) | opcode;
+}
+
+Insn
+iType(std::int32_t imm, int rs1, std::uint32_t funct3, int rd,
+      std::uint32_t opcode)
+{
+    return (static_cast<std::uint32_t>(imm & 0xfff) << 20) |
+           (static_cast<std::uint32_t>(rs1) << 15) | (funct3 << 12) |
+           (static_cast<std::uint32_t>(rd) << 7) | opcode;
+}
+
+Insn
+sType(std::int32_t imm, int rs2, int rs1, std::uint32_t funct3,
+      std::uint32_t opcode)
+{
+    const std::uint32_t uimm = static_cast<std::uint32_t>(imm);
+    return (((uimm >> 5) & 0x7f) << 25) |
+           (static_cast<std::uint32_t>(rs2) << 20) |
+           (static_cast<std::uint32_t>(rs1) << 15) | (funct3 << 12) |
+           ((uimm & 0x1f) << 7) | opcode;
+}
+
+Insn
+bType(std::int32_t imm, int rs2, int rs1, std::uint32_t funct3)
+{
+    const std::uint32_t uimm = static_cast<std::uint32_t>(imm);
+    return (((uimm >> 12) & 1) << 31) | (((uimm >> 5) & 0x3f) << 25) |
+           (static_cast<std::uint32_t>(rs2) << 20) |
+           (static_cast<std::uint32_t>(rs1) << 15) | (funct3 << 12) |
+           (((uimm >> 1) & 0xf) << 8) | (((uimm >> 11) & 1) << 7) |
+           0x63u;
+}
+
+} // namespace
+
+Insn addi(int rd, int rs1, std::int32_t imm)
+{
+    return iType(imm, rs1, 0, rd, 0x13);
+}
+Insn andi(int rd, int rs1, std::int32_t imm)
+{
+    return iType(imm, rs1, 7, rd, 0x13);
+}
+Insn ori(int rd, int rs1, std::int32_t imm)
+{
+    return iType(imm, rs1, 6, rd, 0x13);
+}
+Insn xori(int rd, int rs1, std::int32_t imm)
+{
+    return iType(imm, rs1, 4, rd, 0x13);
+}
+Insn slli(int rd, int rs1, int shamt)
+{
+    return iType(shamt & 0x1f, rs1, 1, rd, 0x13);
+}
+Insn srli(int rd, int rs1, int shamt)
+{
+    return iType(shamt & 0x1f, rs1, 5, rd, 0x13);
+}
+Insn add(int rd, int rs1, int rs2)
+{
+    return rType(0x00, rs2, rs1, 0, rd, 0x33);
+}
+Insn sub(int rd, int rs1, int rs2)
+{
+    return rType(0x20, rs2, rs1, 0, rd, 0x33);
+}
+Insn mul(int rd, int rs1, int rs2)
+{
+    return rType(0x01, rs2, rs1, 0, rd, 0x33);
+}
+Insn mulhu(int rd, int rs1, int rs2)
+{
+    return rType(0x01, rs2, rs1, 3, rd, 0x33);
+}
+Insn divu(int rd, int rs1, int rs2)
+{
+    return rType(0x01, rs2, rs1, 5, rd, 0x33);
+}
+Insn remu(int rd, int rs1, int rs2)
+{
+    return rType(0x01, rs2, rs1, 7, rd, 0x33);
+}
+Insn and_(int rd, int rs1, int rs2)
+{
+    return rType(0x00, rs2, rs1, 7, rd, 0x33);
+}
+Insn or_(int rd, int rs1, int rs2)
+{
+    return rType(0x00, rs2, rs1, 6, rd, 0x33);
+}
+Insn xor_(int rd, int rs1, int rs2)
+{
+    return rType(0x00, rs2, rs1, 4, rd, 0x33);
+}
+Insn slt(int rd, int rs1, int rs2)
+{
+    return rType(0x00, rs2, rs1, 2, rd, 0x33);
+}
+Insn sltu(int rd, int rs1, int rs2)
+{
+    return rType(0x00, rs2, rs1, 3, rd, 0x33);
+}
+Insn lui(int rd, std::int32_t imm20)
+{
+    return (static_cast<std::uint32_t>(imm20) << 12) |
+           (static_cast<std::uint32_t>(rd) << 7) | 0x37u;
+}
+Insn auipc(int rd, std::int32_t imm20)
+{
+    return (static_cast<std::uint32_t>(imm20) << 12) |
+           (static_cast<std::uint32_t>(rd) << 7) | 0x17u;
+}
+Insn lw(int rd, int rs1, std::int32_t offset)
+{
+    return iType(offset, rs1, 2, rd, 0x03);
+}
+Insn sw(int rs2, int rs1, std::int32_t offset)
+{
+    return sType(offset, rs2, rs1, 2, 0x23);
+}
+Insn beq(int rs1, int rs2, std::int32_t offset)
+{
+    return bType(offset, rs2, rs1, 0);
+}
+Insn bne(int rs1, int rs2, std::int32_t offset)
+{
+    return bType(offset, rs2, rs1, 1);
+}
+Insn blt(int rs1, int rs2, std::int32_t offset)
+{
+    return bType(offset, rs2, rs1, 4);
+}
+Insn bgeu(int rs1, int rs2, std::int32_t offset)
+{
+    return bType(offset, rs2, rs1, 7);
+}
+
+Insn
+jal(int rd, std::int32_t offset)
+{
+    const std::uint32_t uimm = static_cast<std::uint32_t>(offset);
+    return (((uimm >> 20) & 1) << 31) | (((uimm >> 1) & 0x3ff) << 21) |
+           (((uimm >> 11) & 1) << 20) | (((uimm >> 12) & 0xff) << 12) |
+           (static_cast<std::uint32_t>(rd) << 7) | 0x6fu;
+}
+
+Insn
+jalr(int rd, int rs1, std::int32_t offset)
+{
+    return iType(offset, rs1, 0, rd, 0x67);
+}
+
+Insn ecall() { return 0x00000073u; }
+
+std::vector<Insn>
+li(int rd, std::uint32_t value)
+{
+    const std::int32_t lo =
+        static_cast<std::int32_t>(value << 20) >> 20; // sign-extend 12
+    std::uint32_t hi = (value - static_cast<std::uint32_t>(lo)) >> 12;
+    std::vector<Insn> out;
+    out.push_back(lui(rd, static_cast<std::int32_t>(hi)));
+    out.push_back(addi(rd, rd, lo));
+    return out;
+}
+
+} // namespace rv
+
+RiscvCore::RiscvCore(std::size_t mem_bytes, std::uint32_t mmio_base)
+    : memory_(mem_bytes, 0), mmioBase_(mmio_base)
+{}
+
+void
+RiscvCore::loadProgram(const std::vector<rv::Insn> &program,
+                       std::uint32_t base)
+{
+    fc_assert(base % 4 == 0, "program base must be word-aligned");
+    fc_assert(base + program.size() * 4 <= memory_.size(),
+              "program does not fit in memory");
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        std::memcpy(memory_.data() + base + i * 4, &program[i], 4);
+    }
+    pc_ = base;
+    halted_ = false;
+}
+
+std::uint32_t
+RiscvCore::reg(int index) const
+{
+    fc_assert(index >= 0 && index < 32, "bad register x%d", index);
+    return regs_[index];
+}
+
+void
+RiscvCore::setReg(int index, std::uint32_t value)
+{
+    fc_assert(index >= 0 && index < 32, "bad register x%d", index);
+    if (index != 0)
+        regs_[index] = value;
+}
+
+std::uint32_t
+RiscvCore::loadWord(std::uint32_t address) const
+{
+    fc_assert(address + 4 <= memory_.size(), "load 0x%x out of range",
+              address);
+    std::uint32_t value;
+    std::memcpy(&value, memory_.data() + address, 4);
+    return value;
+}
+
+void
+RiscvCore::storeWord(std::uint32_t address, std::uint32_t value)
+{
+    if (address >= mmioBase_) {
+        mmioWrites_.push_back({address, value});
+        return;
+    }
+    fc_assert(address + 4 <= memory_.size(), "store 0x%x out of range",
+              address);
+    std::memcpy(memory_.data() + address, &value, 4);
+}
+
+std::uint64_t
+RiscvCore::run(std::uint64_t max_insns)
+{
+    std::uint64_t retired = 0;
+    while (!halted_ && retired < max_insns) {
+        fc_assert(pc_ + 4 <= memory_.size(), "pc 0x%x out of range",
+                  pc_);
+        rv::Insn insn;
+        std::memcpy(&insn, memory_.data() + pc_, 4);
+        execute(insn);
+        ++retired;
+    }
+    return retired;
+}
+
+void
+RiscvCore::execute(rv::Insn insn)
+{
+    const std::uint32_t opcode = insn & 0x7f;
+    const int rd = static_cast<int>((insn >> 7) & 0x1f);
+    const int rs1 = static_cast<int>((insn >> 15) & 0x1f);
+    const int rs2 = static_cast<int>((insn >> 20) & 0x1f);
+    const std::uint32_t funct3 = (insn >> 12) & 0x7;
+    const std::uint32_t funct7 = insn >> 25;
+    const std::int32_t imm_i =
+        static_cast<std::int32_t>(insn) >> 20;
+    std::uint32_t next_pc = pc_ + 4;
+    ++cycles_; // base CPI of 1
+
+    auto x = [&](int r) { return regs_[r]; };
+    auto set = [&](int r, std::uint32_t v) {
+        if (r != 0)
+            regs_[r] = v;
+    };
+
+    switch (opcode) {
+      case 0x13: { // OP-IMM
+        switch (funct3) {
+          case 0:
+            set(rd, x(rs1) + static_cast<std::uint32_t>(imm_i));
+            break;
+          case 1:
+            set(rd, x(rs1) << (imm_i & 0x1f));
+            break;
+          case 2:
+            set(rd, static_cast<std::int32_t>(x(rs1)) < imm_i ? 1 : 0);
+            break;
+          case 3:
+            set(rd, x(rs1) < static_cast<std::uint32_t>(imm_i) ? 1 : 0);
+            break;
+          case 4:
+            set(rd, x(rs1) ^ static_cast<std::uint32_t>(imm_i));
+            break;
+          case 5:
+            if (funct7 & 0x20)
+                set(rd, static_cast<std::uint32_t>(
+                            static_cast<std::int32_t>(x(rs1)) >>
+                            (imm_i & 0x1f)));
+            else
+                set(rd, x(rs1) >> (imm_i & 0x1f));
+            break;
+          case 6:
+            set(rd, x(rs1) | static_cast<std::uint32_t>(imm_i));
+            break;
+          case 7:
+            set(rd, x(rs1) & static_cast<std::uint32_t>(imm_i));
+            break;
+        }
+        break;
+      }
+      case 0x33: { // OP
+        if (funct7 == 0x01) { // M extension
+            const std::uint64_t a = x(rs1), b = x(rs2);
+            const std::int64_t sa =
+                static_cast<std::int32_t>(x(rs1));
+            const std::int64_t sb =
+                static_cast<std::int32_t>(x(rs2));
+            cycles_ += funct3 >= 4 ? 16 : 2; // div slower than mul
+            switch (funct3) {
+              case 0:
+                set(rd, static_cast<std::uint32_t>(a * b));
+                break;
+              case 1:
+                set(rd, static_cast<std::uint32_t>(
+                            static_cast<std::uint64_t>(sa * sb) >> 32));
+                break;
+              case 2:
+                set(rd, static_cast<std::uint32_t>(
+                            static_cast<std::uint64_t>(
+                                sa * static_cast<std::int64_t>(b)) >>
+                            32));
+                break;
+              case 3:
+                set(rd, static_cast<std::uint32_t>((a * b) >> 32));
+                break;
+              case 4:
+                set(rd, sb == 0
+                            ? 0xffffffffu
+                            : static_cast<std::uint32_t>(sa / sb));
+                break;
+              case 5:
+                set(rd, b == 0 ? 0xffffffffu
+                               : static_cast<std::uint32_t>(a / b));
+                break;
+              case 6:
+                set(rd, sb == 0 ? static_cast<std::uint32_t>(sa)
+                                : static_cast<std::uint32_t>(sa % sb));
+                break;
+              case 7:
+                set(rd, b == 0 ? static_cast<std::uint32_t>(a)
+                               : static_cast<std::uint32_t>(a % b));
+                break;
+            }
+        } else {
+            switch (funct3) {
+              case 0:
+                set(rd, funct7 & 0x20 ? x(rs1) - x(rs2)
+                                      : x(rs1) + x(rs2));
+                break;
+              case 1:
+                set(rd, x(rs1) << (x(rs2) & 0x1f));
+                break;
+              case 2:
+                set(rd, static_cast<std::int32_t>(x(rs1)) <
+                                static_cast<std::int32_t>(x(rs2))
+                            ? 1
+                            : 0);
+                break;
+              case 3:
+                set(rd, x(rs1) < x(rs2) ? 1 : 0);
+                break;
+              case 4:
+                set(rd, x(rs1) ^ x(rs2));
+                break;
+              case 5:
+                if (funct7 & 0x20)
+                    set(rd, static_cast<std::uint32_t>(
+                                static_cast<std::int32_t>(x(rs1)) >>
+                                (x(rs2) & 0x1f)));
+                else
+                    set(rd, x(rs1) >> (x(rs2) & 0x1f));
+                break;
+              case 6:
+                set(rd, x(rs1) | x(rs2));
+                break;
+              case 7:
+                set(rd, x(rs1) & x(rs2));
+                break;
+            }
+        }
+        break;
+      }
+      case 0x37: // LUI
+        set(rd, insn & 0xfffff000u);
+        break;
+      case 0x17: // AUIPC
+        set(rd, pc_ + (insn & 0xfffff000u));
+        break;
+      case 0x03: { // LOAD (lw only in our programs)
+        fc_assert(funct3 == 2, "only lw supported (funct3=%u)", funct3);
+        const std::uint32_t addr =
+            x(rs1) + static_cast<std::uint32_t>(imm_i);
+        set(rd, loadWord(addr));
+        cycles_ += 1; // memory access
+        break;
+      }
+      case 0x23: { // STORE (sw only)
+        fc_assert(funct3 == 2, "only sw supported (funct3=%u)", funct3);
+        const std::int32_t imm_s = static_cast<std::int32_t>(
+            ((insn >> 25) << 5) | ((insn >> 7) & 0x1f));
+        const std::int32_t simm =
+            (imm_s << 20) >> 20; // sign-extend 12 bits
+        const std::uint32_t addr =
+            x(rs1) + static_cast<std::uint32_t>(simm);
+        storeWord(addr, x(rs2));
+        cycles_ += 1;
+        break;
+      }
+      case 0x63: { // BRANCH
+        const std::uint32_t uimm =
+            (((insn >> 31) & 1) << 12) | (((insn >> 7) & 1) << 11) |
+            (((insn >> 25) & 0x3f) << 5) | (((insn >> 8) & 0xf) << 1);
+        const std::int32_t offset =
+            (static_cast<std::int32_t>(uimm << 19)) >> 19;
+        bool taken = false;
+        switch (funct3) {
+          case 0:
+            taken = x(rs1) == x(rs2);
+            break;
+          case 1:
+            taken = x(rs1) != x(rs2);
+            break;
+          case 4:
+            taken = static_cast<std::int32_t>(x(rs1)) <
+                    static_cast<std::int32_t>(x(rs2));
+            break;
+          case 5:
+            taken = static_cast<std::int32_t>(x(rs1)) >=
+                    static_cast<std::int32_t>(x(rs2));
+            break;
+          case 6:
+            taken = x(rs1) < x(rs2);
+            break;
+          case 7:
+            taken = x(rs1) >= x(rs2);
+            break;
+          default:
+            fc_panic("bad branch funct3 %u", funct3);
+        }
+        if (taken) {
+            next_pc = pc_ + static_cast<std::uint32_t>(offset);
+            cycles_ += 2; // pipeline flush
+        }
+        break;
+      }
+      case 0x6f: { // JAL
+        const std::uint32_t uimm =
+            (((insn >> 31) & 1) << 20) | (((insn >> 12) & 0xff) << 12) |
+            (((insn >> 20) & 1) << 11) | (((insn >> 21) & 0x3ff) << 1);
+        const std::int32_t offset =
+            (static_cast<std::int32_t>(uimm << 11)) >> 11;
+        set(rd, pc_ + 4);
+        next_pc = pc_ + static_cast<std::uint32_t>(offset);
+        cycles_ += 2;
+        break;
+      }
+      case 0x67: { // JALR
+        const std::uint32_t target =
+            (x(rs1) + static_cast<std::uint32_t>(imm_i)) & ~1u;
+        set(rd, pc_ + 4);
+        next_pc = target;
+        cycles_ += 2;
+        break;
+      }
+      case 0x73: // SYSTEM: ecall halts
+        halted_ = true;
+        break;
+      default:
+        fc_panic("unsupported opcode 0x%02x at pc 0x%x", opcode, pc_);
+    }
+    pc_ = next_pc;
+}
+
+} // namespace fc::sim

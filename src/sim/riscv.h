@@ -1,0 +1,127 @@
+/**
+ * @file
+ * RV32IM interpreter: the configuration core of FractalCloud (§V-A).
+ *
+ * The paper uses a six-stage RV32IMAC core to write unit configuration
+ * registers and orchestrate transfers. This interpreter executes the
+ * RV32I base set plus the M extension, with a memory-mapped I/O window
+ * through which configuration programs write unit CSRs; the
+ * accelerator model consumes the resulting write log. A small
+ * instruction-encoding toolkit doubles as the assembler used by tests
+ * and by the config-program generator.
+ */
+
+#ifndef FC_SIM_RISCV_H
+#define FC_SIM_RISCV_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fc::sim {
+
+/** Encoders for the instruction formats the control programs need. */
+namespace rv {
+
+using Insn = std::uint32_t;
+
+Insn addi(int rd, int rs1, std::int32_t imm);
+Insn add(int rd, int rs1, int rs2);
+Insn sub(int rd, int rs1, int rs2);
+Insn mul(int rd, int rs1, int rs2);
+Insn mulhu(int rd, int rs1, int rs2);
+Insn divu(int rd, int rs1, int rs2);
+Insn remu(int rd, int rs1, int rs2);
+Insn andi(int rd, int rs1, std::int32_t imm);
+Insn ori(int rd, int rs1, std::int32_t imm);
+Insn xori(int rd, int rs1, std::int32_t imm);
+Insn slli(int rd, int rs1, int shamt);
+Insn srli(int rd, int rs1, int shamt);
+Insn and_(int rd, int rs1, int rs2);
+Insn or_(int rd, int rs1, int rs2);
+Insn xor_(int rd, int rs1, int rs2);
+Insn slt(int rd, int rs1, int rs2);
+Insn sltu(int rd, int rs1, int rs2);
+Insn lui(int rd, std::int32_t imm20);
+Insn auipc(int rd, std::int32_t imm20);
+Insn lw(int rd, int rs1, std::int32_t offset);
+Insn sw(int rs2, int rs1, std::int32_t offset);
+Insn beq(int rs1, int rs2, std::int32_t offset);
+Insn bne(int rs1, int rs2, std::int32_t offset);
+Insn blt(int rs1, int rs2, std::int32_t offset);
+Insn bgeu(int rs1, int rs2, std::int32_t offset);
+Insn jal(int rd, std::int32_t offset);
+Insn jalr(int rd, int rs1, std::int32_t offset);
+Insn ecall();
+
+/** Materialize an arbitrary 32-bit constant into rd (lui+addi pair). */
+std::vector<Insn> li(int rd, std::uint32_t value);
+
+} // namespace rv
+
+/** A recorded MMIO store (unit configuration write). */
+struct MmioWrite
+{
+    std::uint32_t address = 0;
+    std::uint32_t value = 0;
+};
+
+/**
+ * The interpreter. Memory is a flat little-endian array; addresses at
+ * or above mmio_base are routed to the MMIO log instead.
+ */
+class RiscvCore
+{
+  public:
+    /**
+     * @param mem_bytes size of flat data/instruction memory
+     * @param mmio_base first MMIO address
+     */
+    explicit RiscvCore(std::size_t mem_bytes = 64 * 1024,
+                       std::uint32_t mmio_base = 0x4000'0000u);
+
+    /** Load a program at @p base (word-aligned). */
+    void loadProgram(const std::vector<rv::Insn> &program,
+                     std::uint32_t base = 0);
+
+    /**
+     * Run until ecall or @p max_insns executed.
+     * @return number of instructions retired.
+     */
+    std::uint64_t run(std::uint64_t max_insns = 1'000'000);
+
+    std::uint32_t reg(int index) const;
+    void setReg(int index, std::uint32_t value);
+
+    std::uint32_t pc() const { return pc_; }
+    void setPc(std::uint32_t pc) { pc_ = pc; }
+
+    std::uint32_t loadWord(std::uint32_t address) const;
+    void storeWord(std::uint32_t address, std::uint32_t value);
+
+    const std::vector<MmioWrite> &mmioWrites() const
+    {
+        return mmioWrites_;
+    }
+
+    bool halted() const { return halted_; }
+
+    /** Cycle estimate: 1 cycle/insn + branch/mem penalties. */
+    std::uint64_t cycleEstimate() const { return cycles_; }
+
+  private:
+    void execute(rv::Insn insn);
+
+    std::vector<std::uint8_t> memory_;
+    std::uint32_t mmioBase_;
+    std::uint32_t regs_[32] = {};
+    std::uint32_t pc_ = 0;
+    bool halted_ = false;
+    std::uint64_t cycles_ = 0;
+    std::vector<MmioWrite> mmioWrites_;
+};
+
+} // namespace fc::sim
+
+#endif // FC_SIM_RISCV_H

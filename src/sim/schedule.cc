@@ -1,0 +1,44 @@
+#include "sim/schedule.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace fc::sim {
+
+Cycles
+lptMakespan(std::vector<Cycles> task_cycles, std::size_t lanes)
+{
+    fc_assert(lanes > 0, "need at least one lane");
+    if (task_cycles.empty())
+        return 0;
+    std::sort(task_cycles.begin(), task_cycles.end(),
+              std::greater<Cycles>());
+    // Min-heap of lane finish times.
+    std::priority_queue<Cycles, std::vector<Cycles>,
+                        std::greater<Cycles>>
+        lanes_heap;
+    for (std::size_t i = 0; i < lanes; ++i)
+        lanes_heap.push(0);
+    Cycles makespan = 0;
+    for (const Cycles t : task_cycles) {
+        Cycles lane = lanes_heap.top();
+        lanes_heap.pop();
+        lane += t;
+        makespan = std::max(makespan, lane);
+        lanes_heap.push(lane);
+    }
+    return makespan;
+}
+
+Cycles
+serialLatency(const std::vector<Cycles> &task_cycles)
+{
+    Cycles total = 0;
+    for (const Cycles t : task_cycles)
+        total += t;
+    return total;
+}
+
+} // namespace fc::sim

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Parallel-schedule latency helpers.
+ *
+ * Block-parallel execution assigns whole blocks to compute lanes; the
+ * simulator reproduces the hardware scheduler's longest-processing-
+ * time-first policy to obtain the makespan over a lane pool.
+ */
+
+#ifndef FC_SIM_SCHEDULE_H
+#define FC_SIM_SCHEDULE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cycles.h"
+
+namespace fc::sim {
+
+/**
+ * Makespan of scheduling @p task_cycles onto @p lanes identical lanes
+ * with the LPT greedy heuristic (tasks sorted by decreasing length,
+ * each assigned to the least-loaded lane). Matches a work-stealing
+ * hardware dispatcher closely for the block-size distributions that
+ * partitioning produces.
+ */
+Cycles lptMakespan(std::vector<Cycles> task_cycles, std::size_t lanes);
+
+/** Sum of task cycles (serial execution). */
+Cycles serialLatency(const std::vector<Cycles> &task_cycles);
+
+} // namespace fc::sim
+
+#endif // FC_SIM_SCHEDULE_H

@@ -1,0 +1,42 @@
+#include "sim/sram.h"
+
+#include "common/logging.h"
+
+namespace fc::sim {
+
+Cycles
+Sram::cycles(std::uint64_t bytes, AccessPattern pattern,
+             std::uint32_t requesters) const
+{
+    if (bytes == 0)
+        return 0;
+    const std::uint64_t full_bw = static_cast<std::uint64_t>(
+        config_.num_banks) * config_.bytes_per_port;
+    switch (pattern) {
+      case AccessPattern::Streamed:
+        return ceilDiv(bytes, full_bw);
+      case AccessPattern::Random: {
+        // Random: each requester achieves at most one port per cycle,
+        // degraded by expected bank collisions.
+        const double conflict =
+            1.0 + static_cast<double>(requesters > 0 ? requesters - 1
+                                                     : 0) /
+                      static_cast<double>(config_.num_banks);
+        const std::uint64_t eff_bw = static_cast<std::uint64_t>(
+            std::max(1.0, static_cast<double>(requesters) *
+                              config_.bytes_per_port / conflict));
+        return ceilDiv(bytes, eff_bw);
+      }
+    }
+    fc_panic("unknown access pattern");
+}
+
+void
+Sram::record(std::uint64_t bytes, AccessPattern pattern)
+{
+    total_bytes_ += bytes;
+    if (pattern == AccessPattern::Random)
+        random_bytes_ += bytes;
+}
+
+} // namespace fc::sim

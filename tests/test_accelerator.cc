@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the accelerator timing models: internal consistency and
+ * the qualitative orderings of the paper's evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "dataset/s3dis.h"
+#include "nn/models.h"
+
+namespace fc::accel {
+namespace {
+
+const data::PointCloud &
+scene33k()
+{
+    static const data::PointCloud scene = data::makeS3disScene(33000, 1);
+    return scene;
+}
+
+TEST(Configs, TableTwoValues)
+{
+    EXPECT_DOUBLE_EQ(pointAccConfig().sram_kb, 274.0);
+    EXPECT_DOUBLE_EQ(crescentConfig().sram_kb, 1622.8);
+    EXPECT_DOUBLE_EQ(mesorasiConfig().sram_kb, 1624.0);
+    EXPECT_DOUBLE_EQ(fractalCloudConfig().sram_kb, 274.0);
+    EXPECT_DOUBLE_EQ(fractalCloudConfig().area_mm2, 1.5);
+    // 2 ops x 256 PEs x 1 GHz = 512 GOPS for every design.
+    for (const auto &cfg :
+         {mesorasiConfig(), pointAccConfig(), crescentConfig(),
+          fractalCloudConfig()}) {
+        EXPECT_DOUBLE_EQ(cfg.peakGops(), 512.0) << cfg.name;
+    }
+}
+
+TEST(Floorplan, SumsToTableTwo)
+{
+    double area = 0.0, power = 0.0;
+    for (const ModuleBudget &m : fractalCloudFloorplan()) {
+        area += m.area_mm2;
+        power += m.power_mw;
+    }
+    EXPECT_NEAR(area, 1.5, 0.01);
+    EXPECT_NEAR(power, 580.0, 1.0);
+}
+
+TEST(Accelerator, ReportHasAllPhases)
+{
+    const auto fc = makeFractalCloud(256);
+    const RunReport r = fc.run(nn::pointNeXtSemSeg(), scene33k());
+    EXPECT_GT(r.latencyMs(Phase::Partition), 0.0);
+    EXPECT_GT(r.latencyMs(Phase::Sample), 0.0);
+    EXPECT_GT(r.latencyMs(Phase::Group), 0.0);
+    EXPECT_GT(r.latencyMs(Phase::Interpolate), 0.0);
+    EXPECT_GT(r.latencyMs(Phase::Mlp), 0.0);
+    EXPECT_GT(r.totalEnergyMj(), 0.0);
+    EXPECT_EQ(r.accelerator, "FractalCloud");
+}
+
+TEST(Accelerator, FractalCloudBeatsPointAccLargeScale)
+{
+    const RunReport ours =
+        makeFractalCloud(256).run(nn::pointNeXtSemSeg(), scene33k());
+    const RunReport pa =
+        makePointAcc().run(nn::pointNeXtSemSeg(), scene33k());
+    EXPECT_LT(5.0 * ours.totalLatencyMs(), pa.totalLatencyMs())
+        << "expected >5x speedup over PointAcc at 33K";
+    EXPECT_LT(3.0 * ours.totalEnergyMj(), pa.totalEnergyMj());
+}
+
+TEST(Accelerator, PointOpsDominatePointAccLargeScale)
+{
+    const RunReport pa =
+        makePointAcc().run(nn::pointNeXtSemSeg(), scene33k());
+    EXPECT_GT(static_cast<double>(pa.pointOpCycles()),
+              0.6 * static_cast<double>(pa.totalCycles()));
+}
+
+TEST(Accelerator, CrescentPartitionCostVisible)
+{
+    const RunReport cres =
+        makeCrescent().run(nn::pointNeXtSemSeg(), scene33k());
+    const RunReport ours =
+        makeFractalCloud(256).run(nn::pointNeXtSemSeg(), scene33k());
+    // KD-tree partitioning costs orders of magnitude more than the
+    // fractal engine (Fig. 16: 133x).
+    EXPECT_GT(cres.latencyMs(Phase::Partition),
+              20.0 * ours.latencyMs(Phase::Partition));
+    // And Fractal partitioning stays below 1% of our total (paper:
+    // <0.8%).
+    EXPECT_LT(ours.latencyMs(Phase::Partition),
+              0.02 * ours.totalLatencyMs());
+}
+
+TEST(Accelerator, GpuSlowestAtEnergy)
+{
+    const RunReport gpu = gpuRun(nn::pointNeXtSemSeg(), 33000);
+    const RunReport ours =
+        makeFractalCloud(256).run(nn::pointNeXtSemSeg(), scene33k());
+    EXPECT_GT(gpu.totalEnergyMj(), 50.0 * ours.totalEnergyMj());
+}
+
+TEST(Accelerator, SpeedupGrowsWithScale)
+{
+    // The headline scaling claim: our advantage over PointAcc grows
+    // with input size.
+    const auto model = nn::pointNeXtSemSeg();
+    const data::PointCloud small = data::makeS3disScene(4000, 2);
+    const data::PointCloud large = data::makeS3disScene(64000, 3);
+    const double speedup_small =
+        makePointAcc().run(model, small).totalLatencyMs() /
+        makeFractalCloud(64).run(model, small).totalLatencyMs();
+    const double speedup_large =
+        makePointAcc().run(model, large).totalLatencyMs() /
+        makeFractalCloud(256).run(model, large).totalLatencyMs();
+    EXPECT_GT(speedup_large, 1.5 * speedup_small);
+}
+
+TEST(Accelerator, AblationTogglesMonotone)
+{
+    // Fig. 18 direction: enabling each block-wise op reduces latency.
+    const auto model = nn::pointNeXtSemSeg();
+    const data::PointCloud &scene = scene33k();
+
+    Policy p;
+    p.partition_method = part::Method::Fractal;
+    p.partition_threshold = 256;
+    p.delayed_aggregation = true;
+    p.block_parallel = true;
+    p.window_check = true;
+    p.coord_reuse = true;
+    p.block_sampling = false;
+    p.block_grouping = false;
+    p.block_interpolation = false;
+    p.block_gathering = false;
+
+    const double base =
+        makeFractalCloudWithPolicy(p).run(model, scene)
+            .totalLatencyMs();
+    p.block_sampling = true;
+    const double bws =
+        makeFractalCloudWithPolicy(p).run(model, scene)
+            .totalLatencyMs();
+    p.block_grouping = true;
+    const double bwg =
+        makeFractalCloudWithPolicy(p).run(model, scene)
+            .totalLatencyMs();
+    p.block_interpolation = true;
+    const double bwi =
+        makeFractalCloudWithPolicy(p).run(model, scene)
+            .totalLatencyMs();
+    p.block_gathering = true;
+    const double bwga =
+        makeFractalCloudWithPolicy(p).run(model, scene)
+            .totalLatencyMs();
+
+    EXPECT_LT(bws, base);
+    EXPECT_LT(bwg, bws);
+    EXPECT_LT(bwi, bwg);
+    EXPECT_LE(bwga, bwi * 1.05);
+}
+
+TEST(Accelerator, WindowCheckSavesSampleTime)
+{
+    const auto model = nn::pointNet2SemSeg();
+    const data::PointCloud &scene = scene33k();
+    Policy with = makeFractalCloud(256).policy();
+    Policy without = with;
+    without.window_check = false;
+    const double t_with = makeFractalCloudWithPolicy(with)
+                              .run(model, scene)
+                              .latencyMs(Phase::Sample);
+    const double t_without = makeFractalCloudWithPolicy(without)
+                                 .run(model, scene)
+                                 .latencyMs(Phase::Sample);
+    EXPECT_LT(t_with, t_without);
+}
+
+TEST(Gpu, LatencyScalesSuperlinearly)
+{
+    const auto model = nn::pointNeXtSemSeg();
+    const double t16 = gpuRun(model, 16000).totalLatencyMs();
+    const double t128 = gpuRun(model, 128000).totalLatencyMs();
+    EXPECT_GT(t128, 8.0 * t16) << "global ops should scale ~n^2";
+}
+
+TEST(Gpu, PointOpShareGrowsWithScale)
+{
+    const auto model = nn::pointNeXtSemSeg();
+    const RunReport small = gpuRun(model, 1000);
+    const RunReport large = gpuRun(model, 289000);
+    const double share_small =
+        static_cast<double>(small.pointOpCycles()) /
+        static_cast<double>(small.totalCycles());
+    const double share_large =
+        static_cast<double>(large.pointOpCycles()) /
+        static_cast<double>(large.totalCycles());
+    EXPECT_GT(share_large, share_small);
+    EXPECT_GT(share_large, 0.9); // paper Fig. 4: >90% at 289K
+}
+
+} // namespace
+} // namespace fc::accel

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the BlockTree structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dataset/point_cloud.h"
+#include "partition/block_tree.h"
+#include "partition/fractal.h"
+
+namespace fc::part {
+namespace {
+
+/** Hand-built tree: root -> (left leaf, right internal -> 2 leaves). */
+BlockTree
+makeManualTree()
+{
+    BlockTree tree(10);
+    BlockNode root;
+    root.begin = 0;
+    root.end = 10;
+    tree.addNode(root);
+
+    BlockNode l;
+    l.begin = 0;
+    l.end = 4;
+    l.parent = 0;
+    l.depth = 1;
+    BlockNode r;
+    r.begin = 4;
+    r.end = 10;
+    r.parent = 0;
+    r.depth = 1;
+    const NodeIdx li = tree.addNode(l);
+    const NodeIdx ri = tree.addNode(r);
+    tree.node(0).left = li;
+    tree.node(0).right = ri;
+    tree.node(0).splitDim = 0;
+
+    BlockNode rl;
+    rl.begin = 4;
+    rl.end = 7;
+    rl.parent = ri;
+    rl.depth = 2;
+    BlockNode rr;
+    rr.begin = 7;
+    rr.end = 10;
+    rr.parent = ri;
+    rr.depth = 2;
+    const NodeIdx rli = tree.addNode(rl);
+    const NodeIdx rri = tree.addNode(rr);
+    tree.node(ri).left = rli;
+    tree.node(ri).right = rri;
+    tree.node(ri).splitDim = 1;
+
+    tree.rebuildLeafList();
+    return tree;
+}
+
+TEST(BlockTree, LeafListIsDepthFirst)
+{
+    const BlockTree tree = makeManualTree();
+    ASSERT_EQ(tree.leaves().size(), 3u);
+    EXPECT_EQ(tree.node(tree.leaves()[0]).begin, 0u);
+    EXPECT_EQ(tree.node(tree.leaves()[1]).begin, 4u);
+    EXPECT_EQ(tree.node(tree.leaves()[2]).begin, 7u);
+}
+
+TEST(BlockTree, SearchSpaceRule)
+{
+    const BlockTree tree = makeManualTree();
+    // Depth-1 leaf searches itself.
+    const NodeIdx depth1_leaf = tree.leaves()[0];
+    EXPECT_EQ(tree.searchSpaceNode(depth1_leaf), depth1_leaf);
+    // Depth-2 leaves search their parent.
+    const NodeIdx depth2_leaf = tree.leaves()[1];
+    EXPECT_EQ(tree.searchSpaceNode(depth2_leaf),
+              tree.node(depth2_leaf).parent);
+}
+
+TEST(BlockTree, SizeStatistics)
+{
+    const BlockTree tree = makeManualTree();
+    EXPECT_EQ(tree.maxDepth(), 2u);
+    EXPECT_EQ(tree.maxLeafSize(), 4u);
+    EXPECT_EQ(tree.minLeafSize(), 3u);
+    EXPECT_GT(tree.leafSizeCv(), 0.0);
+    EXPECT_LT(tree.leafSizeCv(), 1.0);
+}
+
+TEST(BlockTree, ValidatePassesOnManualTree)
+{
+    const BlockTree tree = makeManualTree();
+    tree.validate(); // must not panic
+}
+
+TEST(BlockTreeDeathTest, ValidateCatchesBadTiling)
+{
+    BlockTree tree = makeManualTree();
+    tree.node(tree.leaves()[1]).begin = 5; // hole in coverage
+    EXPECT_DEATH(tree.validate(), "");
+}
+
+TEST(BlockTreeDeathTest, ValidateCatchesBadPermutation)
+{
+    BlockTree tree = makeManualTree();
+    tree.order()[0] = tree.order()[1]; // duplicate entry
+    EXPECT_DEATH(tree.validate(), "duplicated");
+}
+
+TEST(BlockTree, SummaryMentionsCounts)
+{
+    const BlockTree tree = makeManualTree();
+    const std::string s = tree.summary();
+    EXPECT_NE(s.find("10 points"), std::string::npos);
+    EXPECT_NE(s.find("3 leaves"), std::string::npos);
+}
+
+} // namespace
+} // namespace fc::part

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the nearest-centroid heads and accuracy metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/classifier.h"
+
+namespace fc::nn {
+namespace {
+
+TEST(NearestCentroid, SeparableClusters)
+{
+    // Three well-separated Gaussian clusters in 4-D.
+    Pcg32 rng(1);
+    std::vector<float> features;
+    std::vector<int> labels;
+    const float centers[3][4] = {
+        {10, 0, 0, 0}, {0, 10, 0, 0}, {0, 0, 10, 0}};
+    for (int c = 0; c < 3; ++c) {
+        for (int i = 0; i < 50; ++i) {
+            for (int d = 0; d < 4; ++d)
+                features.push_back(
+                    rng.normal(centers[c][d], 0.5f));
+            labels.push_back(c);
+        }
+    }
+    NearestCentroid clf;
+    clf.fit(features, 4, labels, 3);
+
+    // Fresh samples classify correctly.
+    int correct = 0;
+    for (int c = 0; c < 3; ++c) {
+        for (int i = 0; i < 20; ++i) {
+            float x[4];
+            for (int d = 0; d < 4; ++d)
+                x[d] = rng.normal(centers[c][d], 0.5f);
+            correct += clf.predict({x, 4}) == c;
+        }
+    }
+    EXPECT_GE(correct, 58); // ~97%+
+}
+
+TEST(NearestCentroid, UnseenClassNeverPredicted)
+{
+    std::vector<float> features{1, 0, 0, 1};
+    std::vector<int> labels{0, 1};
+    NearestCentroid clf;
+    clf.fit(features, 2, labels, 5); // classes 2..4 unseen
+    const float q[2] = {0.5f, 0.5f};
+    const int pred = clf.predict({q, 2});
+    EXPECT_TRUE(pred == 0 || pred == 1);
+}
+
+TEST(NearestCentroid, CosineNotMagnitude)
+{
+    // Centroids along axes; a scaled query keeps its direction.
+    std::vector<float> features{1, 0, 0, 1};
+    std::vector<int> labels{0, 1};
+    NearestCentroid clf;
+    clf.fit(features, 2, labels, 2);
+    const float big[2] = {100.0f, 1.0f};
+    EXPECT_EQ(clf.predict({big, 2}), 0);
+    const float small[2] = {0.01f, 0.0001f};
+    EXPECT_EQ(clf.predict({small, 2}), 0);
+}
+
+TEST(Accuracy, OverallAccuracy)
+{
+    EXPECT_DOUBLE_EQ(overallAccuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+    EXPECT_DOUBLE_EQ(overallAccuracy({1, 0, 3}, {1, 2, 3}), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(overallAccuracy({}, {}), 0.0);
+}
+
+TEST(Accuracy, MeanIoUPerfect)
+{
+    EXPECT_DOUBLE_EQ(meanIoU({0, 1, 1, 2}, {0, 1, 1, 2}, 3), 1.0);
+}
+
+TEST(Accuracy, MeanIoUKnownValue)
+{
+    // Class 0: pred {0}, label {0, 1st element}, one correct out of
+    // union... construct: labels = [0,0,1,1], preds = [0,1,1,1].
+    // class0: inter 1, union 2 -> 0.5; class1: inter 2, union 3 ->
+    // 0.667; mIoU = 0.5833...
+    const double miou = meanIoU({0, 1, 1, 1}, {0, 0, 1, 1}, 2);
+    EXPECT_NEAR(miou, (0.5 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(Accuracy, MeanIoUIgnoresAbsentClasses)
+{
+    // Class 2 never appears in labels; it must not dilute the mean.
+    const double miou = meanIoU({0, 1}, {0, 1}, 3);
+    EXPECT_DOUBLE_EQ(miou, 1.0);
+}
+
+} // namespace
+} // namespace fc::nn

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the synthetic dataset generators (ModelNet40-, ShapeNet-,
+ * S3DIS-like), checking the statistical structure the substitution
+ * argument (DESIGN.md §4.1) relies on.
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "dataset/modelnet.h"
+#include "dataset/s3dis.h"
+#include "dataset/shapenet.h"
+#include "dataset/synthetic.h"
+
+namespace fc::data {
+namespace {
+
+TEST(ModelNet, ShapeAndDeterminism)
+{
+    const PointCloud a = makeModelNetObject(7, 1024, 3);
+    const PointCloud b = makeModelNetObject(7, 1024, 3);
+    ASSERT_EQ(a.size(), 1024u);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ModelNet, NormalizedToUnitSphere)
+{
+    for (int c = 0; c < kModelNetNumClasses; c += 7) {
+        const PointCloud cloud = makeModelNetObject(c, 512, 11);
+        float max_r = 0.0f;
+        for (std::size_t i = 0; i < cloud.size(); ++i)
+            max_r = std::max(max_r, cloud[i].norm());
+        EXPECT_NEAR(max_r, 1.0f, 1e-4f) << "class " << c;
+    }
+}
+
+TEST(ModelNet, InstancesOfSameClassDiffer)
+{
+    const PointCloud a = makeModelNetObject(3, 256, 1);
+    const PointCloud b = makeModelNetObject(3, 256, 2);
+    int identical = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        identical += a[i] == b[i];
+    EXPECT_LT(identical, 10);
+}
+
+TEST(ModelNet, ClassNamesUniqueish)
+{
+    std::vector<std::string> names;
+    for (int c = 0; c < kModelNetNumClasses; ++c)
+        names.push_back(modelNetClassName(c));
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(ModelNet, DatasetBalanced)
+{
+    const ObjectDataset ds = makeModelNetDataset(2, 64, 5);
+    ASSERT_EQ(ds.clouds.size(),
+              static_cast<std::size_t>(2 * kModelNetNumClasses));
+    std::vector<int> counts(kModelNetNumClasses, 0);
+    for (const int label : ds.labels)
+        ++counts[static_cast<std::size_t>(label)];
+    for (const int c : counts)
+        EXPECT_EQ(c, 2);
+}
+
+TEST(ShapeNet, PartLabelsInRange)
+{
+    for (int cat = 0; cat < kShapeNetNumCategories; ++cat) {
+        const int parts = shapeNetPartCount(cat);
+        EXPECT_GE(parts, 2);
+        EXPECT_LE(parts, kShapeNetMaxParts);
+        const PointCloud obj = makeShapeNetObject(cat, 512, 17);
+        ASSERT_EQ(obj.size(), 512u);
+        ASSERT_TRUE(obj.hasLabels());
+        std::vector<int> seen(static_cast<std::size_t>(parts), 0);
+        for (const std::int32_t label : obj.labels()) {
+            ASSERT_GE(label, 0);
+            ASSERT_LT(label, parts);
+            ++seen[static_cast<std::size_t>(label)];
+        }
+        // Every part should appear.
+        for (int p = 0; p < parts; ++p)
+            EXPECT_GT(seen[static_cast<std::size_t>(p)], 0)
+                << shapeNetCategoryName(cat) << " part " << p;
+    }
+}
+
+TEST(S3dis, SizeAndLabels)
+{
+    const PointCloud scene = makeS3disScene(5000, 42);
+    ASSERT_EQ(scene.size(), 5000u);
+    ASSERT_TRUE(scene.hasLabels());
+    for (const std::int32_t label : scene.labels()) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, kS3disNumClasses);
+    }
+}
+
+TEST(S3dis, DensityIsNonUniform)
+{
+    // Split the room into an 8x8x4 grid and compare occupancy of the
+    // densest and median cells: real scans are strongly non-uniform.
+    const PointCloud scene = makeS3disScene(40000, 9);
+    const Aabb box = scene.bounds();
+    const int gx = 8, gy = 8, gz = 4;
+    std::vector<int> cells(static_cast<std::size_t>(gx * gy * gz), 0);
+    const Vec3 ext = box.extent();
+    for (std::size_t i = 0; i < scene.size(); ++i) {
+        const Vec3 p = scene[i] - box.lo;
+        const int ix = std::min(gx - 1, static_cast<int>(
+                                            p.x / ext.x * gx));
+        const int iy = std::min(gy - 1, static_cast<int>(
+                                            p.y / ext.y * gy));
+        const int iz = std::min(gz - 1, static_cast<int>(
+                                            p.z / ext.z * gz));
+        ++cells[static_cast<std::size_t>((ix * gy + iy) * gz + iz)];
+    }
+    std::sort(cells.begin(), cells.end());
+    const int densest = cells.back();
+    const int median = cells[cells.size() / 2];
+    EXPECT_GT(densest, 8 * std::max(1, median))
+        << "scene is too uniform to exercise partition imbalance";
+}
+
+TEST(S3dis, AdversarialTwoClusters)
+{
+    SceneOptions opt;
+    opt.adversarial_two_clusters = true;
+    const PointCloud scene = makeS3disScene(2000, 3, opt);
+    // All points belong to two well-separated blobs: distance from
+    // scene centroid is bimodal and large.
+    Vec3 centroid{0, 0, 0};
+    for (std::size_t i = 0; i < scene.size(); ++i)
+        centroid += scene[i];
+    centroid = centroid * (1.0f / static_cast<float>(scene.size()));
+    std::size_t near_center = 0;
+    for (std::size_t i = 0; i < scene.size(); ++i)
+        near_center += distance(scene[i], centroid) < 1.0f;
+    EXPECT_LT(near_center, scene.size() / 20);
+}
+
+TEST(S3dis, OutlierFractionRespected)
+{
+    SceneOptions opt;
+    opt.outlier_fraction = 0.02f;
+    const PointCloud scene = makeS3disScene(50000, 21, opt);
+    // Outliers live outside the room envelope (|z| > room_half.z).
+    std::size_t outside = 0;
+    for (std::size_t i = 0; i < scene.size(); ++i) {
+        if (std::abs(scene[i].z) > opt.room_half.z * 1.02f)
+            ++outside;
+    }
+    EXPECT_GT(outside, scene.size() / 400);  // > 0.25%
+    EXPECT_LT(outside, scene.size() / 25);   // < 4%
+}
+
+TEST(Lidar, FrameStructure)
+{
+    Pcg32 rng(12);
+    const PointCloud frame = makeLidarFrame(rng, 30000, 10);
+    ASSERT_EQ(frame.size(), 30000u);
+    ASSERT_TRUE(frame.hasLabels());
+    // Ground points dominate and sit near z = 0.
+    std::size_t ground = 0;
+    for (std::size_t i = 0; i < frame.size(); ++i)
+        ground += frame.labels()[i] == 0;
+    EXPECT_GT(ground, frame.size() / 2);
+}
+
+TEST(SyntheticSamplers, OnSurface)
+{
+    Pcg32 rng(5);
+    for (int i = 0; i < 500; ++i) {
+        const Vec3 s = sampleSphereSurface(rng, 2.0f);
+        EXPECT_NEAR(s.norm(), 2.0f, 1e-4f);
+        const Vec3 c = sampleCylinderSurface(rng, 1.5f, 4.0f);
+        EXPECT_NEAR(std::sqrt(c.x * c.x + c.y * c.y), 1.5f, 1e-4f);
+        EXPECT_LE(std::abs(c.z), 2.0f + 1e-5f);
+        const Vec3 t = sampleTorusSurface(rng, 2.0f, 0.5f);
+        const float ring =
+            std::sqrt(t.x * t.x + t.y * t.y) - 2.0f;
+        EXPECT_NEAR(std::sqrt(ring * ring + t.z * t.z), 0.5f, 1e-3f);
+    }
+}
+
+} // namespace
+} // namespace fc::data

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the 28 nm energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy.h"
+
+namespace fc::sim {
+namespace {
+
+TEST(Energy, MacAccumulation)
+{
+    EnergyMeter m;
+    m.addMacs(1000);
+    EXPECT_DOUBLE_EQ(m.computePj(), 1000.0 * m.config().mac_pj);
+}
+
+TEST(Energy, DistanceAndCompareSeparate)
+{
+    EnergyMeter m;
+    m.addDistances(10);
+    m.addCompares(100);
+    EXPECT_DOUBLE_EQ(m.computePj(),
+                     10 * m.config().distance_pj +
+                         100 * m.config().compare_pj);
+}
+
+TEST(Energy, SramSizeScaling)
+{
+    EnergyMeter m;
+    m.addSramBytes(1000, 274 * 1024); // baseline macro
+    const double base = m.sramPj();
+    EnergyMeter big;
+    big.addSramBytes(1000, 4 * 274 * 1024); // 4x macro -> 4x energy
+    EXPECT_NEAR(big.sramPj(), 4.0 * base, 1e-9);
+}
+
+TEST(Energy, DramPerByte)
+{
+    EnergyMeter m;
+    m.addDramBytes(1'000'000);
+    EXPECT_DOUBLE_EQ(m.dramPj(),
+                     1e6 * m.config().dram_pj_per_byte);
+}
+
+TEST(Energy, StaticScalesWithTime)
+{
+    EnergyMeter m;
+    m.addStatic(1'000'000'000, 1.0); // 1 second at 1 GHz
+    // 0.06 W for 1 s = 0.06 J = 6e10 pJ, plus control overhead.
+    EXPECT_GT(m.staticPj(), 5.9e10);
+    EXPECT_LT(m.staticPj(), 1.2e11);
+}
+
+TEST(Energy, TotalsAndReset)
+{
+    EnergyMeter m;
+    m.addMacs(10);
+    m.addDramBytes(10);
+    m.addSramBytes(10, 274 * 1024);
+    EXPECT_DOUBLE_EQ(m.totalPj(),
+                     m.computePj() + m.sramPj() + m.dramPj() +
+                         m.staticPj());
+    EXPECT_GT(m.totalMj(), 0.0);
+    m.reset();
+    EXPECT_DOUBLE_EQ(m.totalPj(), 0.0);
+}
+
+TEST(Energy, DramDominatesSramPerByte)
+{
+    // Sanity: the technology constants preserve the DRAM >> SRAM
+    // per-byte energy ordering every conclusion relies on.
+    EnergyMeter m;
+    EXPECT_GT(m.config().dram_pj_per_byte,
+              20.0 * m.config().sram_pj_per_byte);
+}
+
+} // namespace
+} // namespace fc::sim

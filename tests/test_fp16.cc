@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for IEEE binary16 emulation.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/fp16.h"
+#include "common/rng.h"
+
+namespace fc {
+namespace {
+
+TEST(Fp16, ExactSmallIntegers)
+{
+    // All integers up to 2048 are exactly representable.
+    for (int i = -2048; i <= 2048; ++i) {
+        EXPECT_EQ(fp16Round(static_cast<float>(i)),
+                  static_cast<float>(i))
+            << "integer " << i;
+    }
+}
+
+TEST(Fp16, KnownBitPatterns)
+{
+    EXPECT_EQ(fp32ToFp16Bits(0.0f), 0x0000u);
+    EXPECT_EQ(fp32ToFp16Bits(-0.0f), 0x8000u);
+    EXPECT_EQ(fp32ToFp16Bits(1.0f), 0x3c00u);
+    EXPECT_EQ(fp32ToFp16Bits(-1.0f), 0xbc00u);
+    EXPECT_EQ(fp32ToFp16Bits(2.0f), 0x4000u);
+    EXPECT_EQ(fp32ToFp16Bits(0.5f), 0x3800u);
+    EXPECT_EQ(fp32ToFp16Bits(65504.0f), 0x7bffu); // max normal
+}
+
+TEST(Fp16, OverflowToInfinity)
+{
+    EXPECT_EQ(fp32ToFp16Bits(1e6f), 0x7c00u);
+    EXPECT_EQ(fp32ToFp16Bits(-1e6f), 0xfc00u);
+    EXPECT_TRUE(std::isinf(fp16BitsToFp32(0x7c00u)));
+}
+
+TEST(Fp16, NanPropagates)
+{
+    const std::uint16_t bits =
+        fp32ToFp16Bits(std::numeric_limits<float>::quiet_NaN());
+    EXPECT_TRUE(std::isnan(fp16BitsToFp32(bits)));
+}
+
+TEST(Fp16, SubnormalsRoundTrip)
+{
+    // Smallest positive subnormal: 2^-24.
+    const float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(fp16Round(tiny), tiny);
+    // Below half the smallest subnormal flushes to zero.
+    EXPECT_EQ(fp16Round(std::ldexp(1.0f, -26)), 0.0f);
+}
+
+TEST(Fp16, RoundTripIsIdempotent)
+{
+    Pcg32 rng(7);
+    for (int i = 0; i < 20000; ++i) {
+        const float v = rng.uniform(-100.0f, 100.0f);
+        const float once = fp16Round(v);
+        EXPECT_EQ(fp16Round(once), once);
+    }
+}
+
+TEST(Fp16, RelativeErrorBounded)
+{
+    // Round-to-nearest gives relative error <= 2^-11 for normals.
+    Pcg32 rng(11);
+    for (int i = 0; i < 20000; ++i) {
+        const float v = rng.uniform(0.001f, 1000.0f);
+        const float r = fp16Round(v);
+        EXPECT_LE(std::abs(r - v) / v, 1.0f / 2048.0f + 1e-7f)
+            << "value " << v;
+    }
+}
+
+TEST(Fp16, ClassOperatorsRound)
+{
+    Fp16 h = 3.14159f;
+    EXPECT_NEAR(static_cast<float>(h), 3.14159f, 3.14159f / 1024.0f);
+    h = 0.1f;
+    EXPECT_NE(static_cast<float>(h), 0.1f); // 0.1 is inexact
+    EXPECT_NEAR(static_cast<float>(h), 0.1f, 1e-4f);
+}
+
+TEST(Fp16, RoundToNearestEvenTies)
+{
+    // 2049 is exactly between 2048 and 2050 in fp16; even mantissa
+    // wins (2048).
+    EXPECT_EQ(fp16Round(2049.0f), 2048.0f);
+    EXPECT_EQ(fp16Round(2051.0f), 2052.0f);
+}
+
+} // namespace
+} // namespace fc

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for PLY / XYZ point-cloud file I/O.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "dataset/io.h"
+#include "dataset/modelnet.h"
+
+namespace fc::data {
+namespace {
+
+class IoTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tempPath(const std::string &name)
+    {
+        const ::testing::TestInfo *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        return ::testing::TempDir() + info->name() + "_" + name;
+    }
+};
+
+TEST_F(IoTest, PlyRoundTripLabeled)
+{
+    const PointCloud original = makeModelNetObject(3, 128, 7);
+    PointCloud labeled = original;
+    labeled.labels().assign(labeled.size(), 0);
+    for (std::size_t i = 0; i < labeled.size(); ++i)
+        labeled.labels()[i] = static_cast<std::int32_t>(i % 5);
+
+    const std::string path = tempPath("cloud.ply");
+    ASSERT_TRUE(savePly(labeled, path));
+
+    PointCloud loaded;
+    ASSERT_TRUE(loadPly(loaded, path));
+    ASSERT_EQ(loaded.size(), labeled.size());
+    ASSERT_TRUE(loaded.hasLabels());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_NEAR(loaded[i].x, labeled[i].x, 1e-5f);
+        EXPECT_NEAR(loaded[i].y, labeled[i].y, 1e-5f);
+        EXPECT_NEAR(loaded[i].z, labeled[i].z, 1e-5f);
+        EXPECT_EQ(loaded.labels()[i], labeled.labels()[i]);
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(IoTest, PlyRoundTripUnlabeled)
+{
+    PointCloud cloud;
+    cloud.addPoint({1.5f, -2.25f, 0.125f});
+    cloud.addPoint({0, 0, 0});
+    const std::string path = tempPath("plain.ply");
+    ASSERT_TRUE(savePly(cloud, path));
+    PointCloud loaded;
+    ASSERT_TRUE(loadPly(loaded, path));
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_FALSE(loaded.hasLabels());
+    EXPECT_FLOAT_EQ(loaded[0].x, 1.5f);
+    std::remove(path.c_str());
+}
+
+TEST_F(IoTest, PlyRejectsGarbage)
+{
+    const std::string path = tempPath("bad.ply");
+    {
+        std::ofstream out(path);
+        out << "not a ply file\n";
+    }
+    PointCloud loaded;
+    EXPECT_FALSE(loadPly(loaded, path));
+    std::remove(path.c_str());
+}
+
+TEST_F(IoTest, PlyMissingFileFails)
+{
+    PointCloud loaded;
+    EXPECT_FALSE(loadPly(loaded, "/nonexistent/nowhere.ply"));
+    EXPECT_FALSE(savePly(loaded, "/nonexistent/nowhere.ply"));
+}
+
+TEST_F(IoTest, XyzRoundTrip)
+{
+    PointCloud cloud;
+    cloud.addPoint({1, 2, 3}, 4);
+    cloud.addPoint({-1, -2, -3}, 0);
+    const std::string path = tempPath("cloud.xyz");
+    ASSERT_TRUE(saveXyz(cloud, path));
+    PointCloud loaded;
+    ASSERT_TRUE(loadXyz(loaded, path));
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.labels()[0], 4);
+    EXPECT_FLOAT_EQ(loaded[1].y, -2.0f);
+    std::remove(path.c_str());
+}
+
+TEST_F(IoTest, XyzSkipsComments)
+{
+    const std::string path = tempPath("comments.xyz");
+    {
+        std::ofstream out(path);
+        out << "# header comment\n1 2 3\n\n# another\n4 5 6\n";
+    }
+    PointCloud loaded;
+    ASSERT_TRUE(loadXyz(loaded, path));
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_FLOAT_EQ(loaded[1].x, 4.0f);
+    std::remove(path.c_str());
+}
+
+TEST_F(IoTest, XyzRejectsMalformedRow)
+{
+    const std::string path = tempPath("bad.xyz");
+    {
+        std::ofstream out(path);
+        out << "1 2\n"; // only two coordinates
+    }
+    PointCloud loaded;
+    EXPECT_FALSE(loadXyz(loaded, path));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace fc::data

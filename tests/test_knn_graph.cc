@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for block-wise k-NN graph construction (the DGCNN extension
+ * of paper §VI-D "Potential Adaptations").
+ */
+
+#include <gtest/gtest.h>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "dataset/s3dis.h"
+#include "ops/knn_graph.h"
+#include "partition/fractal.h"
+
+namespace fc::ops {
+namespace {
+
+data::PointCloud
+randomCloud(std::size_t n, std::uint64_t seed)
+{
+    Pcg32 rng(seed);
+    data::PointCloud cloud;
+    for (std::size_t i = 0; i < n; ++i)
+        cloud.addPoint({rng.uniform(-1, 1), rng.uniform(-1, 1),
+                        rng.uniform(-1, 1)});
+    return cloud;
+}
+
+TEST(KnnGraph, ExactGraphMatchesBruteForce)
+{
+    const data::PointCloud cloud = randomCloud(100, 1);
+    const KnnGraph graph = buildKnnGraph(cloud, 4);
+    ASSERT_EQ(graph.edges.size(), 400u);
+    for (std::size_t v = 0; v < 100; ++v) {
+        // Reference: sort all other points by distance.
+        std::vector<std::pair<float, PointIdx>> all;
+        for (PointIdx j = 0; j < 100; ++j) {
+            if (j != v)
+                all.push_back({distance2(cloud[v], cloud[j]), j});
+        }
+        std::sort(all.begin(), all.end());
+        for (std::size_t j = 0; j < 4; ++j) {
+            EXPECT_FLOAT_EQ(
+                distance2(cloud[v], cloud[graph.neighbor(v, j)]),
+                all[j].first)
+                << "vertex " << v << " edge " << j;
+        }
+    }
+}
+
+TEST(KnnGraph, NoSelfEdges)
+{
+    const data::PointCloud cloud = randomCloud(64, 2);
+    const KnnGraph graph = buildKnnGraph(cloud, 8);
+    for (std::size_t v = 0; v < graph.num_vertices; ++v)
+        for (std::size_t j = 0; j < graph.k; ++j)
+            EXPECT_NE(graph.neighbor(v, j), static_cast<PointIdx>(v));
+}
+
+TEST(KnnGraph, BlockGraphHighRecall)
+{
+    const data::PointCloud scene = data::makeS3disScene(2048, 3);
+    part::FractalPartitioner p;
+    part::PartitionConfig config;
+    config.threshold = 128;
+    const part::PartitionResult part = p.partition(scene, config);
+
+    const KnnGraph exact = buildKnnGraph(scene, 8);
+    const KnnGraph blocked = buildBlockKnnGraph(scene, part.tree, 8);
+    const double recall = graphEdgeRecall(exact, blocked);
+    EXPECT_GT(recall, 0.85)
+        << "block-wise graph lost too many true edges";
+}
+
+TEST(KnnGraph, BlockGraphMuchCheaper)
+{
+    const data::PointCloud scene = data::makeS3disScene(4096, 4);
+    part::FractalPartitioner p;
+    part::PartitionConfig config;
+    config.threshold = 128;
+    const part::PartitionResult part = p.partition(scene, config);
+
+    const KnnGraph exact = buildKnnGraph(scene, 8);
+    const KnnGraph blocked = buildBlockKnnGraph(scene, part.tree, 8);
+    EXPECT_LT(blocked.stats.distance_computations * 8,
+              exact.stats.distance_computations);
+}
+
+TEST(KnnGraph, BlockEdgesStayInSearchSpace)
+{
+    const data::PointCloud scene = data::makeS3disScene(1024, 5);
+    part::FractalPartitioner p;
+    part::PartitionConfig config;
+    config.threshold = 64;
+    const part::PartitionResult part = p.partition(scene, config);
+    const KnnGraph blocked = buildBlockKnnGraph(scene, part.tree, 4);
+
+    std::vector<std::uint32_t> inverse(part.tree.order().size());
+    for (std::uint32_t pos = 0; pos < inverse.size(); ++pos)
+        inverse[part.tree.order()[pos]] = pos;
+
+    for (const part::NodeIdx leaf : part.tree.leaves()) {
+        const auto &space =
+            part.tree.node(part.tree.searchSpaceNode(leaf));
+        const auto &node = part.tree.node(leaf);
+        for (std::uint32_t pos = node.begin; pos < node.end; ++pos) {
+            const PointIdx v = part.tree.order()[pos];
+            for (std::size_t j = 0; j < blocked.k; ++j) {
+                const PointIdx e = blocked.neighbor(v, j);
+                if (e == kInvalidPoint)
+                    continue;
+                EXPECT_GE(inverse[e], space.begin);
+                EXPECT_LT(inverse[e], space.end);
+            }
+        }
+    }
+}
+
+TEST(KnnGraph, RecallIdentity)
+{
+    const data::PointCloud cloud = randomCloud(128, 6);
+    const KnnGraph graph = buildKnnGraph(cloud, 4);
+    EXPECT_DOUBLE_EQ(graphEdgeRecall(graph, graph), 1.0);
+}
+
+} // namespace
+} // namespace fc::ops

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the model zoo (Table I) configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+
+namespace fc::nn {
+namespace {
+
+TEST(Models, TableOneHasSevenWorkloads)
+{
+    const auto models = allModels();
+    ASSERT_EQ(models.size(), 7u);
+    EXPECT_EQ(models[0].name, "PN++ (c)");
+    EXPECT_EQ(models[1].name, "PNXt (c)");
+    EXPECT_EQ(models[2].name, "PN++ (ps)");
+    EXPECT_EQ(models[3].name, "PNXt (ps)");
+    EXPECT_EQ(models[4].name, "PN++ (s)");
+    EXPECT_EQ(models[5].name, "PNXt (s)");
+    EXPECT_EQ(models[6].name, "PVr (s)");
+}
+
+TEST(Models, ClassificationHasNoPropagation)
+{
+    EXPECT_TRUE(pointNet2Classification().fp.empty());
+    EXPECT_TRUE(pointNeXtClassification().fp.empty());
+    EXPECT_FALSE(pointNet2Classification().isSegmentation());
+}
+
+TEST(Models, SegmentationStagesPaired)
+{
+    for (const ModelConfig &m :
+         {pointNet2SemSeg(), pointNeXtSemSeg(), pointVectorSemSeg(),
+          pointNet2PartSeg()}) {
+        EXPECT_FALSE(m.fp.empty()) << m.name;
+        EXPECT_LE(m.fp.size(), m.sa.size()) << m.name;
+        EXPECT_TRUE(m.isSegmentation()) << m.name;
+    }
+}
+
+TEST(Models, SamplingRatesAreValid)
+{
+    for (const ModelConfig &m : allModels()) {
+        for (const SaStageConfig &s : m.sa) {
+            EXPECT_GT(s.sample_rate, 0.0) << m.name;
+            EXPECT_LE(s.sample_rate, 1.0) << m.name;
+            EXPECT_GT(s.radius, 0.0f) << m.name;
+            EXPECT_GT(s.k, 0u) << m.name;
+            EXPECT_FALSE(s.mlp.empty()) << m.name;
+        }
+    }
+}
+
+TEST(Models, RadiiGrowWithDepth)
+{
+    for (const ModelConfig &m : allModels()) {
+        for (std::size_t i = 1; i < m.sa.size(); ++i)
+            EXPECT_GE(m.sa[i].radius, m.sa[i - 1].radius) << m.name;
+    }
+}
+
+TEST(Models, PointVectorIsWidest)
+{
+    const auto widest = [](const ModelConfig &m) {
+        std::size_t w = 0;
+        for (const auto &s : m.sa)
+            for (const std::size_t width : s.mlp)
+                w = std::max(w, width);
+        return w;
+    };
+    EXPECT_GT(widest(pointVectorSemSeg()), widest(pointNeXtSemSeg()));
+    EXPECT_GT(widest(pointVectorSemSeg()), widest(pointNet2SemSeg()));
+}
+
+TEST(Models, ScaledRadiiMultiplies)
+{
+    const ModelConfig base = pointNeXtSemSeg();
+    const ModelConfig scaled = scaledRadii(base, 2.0f);
+    for (std::size_t i = 0; i < base.sa.size(); ++i)
+        EXPECT_FLOAT_EQ(scaled.sa[i].radius, 2.0f * base.sa[i].radius);
+}
+
+TEST(Models, TaskNames)
+{
+    EXPECT_EQ(taskName(Task::Classification), "classification");
+    EXPECT_EQ(taskName(Task::PartSegmentation), "part segmentation");
+    EXPECT_EQ(taskName(Task::SemanticSegmentation),
+              "semantic segmentation");
+}
+
+} // namespace
+} // namespace fc::nn

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Integration tests for the FractalCloudPipeline public API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "dataset/s3dis.h"
+#include "nn/models.h"
+
+namespace fc {
+namespace {
+
+TEST(Pipeline, EndToEndQuickstartFlow)
+{
+    const data::PointCloud scene = data::makeS3disScene(4096, 1);
+    PipelineOptions options;
+    options.threshold = 256;
+    FractalCloudPipeline pipeline(scene, options);
+
+    pipeline.tree().validate();
+    EXPECT_EQ(pipeline.cloud().size(), 4096u);
+
+    const ops::BlockSampleResult sampled = pipeline.sample(0.25);
+    EXPECT_GT(sampled.indices.size(), 4096u / 8);
+    EXPECT_LT(sampled.indices.size(), 4096u / 2);
+
+    const ops::NeighborResult neighbors =
+        pipeline.group(sampled, 0.4f, 16);
+    EXPECT_EQ(neighbors.num_centers, sampled.indices.size());
+
+    data::PointCloud featured = scene;
+    featured.allocateFeatures(4);
+    // Gather works on the pipeline's cloud (no features -> rel coords
+    // only).
+    const ops::GatherResult gathered =
+        pipeline.gather(sampled, neighbors);
+    EXPECT_EQ(gathered.channels, 3u);
+    EXPECT_EQ(gathered.num_centers, sampled.indices.size());
+
+    std::vector<float> known(sampled.indices.size(), 2.0f);
+    const ops::InterpolateResult interp =
+        pipeline.interpolate(sampled, known, 1);
+    EXPECT_EQ(interp.num_points, scene.size());
+    for (const float v : interp.values)
+        EXPECT_NEAR(v, 2.0f, 1e-4f);
+}
+
+TEST(Pipeline, ReorderedIsDftLayout)
+{
+    const data::PointCloud scene = data::makeS3disScene(1024, 2);
+    FractalCloudPipeline pipeline(scene, {});
+    const data::PointCloud dft = pipeline.reordered();
+    ASSERT_EQ(dft.size(), scene.size());
+    const auto &order = pipeline.tree().order();
+    for (std::size_t i = 0; i < dft.size(); ++i)
+        EXPECT_EQ(dft[i], scene[order[i]]);
+}
+
+TEST(Pipeline, InferMatchesNetworkBlockBackend)
+{
+    const data::PointCloud scene = data::makeS3disScene(1024, 3);
+    PipelineOptions options;
+    options.threshold = 128;
+    FractalCloudPipeline pipeline(scene, options);
+    const nn::Network net(nn::pointNet2SemSeg(), 42);
+    const nn::InferenceResult via_pipeline = pipeline.infer(net);
+
+    nn::BackendOptions backend;
+    backend.method = part::Method::Fractal;
+    backend.threshold = 128;
+    const nn::InferenceResult direct = net.run(scene, backend);
+
+    ASSERT_EQ(via_pipeline.point_features.rows(),
+              direct.point_features.rows());
+    for (std::size_t i = 0; i < 32; ++i)
+        EXPECT_EQ(via_pipeline.point_features.at(i, 0),
+                  direct.point_features.at(i, 0));
+}
+
+TEST(Pipeline, EstimateProducesReport)
+{
+    const data::PointCloud scene = data::makeS3disScene(8192, 4);
+    FractalCloudPipeline pipeline(scene, {});
+    const accel::RunReport report =
+        pipeline.estimate(nn::pointNeXtSemSeg());
+    EXPECT_GT(report.totalLatencyMs(), 0.0);
+    EXPECT_GT(report.totalEnergyMj(), 0.0);
+    EXPECT_EQ(report.accelerator, "FractalCloud");
+    EXPECT_EQ(report.num_points, 8192u);
+}
+
+TEST(Pipeline, NonFractalMethodsWork)
+{
+    const data::PointCloud scene = data::makeS3disScene(2048, 5);
+    for (const part::Method method :
+         {part::Method::Uniform, part::Method::Octree,
+          part::Method::KdTree}) {
+        PipelineOptions options;
+        options.method = method;
+        options.threshold = 128;
+        FractalCloudPipeline pipeline(scene, options);
+        pipeline.tree().validate();
+        const ops::BlockSampleResult s = pipeline.sample(0.25);
+        EXPECT_GT(s.indices.size(), 0u)
+            << part::methodName(method);
+    }
+}
+
+TEST(PipelineDeathTest, EmptyCloudRejected)
+{
+    data::PointCloud empty;
+    EXPECT_DEATH(
+        { FractalCloudPipeline pipeline(empty, {}); }, "non-empty");
+}
+
+} // namespace
+} // namespace fc

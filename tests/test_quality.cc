@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the accuracy-proxy quality metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ops/quality.h"
+
+namespace fc::ops {
+namespace {
+
+data::PointCloud
+gridCloud()
+{
+    data::PointCloud cloud;
+    for (int x = 0; x < 4; ++x)
+        for (int y = 0; y < 4; ++y)
+            cloud.addPoint({static_cast<float>(x),
+                            static_cast<float>(y), 0.0f});
+    return cloud;
+}
+
+TEST(Coverage, AllPointsSampledIsZero)
+{
+    const data::PointCloud cloud = gridCloud();
+    std::vector<PointIdx> all;
+    for (PointIdx i = 0; i < cloud.size(); ++i)
+        all.push_back(i);
+    EXPECT_FLOAT_EQ(coverageRadius(cloud, all), 0.0f);
+    EXPECT_FLOAT_EQ(meanCoverage(cloud, all), 0.0f);
+}
+
+TEST(Coverage, SingleCornerSample)
+{
+    const data::PointCloud cloud = gridCloud();
+    // Only corner (0,0): farthest point is (3,3), distance sqrt(18).
+    const float r = coverageRadius(cloud, {0});
+    EXPECT_NEAR(r, std::sqrt(18.0f), 1e-5f);
+    EXPECT_GT(r, meanCoverage(cloud, {0}));
+}
+
+TEST(Coverage, EmptySamplesIsInfinite)
+{
+    const data::PointCloud cloud = gridCloud();
+    EXPECT_TRUE(std::isinf(coverageRadius(cloud, {})));
+}
+
+NeighborResult
+makeTable(std::size_t centers, std::size_t k,
+          std::vector<PointIdx> idx, std::vector<std::uint32_t> counts)
+{
+    NeighborResult r;
+    r.num_centers = centers;
+    r.k = k;
+    r.indices = std::move(idx);
+    r.counts = std::move(counts);
+    return r;
+}
+
+TEST(Recall, IdenticalTablesGiveOne)
+{
+    const NeighborResult a =
+        makeTable(2, 2, {1, 2, 3, 4}, {2, 2});
+    EXPECT_DOUBLE_EQ(neighborRecall(a, a), 1.0);
+}
+
+TEST(Recall, HalfOverlap)
+{
+    const NeighborResult ref = makeTable(1, 2, {1, 2}, {2});
+    const NeighborResult test = makeTable(1, 2, {1, 9}, {2});
+    EXPECT_DOUBLE_EQ(neighborRecall(ref, test), 0.5);
+}
+
+TEST(Recall, PaddingIgnored)
+{
+    // test table found only 1 real neighbor then padded with it.
+    const NeighborResult ref = makeTable(1, 3, {1, 2, 3}, {3});
+    const NeighborResult test = makeTable(1, 3, {2, 2, 2}, {1});
+    EXPECT_NEAR(neighborRecall(ref, test), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Recall, EmptyReferenceRowsSkipped)
+{
+    const NeighborResult ref =
+        makeTable(2, 1, {kInvalidPoint, 5}, {0, 1});
+    const NeighborResult test = makeTable(2, 1, {7, 5}, {1, 1});
+    EXPECT_DOUBLE_EQ(neighborRecall(ref, test), 1.0);
+}
+
+TEST(FeatureError, ZeroForIdentical)
+{
+    const std::vector<float> a{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(featureRelativeError(a, a), 0.0);
+}
+
+TEST(FeatureError, KnownValue)
+{
+    const std::vector<float> ref{3.0f, 4.0f}; // norm 5
+    const std::vector<float> test{3.0f, 4.5f}; // diff norm 0.5
+    EXPECT_NEAR(featureRelativeError(ref, test), 0.1, 1e-9);
+}
+
+TEST(FeatureError, ZeroReferenceHandled)
+{
+    const std::vector<float> ref{0.0f, 0.0f};
+    const std::vector<float> same{0.0f, 0.0f};
+    const std::vector<float> diff{1.0f, 0.0f};
+    EXPECT_DOUBLE_EQ(featureRelativeError(ref, same), 0.0);
+    EXPECT_DOUBLE_EQ(featureRelativeError(ref, diff), 1.0);
+}
+
+} // namespace
+} // namespace fc::ops

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the RunReport accounting used by every bench table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/report.h"
+
+namespace fc::accel {
+namespace {
+
+RunReport
+makeReport()
+{
+    RunReport r;
+    r.accelerator = "test";
+    r.model = "m";
+    r.num_points = 10;
+    r.freq_ghz = 1.0;
+    r.addCycles(Phase::Sample, 1'000'000);
+    r.addCycles(Phase::Group, 2'000'000);
+    r.addCycles(Phase::Gather, 500'000);
+    r.addCycles(Phase::Interpolate, 500'000);
+    r.addCycles(Phase::Mlp, 3'000'000);
+    r.addCycles(Phase::Partition, 100'000);
+    r.addCycles(Phase::Other, 400'000);
+    r.compute_pj = 1e9;
+    r.sram_pj = 2e9;
+    r.dram_pj = 3e9;
+    r.static_pj = 4e9;
+    return r;
+}
+
+TEST(RunReport, TotalsAndConversions)
+{
+    const RunReport r = makeReport();
+    EXPECT_EQ(r.totalCycles(), 7'500'000u);
+    EXPECT_DOUBLE_EQ(r.totalLatencyMs(), 7.5);
+    EXPECT_DOUBLE_EQ(r.totalEnergyMj(), 10.0);
+}
+
+TEST(RunReport, PhaseGroupsMatchFig15)
+{
+    const RunReport r = makeReport();
+    EXPECT_EQ(r.pointOpCycles(), 4'000'000u);
+    EXPECT_EQ(r.mlpCycles(), 3'000'000u);
+    EXPECT_EQ(r.otherCycles(), 500'000u);
+    EXPECT_EQ(r.pointOpCycles() + r.mlpCycles() + r.otherCycles(),
+              r.totalCycles());
+}
+
+TEST(RunReport, PerPhaseLatency)
+{
+    const RunReport r = makeReport();
+    EXPECT_DOUBLE_EQ(r.latencyMs(Phase::Sample), 1.0);
+    EXPECT_DOUBLE_EQ(r.latencyMs(Phase::Mlp), 3.0);
+    // Frequency scaling halves latency at 2 GHz.
+    RunReport fast = r;
+    fast.freq_ghz = 2.0;
+    EXPECT_DOUBLE_EQ(fast.latencyMs(Phase::Mlp), 1.5);
+}
+
+TEST(RunReport, AccumulateMultiFrame)
+{
+    RunReport a = makeReport();
+    const RunReport b = makeReport();
+    a += b;
+    EXPECT_EQ(a.totalCycles(), 15'000'000u);
+    EXPECT_DOUBLE_EQ(a.totalEnergyMj(), 20.0);
+    EXPECT_EQ(a.num_points, 20u);
+}
+
+TEST(RunReport, PhaseSramBytes)
+{
+    RunReport r;
+    r.phase_sram_bytes[Phase::Group] = 100;
+    EXPECT_EQ(r.sramBytes(Phase::Group), 100u);
+    EXPECT_EQ(r.sramBytes(Phase::Mlp), 0u);
+}
+
+TEST(RunReport, PhaseNamesComplete)
+{
+    for (const Phase p :
+         {Phase::Partition, Phase::Sample, Phase::Group, Phase::Gather,
+          Phase::Interpolate, Phase::Mlp, Phase::Other}) {
+        EXPECT_FALSE(phaseName(p).empty());
+    }
+}
+
+TEST(RunReport, SummaryMentionsKeyNumbers)
+{
+    const RunReport r = makeReport();
+    const std::string s = r.summary();
+    EXPECT_NE(s.find("test"), std::string::npos);
+    EXPECT_NE(s.find("7.5"), std::string::npos);
+}
+
+} // namespace
+} // namespace fc::accel

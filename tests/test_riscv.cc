@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the RV32IM control-core interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/riscv.h"
+
+namespace fc::sim {
+namespace {
+
+using namespace rv;
+
+TEST(Riscv, AddiAndAdd)
+{
+    RiscvCore core;
+    core.loadProgram({
+        addi(1, 0, 5),
+        addi(2, 0, 7),
+        add(3, 1, 2),
+        ecall(),
+    });
+    core.run();
+    EXPECT_TRUE(core.halted());
+    EXPECT_EQ(core.reg(3), 12u);
+}
+
+TEST(Riscv, X0IsHardwiredZero)
+{
+    RiscvCore core;
+    core.loadProgram({addi(0, 0, 99), ecall()});
+    core.run();
+    EXPECT_EQ(core.reg(0), 0u);
+}
+
+TEST(Riscv, NegativeImmediates)
+{
+    RiscvCore core;
+    core.loadProgram({addi(1, 0, -3), ecall()});
+    core.run();
+    EXPECT_EQ(core.reg(1), 0xfffffffdu);
+}
+
+TEST(Riscv, MulDivRem)
+{
+    RiscvCore core;
+    core.loadProgram({
+        addi(1, 0, 100),
+        addi(2, 0, 7),
+        mul(3, 1, 2),
+        divu(4, 1, 2),
+        remu(5, 1, 2),
+        ecall(),
+    });
+    core.run();
+    EXPECT_EQ(core.reg(3), 700u);
+    EXPECT_EQ(core.reg(4), 14u);
+    EXPECT_EQ(core.reg(5), 2u);
+}
+
+TEST(Riscv, DivideByZeroIsAllOnes)
+{
+    RiscvCore core;
+    core.loadProgram({addi(1, 0, 42), divu(2, 1, 0), ecall()});
+    core.run();
+    EXPECT_EQ(core.reg(2), 0xffffffffu);
+}
+
+TEST(Riscv, ShiftAndLogic)
+{
+    RiscvCore core;
+    core.loadProgram({
+        addi(1, 0, 0b1100),
+        slli(2, 1, 2),
+        srli(3, 1, 2),
+        andi(4, 1, 0b1010),
+        ori(5, 1, 0b0011),
+        xori(6, 1, 0b1111),
+        ecall(),
+    });
+    core.run();
+    EXPECT_EQ(core.reg(2), 0b110000u);
+    EXPECT_EQ(core.reg(3), 0b11u);
+    EXPECT_EQ(core.reg(4), 0b1000u);
+    EXPECT_EQ(core.reg(5), 0b1111u);
+    EXPECT_EQ(core.reg(6), 0b0011u);
+}
+
+TEST(Riscv, LoadStoreRoundTrip)
+{
+    RiscvCore core;
+    core.loadProgram({
+        addi(1, 0, 0x123),
+        addi(2, 0, 0x400), // address
+        sw(1, 2, 0),
+        lw(3, 2, 0),
+        ecall(),
+    });
+    core.run();
+    EXPECT_EQ(core.reg(3), 0x123u);
+    EXPECT_EQ(core.loadWord(0x400), 0x123u);
+}
+
+TEST(Riscv, BranchLoopSumsOneToTen)
+{
+    // x1 = counter, x2 = sum, x3 = limit.
+    RiscvCore core;
+    core.loadProgram({
+        addi(1, 0, 1),        // 0x00
+        addi(2, 0, 0),        // 0x04
+        addi(3, 0, 11),       // 0x08
+        add(2, 2, 1),         // 0x0c: loop body
+        addi(1, 1, 1),        // 0x10
+        bne(1, 3, -8),        // 0x14 -> 0x0c
+        ecall(),              // 0x18
+    });
+    core.run();
+    EXPECT_EQ(core.reg(2), 55u);
+}
+
+TEST(Riscv, JalAndJalr)
+{
+    RiscvCore core;
+    core.loadProgram({
+        jal(1, 12),          // 0x00 -> 0x0c, x1 = 0x04
+        addi(2, 0, 111),     // 0x04 (return target)
+        ecall(),             // 0x08
+        addi(3, 0, 222),     // 0x0c (function body)
+        jalr(0, 1, 0),       // 0x10 -> return to 0x04
+    });
+    core.run();
+    EXPECT_EQ(core.reg(2), 111u);
+    EXPECT_EQ(core.reg(3), 222u);
+}
+
+TEST(Riscv, LuiAndLiMaterializeConstants)
+{
+    RiscvCore core;
+    std::vector<Insn> program;
+    for (const Insn i : li(5, 0xdeadbeefu))
+        program.push_back(i);
+    for (const Insn i : li(6, 0x00000800u)) // crosses sign boundary
+        program.push_back(i);
+    program.push_back(ecall());
+    core.loadProgram(program);
+    core.run();
+    EXPECT_EQ(core.reg(5), 0xdeadbeefu);
+    EXPECT_EQ(core.reg(6), 0x800u);
+}
+
+TEST(Riscv, MmioWritesAreLogged)
+{
+    RiscvCore core;
+    std::vector<Insn> program;
+    for (const Insn i : li(1, 0x40000000u))
+        program.push_back(i);
+    program.push_back(addi(2, 0, 77));
+    program.push_back(sw(2, 1, 0));
+    program.push_back(addi(2, 0, 88));
+    program.push_back(sw(2, 1, 4));
+    program.push_back(ecall());
+    core.loadProgram(program);
+    core.run();
+    ASSERT_EQ(core.mmioWrites().size(), 2u);
+    EXPECT_EQ(core.mmioWrites()[0].address, 0x40000000u);
+    EXPECT_EQ(core.mmioWrites()[0].value, 77u);
+    EXPECT_EQ(core.mmioWrites()[1].address, 0x40000004u);
+    EXPECT_EQ(core.mmioWrites()[1].value, 88u);
+}
+
+TEST(Riscv, SltComparisons)
+{
+    RiscvCore core;
+    core.loadProgram({
+        addi(1, 0, -1),
+        addi(2, 0, 1),
+        slt(3, 1, 2),  // signed: -1 < 1 -> 1
+        sltu(4, 1, 2), // unsigned: 0xffffffff < 1 -> 0
+        ecall(),
+    });
+    core.run();
+    EXPECT_EQ(core.reg(3), 1u);
+    EXPECT_EQ(core.reg(4), 0u);
+}
+
+TEST(Riscv, MaxInsnGuardStopsRunaway)
+{
+    RiscvCore core;
+    core.loadProgram({jal(0, 0)}); // infinite self-loop
+    const std::uint64_t retired = core.run(1000);
+    EXPECT_EQ(retired, 1000u);
+    EXPECT_FALSE(core.halted());
+}
+
+TEST(Riscv, CycleEstimateGrowsWithBranches)
+{
+    RiscvCore straight;
+    straight.loadProgram({addi(1, 0, 1), addi(2, 0, 2), ecall()});
+    straight.run();
+    RiscvCore loopy;
+    loopy.loadProgram({
+        addi(1, 0, 0),
+        addi(3, 0, 100),
+        addi(1, 1, 1),
+        bne(1, 3, -4),
+        ecall(),
+    });
+    loopy.run();
+    EXPECT_GT(loopy.cycleEstimate(), straight.cycleEstimate());
+}
+
+} // namespace
+} // namespace fc::sim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the deterministic PCG32 generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fc {
+namespace {
+
+TEST(Pcg32, DeterministicAcrossInstances)
+{
+    Pcg32 a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, UniformInRange)
+{
+    Pcg32 rng(42);
+    for (int i = 0; i < 10000; ++i) {
+        const float v = rng.uniform();
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(Pcg32, UniformBoundsRespected)
+{
+    Pcg32 rng(42);
+    for (int i = 0; i < 10000; ++i) {
+        const float v = rng.uniform(-3.0f, 7.0f);
+        EXPECT_GE(v, -3.0f);
+        EXPECT_LT(v, 7.0f);
+    }
+}
+
+TEST(Pcg32, BoundedNoModuloEscape)
+{
+    Pcg32 rng(99);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.bounded(17), 17u);
+    EXPECT_EQ(rng.bounded(0), 0u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Pcg32, BoundedCoversAllResidues)
+{
+    Pcg32 rng(5);
+    std::vector<int> seen(13, 0);
+    for (int i = 0; i < 13000; ++i)
+        ++seen[rng.bounded(13)];
+    for (int r = 0; r < 13; ++r)
+        EXPECT_GT(seen[r], 500) << "residue " << r;
+}
+
+TEST(Pcg32, NormalMoments)
+{
+    Pcg32 rng(7);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Pcg32, NormalShiftScale)
+{
+    Pcg32 rng(8);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0f, 2.0f);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+} // namespace
+} // namespace fc

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the timed-resource and scheduling primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/resource.h"
+#include "sim/schedule.h"
+
+namespace fc::sim {
+namespace {
+
+TEST(Resource, SerializesOverlappingRequests)
+{
+    Resource r("unit", 1.0);
+    const Cycles f1 = r.acquire(0, 100);
+    EXPECT_EQ(f1, 100u);
+    // Second request issued at time 10 must wait.
+    const Cycles f2 = r.acquire(10, 50);
+    EXPECT_EQ(f2, 150u);
+}
+
+TEST(Resource, ThroughputScales)
+{
+    Resource fast("fast", 4.0);
+    EXPECT_EQ(fast.acquire(0, 100), 25u);
+}
+
+TEST(Resource, PipelineLatencyAdds)
+{
+    Resource r("unit", 1.0, 10);
+    EXPECT_EQ(r.acquire(0, 5), 15u);
+}
+
+TEST(Resource, UtilizationTracksBusyCycles)
+{
+    Resource r("unit", 1.0);
+    r.acquire(0, 50);
+    EXPECT_DOUBLE_EQ(r.utilization(100), 0.5);
+    EXPECT_EQ(r.totalItems(), 50u);
+}
+
+TEST(Resource, ResetClears)
+{
+    Resource r("unit", 2.0);
+    r.acquire(0, 100);
+    r.reset();
+    EXPECT_EQ(r.busyUntil(), 0u);
+    EXPECT_EQ(r.busyCycles(), 0u);
+}
+
+TEST(Lpt, SingleLaneIsSerial)
+{
+    EXPECT_EQ(lptMakespan({10, 20, 30}, 1), 60u);
+}
+
+TEST(Lpt, PerfectSplit)
+{
+    EXPECT_EQ(lptMakespan({10, 10, 10, 10}, 4), 10u);
+    EXPECT_EQ(lptMakespan({30, 10, 10, 10}, 2), 30u);
+}
+
+TEST(Lpt, BoundedByMaxAndAverage)
+{
+    const std::vector<Cycles> tasks{17, 3, 29, 8, 11, 5, 23, 2};
+    const std::size_t lanes = 3;
+    const Cycles makespan = lptMakespan(tasks, lanes);
+    Cycles total = 0, longest = 0;
+    for (const Cycles t : tasks) {
+        total += t;
+        longest = std::max(longest, t);
+    }
+    EXPECT_GE(makespan, std::max<Cycles>(longest, total / lanes));
+    // LPT is a 4/3-approximation of optimal.
+    EXPECT_LE(makespan,
+              (std::max<Cycles>(longest, (total + lanes - 1) / lanes) *
+                   4 + 2) / 3);
+}
+
+TEST(Lpt, EmptyTasksZero)
+{
+    EXPECT_EQ(lptMakespan({}, 4), 0u);
+    EXPECT_EQ(serialLatency({}), 0u);
+}
+
+TEST(Serial, SumsTasks)
+{
+    EXPECT_EQ(serialLatency({1, 2, 3, 4}), 10u);
+}
+
+TEST(Cycles, Conversions)
+{
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(1'000'000'000, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(cyclesToMs(2'000'000, 1.0), 2.0);
+    EXPECT_DOUBLE_EQ(cyclesToMs(2'000'000, 2.0), 1.0);
+    EXPECT_EQ(ceilDiv(10, 3), 4u);
+    EXPECT_EQ(ceilDiv(9, 3), 3u);
+}
+
+} // namespace
+} // namespace fc::sim

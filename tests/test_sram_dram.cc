@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the SRAM and DRAM memory models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dram.h"
+#include "sim/sram.h"
+
+namespace fc::sim {
+namespace {
+
+TEST(Sram, StreamedUsesAllBanks)
+{
+    Sram sram({274 * 1024, 16, 16});
+    // 16 banks x 16 B = 256 B/cycle.
+    EXPECT_EQ(sram.cycles(2560, AccessPattern::Streamed), 10u);
+}
+
+TEST(Sram, RandomSlowerThanStreamed)
+{
+    Sram sram({274 * 1024, 16, 16});
+    const Cycles st = sram.cycles(65536, AccessPattern::Streamed);
+    const Cycles rnd =
+        sram.cycles(65536, AccessPattern::Random, 4);
+    EXPECT_GT(rnd, st);
+}
+
+TEST(Sram, MoreRequestersMoreConflicts)
+{
+    Sram sram({274 * 1024, 16, 16});
+    // Per-requester throughput degrades as collisions rise.
+    const Cycles r4 = sram.cycles(65536, AccessPattern::Random, 4);
+    const Cycles r16 = sram.cycles(65536, AccessPattern::Random, 16);
+    // 16 requesters still finish sooner in aggregate...
+    EXPECT_LT(r16, r4);
+    // ...but not 4x sooner (conflicts eat the scaling).
+    EXPECT_GT(r16 * 3, r4);
+}
+
+TEST(Sram, RecordsTraffic)
+{
+    Sram sram({1024, 4, 8});
+    sram.record(100, AccessPattern::Streamed);
+    sram.record(50, AccessPattern::Random);
+    EXPECT_EQ(sram.totalBytes(), 150u);
+    EXPECT_EQ(sram.randomBytes(), 50u);
+    sram.reset();
+    EXPECT_EQ(sram.totalBytes(), 0u);
+}
+
+TEST(Dram, StreamBandwidthMatchesConfig)
+{
+    Dram dram({17.0, 0.85, 64, 0.25, 45, 4, 1.0});
+    // 17 GB/s * 0.85 = 14.45 B/cycle at 1 GHz.
+    const Cycles c = dram.streamCycles(14'450'000);
+    EXPECT_NEAR(static_cast<double>(c), 1e6, 1e4);
+}
+
+TEST(Dram, ZeroBytesZeroCycles)
+{
+    Dram dram;
+    EXPECT_EQ(dram.streamCycles(0), 0u);
+    EXPECT_EQ(dram.randomCycles(0, 64), 0u);
+}
+
+TEST(Dram, RandomCostsMoreThanStream)
+{
+    Dram dram;
+    // 1000 random touches of 16 useful bytes move 64 B bursts each.
+    const Cycles rnd = dram.randomCycles(1000, 16);
+    const Cycles st = dram.streamCycles(16'000);
+    EXPECT_GT(rnd, 3 * st);
+}
+
+TEST(Dram, RandomBytesAreBursts)
+{
+    Dram dram;
+    EXPECT_EQ(dram.randomBytesMoved(10), 640u);
+    dram.recordRandom(10);
+    EXPECT_EQ(dram.randomBytes(), 640u);
+    EXPECT_EQ(dram.randomAccesses(), 10u);
+    dram.recordStream(100);
+    EXPECT_EQ(dram.totalBytes(), 740u);
+}
+
+TEST(Dram, RowMissPenaltyVisible)
+{
+    DramConfig all_hit{17.0, 0.85, 64, 1.0, 45, 4, 1.0};
+    DramConfig all_miss{17.0, 0.85, 64, 0.0, 45, 4, 1.0};
+    Dram hit(all_hit), miss(all_miss);
+    EXPECT_GT(miss.randomCycles(10000, 16),
+              hit.randomCycles(10000, 16));
+}
+
+} // namespace
+} // namespace fc::sim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the ASCII/CSV table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace fc {
+namespace {
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| alpha"), std::string::npos);
+    EXPECT_NE(out.find("22222"), std::string::npos);
+    // Every line has equal width.
+    std::size_t width = 0;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t eol = out.find('\n', pos);
+        const std::size_t len = eol - pos;
+        if (width == 0)
+            width = len;
+        EXPECT_EQ(len, width);
+        pos = eol + 1;
+    }
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    Table t({"a", "b"});
+    t.addRow({"has,comma", "has\"quote"});
+    const std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvRowStructure)
+{
+    Table t({"x", "y", "z"});
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.renderCsv(), "x,y,z\n1,2,3\n");
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::mult(21.66, 1), "21.7x");
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"only"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"r"});
+    t.addRow({"s"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TableDeathTest, ArityMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+} // namespace
+} // namespace fc

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for network workload shapes and block summaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/workload.h"
+#include "dataset/s3dis.h"
+#include "nn/models.h"
+#include "partition/partitioner.h"
+
+namespace fc::accel {
+namespace {
+
+TEST(NetworkShape, StageSizesChain)
+{
+    const NetworkShape s =
+        buildNetworkShape(nn::pointNet2Classification(), 1024);
+    ASSERT_EQ(s.sa.size(), 2u);
+    EXPECT_EQ(s.sa[0].n_in, 1024u);
+    EXPECT_EQ(s.sa[0].n_out, 512u);
+    EXPECT_EQ(s.sa[1].n_in, 512u);
+    EXPECT_EQ(s.sa[1].n_out, 128u);
+    EXPECT_EQ(s.sa[0].k, 32u);
+    EXPECT_EQ(s.sa[1].k, 64u);
+    // First GEMM input: 3 rel coords + (3 xyz features).
+    EXPECT_EQ(s.sa[0].gemm.front().first, 6u);
+    EXPECT_EQ(s.sa[0].c_out, 128u);
+    EXPECT_EQ(s.sa[1].gemm.front().first, 3u + 128u);
+}
+
+TEST(NetworkShape, SegmentationHasFpStages)
+{
+    const NetworkShape s =
+        buildNetworkShape(nn::pointNet2SemSeg(), 16384);
+    ASSERT_EQ(s.fp.size(), 4u);
+    // First FP: coarse = deepest level, fine = next level up.
+    EXPECT_EQ(s.fp[0].n_coarse, s.sa.back().n_out);
+    EXPECT_EQ(s.fp[0].n_fine, s.sa[s.sa.size() - 2].n_out);
+    // Last FP lands on the input resolution.
+    EXPECT_EQ(s.fp.back().n_fine, 16384u);
+    EXPECT_EQ(s.head_rows, 16384u);
+}
+
+TEST(NetworkShape, DelayedAggregationReducesMacs)
+{
+    const NetworkShape s =
+        buildNetworkShape(nn::pointNeXtSemSeg(), 8192);
+    const std::uint64_t plain = s.totalMacs(false);
+    const std::uint64_t delayed = s.totalMacs(true);
+    EXPECT_LT(delayed, plain);
+    // SA rows shrink from n_out*k to n_in: with rate 0.25 and k=32
+    // that is an 8x reduction for stage GEMMs.
+    EXPECT_LT(delayed * 3, plain);
+}
+
+TEST(NetworkShape, MacsGrowWithInput)
+{
+    const auto model = nn::pointNeXtSemSeg();
+    const std::uint64_t small =
+        buildNetworkShape(model, 1024).totalMacs(true);
+    const std::uint64_t large =
+        buildNetworkShape(model, 4096).totalMacs(true);
+    EXPECT_GT(large, 3 * small);
+    EXPECT_LT(large, 5 * small);
+}
+
+TEST(BlockSummary, MatchesTree)
+{
+    const data::PointCloud scene = data::makeS3disScene(4096, 1);
+    const auto p = part::makePartitioner(part::Method::Fractal);
+    part::PartitionConfig config;
+    config.threshold = 256;
+    const part::PartitionResult result = p->partition(scene, config);
+    const BlockSummary s = summarizeBlocks(result);
+    EXPECT_EQ(s.leaf_sizes.size(), result.tree.leaves().size());
+    EXPECT_EQ(s.total_points, scene.size());
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < s.leaf_sizes.size(); ++i) {
+        sum += s.leaf_sizes[i];
+        EXPECT_GE(s.space_sizes[i], s.leaf_sizes[i])
+            << "search space must contain the leaf";
+    }
+    EXPECT_EQ(sum, scene.size());
+}
+
+TEST(BlockSummary, ScaledShrinksProportionally)
+{
+    const data::PointCloud scene = data::makeS3disScene(4096, 2);
+    const auto p = part::makePartitioner(part::Method::Fractal);
+    part::PartitionConfig config;
+    config.threshold = 256;
+    const BlockSummary base =
+        summarizeBlocks(p->partition(scene, config));
+    const BlockSummary quarter = base.scaled(0.25);
+    ASSERT_EQ(quarter.leaf_sizes.size(), base.leaf_sizes.size());
+    for (std::size_t i = 0; i < base.leaf_sizes.size(); ++i) {
+        if (base.leaf_sizes[i] == 0) {
+            EXPECT_EQ(quarter.leaf_sizes[i], 0u);
+        } else {
+            EXPECT_GE(quarter.leaf_sizes[i], 1u);
+            EXPECT_LE(quarter.leaf_sizes[i],
+                      base.leaf_sizes[i] / 2 + 1);
+        }
+    }
+    EXPECT_LT(quarter.total_points, base.total_points / 2);
+}
+
+TEST(NetworkShape, EveryModelBuilds)
+{
+    for (const auto &model : nn::allModels()) {
+        const NetworkShape s = buildNetworkShape(model, 2048);
+        EXPECT_EQ(s.n_points, 2048u) << model.name;
+        EXPECT_FALSE(s.sa.empty()) << model.name;
+        EXPECT_GT(s.totalMacs(true), 0u) << model.name;
+    }
+}
+
+} // namespace
+} // namespace fc::accel
