@@ -1,0 +1,181 @@
+#include "core/parallel.h"
+
+#include "common/logging.h"
+
+namespace fc::core {
+
+unsigned
+ThreadPool::resolveThreadCount(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_threads_(resolveThreadCount(num_threads))
+{
+    // The joining thread is the last worker (help-join), so a pool of
+    // n threads spawns n - 1 and a pool of 1 spawns none.
+    workers_.reserve(num_threads_ - 1);
+    for (unsigned t = 0; t + 1 < num_threads_; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+        fc_assert(queue_.empty(),
+                  "thread pool destroyed with %zu tasks still queued",
+                  queue_.size());
+    }
+    work_cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock,
+                          [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to run
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+TaskGroup::TaskGroup(ThreadPool *pool)
+    : pool_(pool && pool->numThreads() > 1 ? pool : nullptr)
+{
+}
+
+TaskGroup::~TaskGroup()
+{
+    // Tasks reference this group; never let it die before they end.
+    if (pending_.load(std::memory_order_acquire) > 0) {
+        try {
+            wait();
+        } catch (...) {
+            // wait() already ran every task; swallow on this
+            // destructor-only path (normal use calls wait() itself).
+        }
+    }
+}
+
+void
+TaskGroup::record(std::exception_ptr e)
+{
+    std::lock_guard<std::mutex> lock(exception_mutex_);
+    if (!exception_)
+        exception_ = e;
+}
+
+void
+TaskGroup::run(std::function<void()> fn)
+{
+    if (pool_ == nullptr) {
+        // Sequential path: run now, on this thread, in submission
+        // order. Exceptions are recorded and rethrown at wait() so
+        // both paths observe identical semantics.
+        try {
+            fn();
+        } catch (...) {
+            record(std::current_exception());
+        }
+        return;
+    }
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    // The group lives on the waiter's stack and may be destroyed the
+    // instant pending_ reaches zero; the final notification must go
+    // through a by-value pool pointer, not through `this`.
+    auto task = [this, pool = pool_, fn = std::move(fn)] {
+        try {
+            fn();
+        } catch (...) {
+            record(std::current_exception());
+        }
+        {
+            // Decrement under the pool mutex so a waiter holding it
+            // cannot miss the final notification. Last access to
+            // `this`.
+            std::lock_guard<std::mutex> lock(pool->mutex_);
+            pending_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+        pool->work_cv_.notify_all();
+    };
+    {
+        std::lock_guard<std::mutex> lock(pool_->mutex_);
+        pool_->queue_.emplace_back(std::move(task));
+    }
+    pool_->work_cv_.notify_one();
+}
+
+void
+TaskGroup::wait()
+{
+    if (pool_ != nullptr) {
+        std::unique_lock<std::mutex> lock(pool_->mutex_);
+        while (pending_.load(std::memory_order_acquire) > 0) {
+            if (!pool_->queue_.empty()) {
+                // Help: run queued tasks instead of blocking. The
+                // task may belong to another group — draining any
+                // work keeps the whole pool making progress and makes
+                // nested fork/join deadlock-free.
+                auto task = std::move(pool_->queue_.front());
+                pool_->queue_.pop_front();
+                lock.unlock();
+                task();
+                lock.lock();
+            } else {
+                pool_->work_cv_.wait(lock, [this] {
+                    return pending_.load(std::memory_order_acquire) ==
+                               0 ||
+                           !pool_->queue_.empty();
+                });
+            }
+        }
+    }
+    std::exception_ptr e;
+    {
+        std::lock_guard<std::mutex> lock(exception_mutex_);
+        e = exception_;
+        exception_ = nullptr;
+    }
+    if (e)
+        std::rethrow_exception(e);
+}
+
+void
+parallelFor(ThreadPool *pool, std::size_t begin, std::size_t end,
+            std::size_t grain,
+            const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (begin >= end)
+        return;
+    const std::size_t g = std::max<std::size_t>(1, grain);
+    if (pool == nullptr || pool->numThreads() <= 1 ||
+        end - begin <= g) {
+        for (std::size_t cb = begin; cb < end; cb += g)
+            fn(cb, std::min(cb + g, end));
+        return;
+    }
+    TaskGroup group(pool);
+    for (std::size_t cb = begin; cb < end; cb += g) {
+        const std::size_t ce = std::min(cb + g, end);
+        group.run([&fn, cb, ce] { fn(cb, ce); });
+    }
+    group.wait();
+}
+
+} // namespace fc::core

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The block-parallel execution runtime.
+ *
+ * The paper's premise is that fractal partitioning turns every point
+ * operation into independent per-block work items; this header is
+ * where that parallelism actually runs. It provides:
+ *
+ *   - ThreadPool: a fixed-size pool (no work stealing) shared by the
+ *     partitioner, the block-wise ops, and the batched pipeline API.
+ *   - TaskGroup: structured fork/join on a pool. Waiting threads help
+ *     drain the queue, so tasks may safely submit subtasks (needed by
+ *     the recursive partition builders).
+ *   - parallelFor / parallelReduce: chunked loops whose chunk
+ *     boundaries depend only on (begin, end, grain) — never on the
+ *     thread count — so reductions folded in chunk order are
+ *     deterministic and results are bit-identical to the sequential
+ *     path at any thread count.
+ *
+ * A null pool (or a pool of one thread) is the exact sequential path:
+ * chunks run inline, in order, on the calling thread.
+ */
+
+#ifndef FC_CORE_PARALLEL_H
+#define FC_CORE_PARALLEL_H
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fc::core {
+
+/**
+ * Fixed-size thread pool with one shared FIFO queue.
+ *
+ * The pool owns num_threads - 1 worker threads; the thread that waits
+ * on a TaskGroup acts as the final worker (help-join), so a pool of n
+ * threads keeps exactly n threads busy and a pool of 1 spawns none.
+ */
+class ThreadPool
+{
+  public:
+    /** @param num_threads 0 = all hardware threads, n = exactly n. */
+    explicit ThreadPool(unsigned num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Resolved thread count (>= 1). */
+    unsigned numThreads() const { return num_threads_; }
+
+    /** 0 -> hardware concurrency (min 1), n -> n. */
+    static unsigned resolveThreadCount(unsigned requested);
+
+  private:
+    friend class TaskGroup;
+
+    void workerLoop();
+
+    unsigned num_threads_;
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    bool stop_ = false;
+};
+
+/**
+ * A set of tasks forked onto a pool and joined together.
+ *
+ * run() enqueues a task (or runs it inline when the pool is null or
+ * single-threaded); wait() drains queued tasks while waiting — nested
+ * submission from inside a task therefore cannot deadlock — and
+ * rethrows the first exception any task raised.
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool *pool);
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Fork one task. The callable must stay valid until wait(). */
+    void run(std::function<void()> fn);
+
+    /** Join all forked tasks; rethrows the first recorded exception. */
+    void wait();
+
+  private:
+    void record(std::exception_ptr e);
+
+    ThreadPool *pool_; ///< null = inline execution
+    std::atomic<std::size_t> pending_{0};
+    std::mutex exception_mutex_;
+    std::exception_ptr exception_;
+};
+
+/**
+ * Chunked parallel loop over [begin, end).
+ *
+ * The range is cut into fixed chunks of @p grain (the last one
+ * shorter); @p fn receives each [chunk_begin, chunk_end). Chunk
+ * boundaries are a pure function of the range and grain, so writing
+ * per-index or per-chunk slots yields identical memory at any thread
+ * count. With a null or single-thread pool the chunks run inline in
+ * ascending order — the exact sequential path.
+ */
+void parallelFor(ThreadPool *pool, std::size_t begin, std::size_t end,
+                 std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)> &fn);
+
+/**
+ * Deterministic chunk-ordered reduction.
+ *
+ * Computes @p chunk_fn(chunk_begin, chunk_end) -> T per chunk
+ * (possibly in parallel), then folds the per-chunk values into
+ * @p init strictly in ascending chunk order with
+ * @p fold_fn(T &acc, T &&chunk_value). The fold order never depends
+ * on the thread count, so even non-commutative merges (e.g. appending
+ * per-leaf sample lists) are bit-identical to sequential execution.
+ */
+template <typename T, typename ChunkFn, typename FoldFn>
+T
+parallelReduce(ThreadPool *pool, std::size_t begin, std::size_t end,
+               std::size_t grain, T init, ChunkFn chunk_fn,
+               FoldFn fold_fn)
+{
+    if (begin >= end)
+        return init;
+    const std::size_t g = std::max<std::size_t>(1, grain);
+    const std::size_t num_chunks = (end - begin + g - 1) / g;
+    std::vector<T> partial(num_chunks);
+    parallelFor(pool, begin, end, g,
+                [&](std::size_t cb, std::size_t ce) {
+                    partial[(cb - begin) / g] = chunk_fn(cb, ce);
+                });
+    for (std::size_t c = 0; c < num_chunks; ++c)
+        fold_fn(init, std::move(partial[c]));
+    return init;
+}
+
+} // namespace fc::core
+
+#endif // FC_CORE_PARALLEL_H

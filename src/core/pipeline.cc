@@ -4,15 +4,29 @@
 
 namespace fc {
 
+namespace {
+
+/** Build the pool an options struct asks for (null = sequential). */
+std::shared_ptr<core::ThreadPool>
+makePool(unsigned num_threads)
+{
+    if (core::ThreadPool::resolveThreadCount(num_threads) <= 1)
+        return nullptr;
+    return std::make_shared<core::ThreadPool>(num_threads);
+}
+
+} // namespace
+
 FractalCloudPipeline::FractalCloudPipeline(data::PointCloud cloud,
                                            const PipelineOptions &options)
-    : cloud_(std::move(cloud)), options_(options)
+    : cloud_(std::move(cloud)), options_(options),
+      pool_(makePool(options.num_threads))
 {
     fc_assert(!cloud_.empty(), "pipeline requires a non-empty cloud");
     const auto partitioner = part::makePartitioner(options_.method);
     part::PartitionConfig config;
     config.threshold = options_.threshold;
-    partition_ = partitioner->partition(cloud_, config);
+    partition_ = partitioner->partition(cloud_, config, pool_.get());
 }
 
 data::PointCloud
@@ -27,7 +41,7 @@ FractalCloudPipeline::sample(double rate) const
     ops::FpsOptions fps;
     fps.window_check = options_.window_check;
     return ops::blockFarthestPointSample(cloud_, partition_.tree, rate,
-                                         fps);
+                                         fps, pool_.get());
 }
 
 ops::NeighborResult
@@ -35,16 +49,16 @@ FractalCloudPipeline::group(const ops::BlockSampleResult &centers,
                             float radius, std::size_t k) const
 {
     return ops::blockBallQuery(cloud_, partition_.tree, centers, radius,
-                               k);
+                               k, pool_.get());
 }
 
 ops::GatherResult
 FractalCloudPipeline::gather(const ops::BlockSampleResult &centers,
                              const ops::NeighborResult &neighbors) const
 {
-    return ops::blockGatherNeighborhoods(cloud_, partition_.tree,
-                                         centers.indices,
-                                         centers.leaf_offsets, neighbors);
+    return ops::blockGatherNeighborhoods(
+        cloud_, partition_.tree, centers.indices, centers.leaf_offsets,
+        neighbors, pool_.get());
 }
 
 ops::InterpolateResult
@@ -54,7 +68,8 @@ FractalCloudPipeline::interpolate(
     std::size_t k) const
 {
     return ops::blockInterpolate(cloud_, partition_.tree, sampled,
-                                 known_features, channels, k);
+                                 known_features, channels, k,
+                                 pool_.get());
 }
 
 nn::InferenceResult
@@ -76,6 +91,55 @@ FractalCloudPipeline::estimate(const nn::ModelConfig &model) const
     const accel::BlockSummary blocks =
         accel::summarizeBlocks(partition_);
     return accel.runShape(shape, blocks);
+}
+
+std::vector<BatchResult>
+FractalCloudPipeline::runBatch(const std::vector<data::PointCloud> &clouds,
+                               const PipelineOptions &options,
+                               const BatchRequest &request)
+{
+    fc_assert(request.neighbors > 0, "batch needs neighbors > 0");
+    std::vector<BatchResult> results(clouds.size());
+    const std::shared_ptr<core::ThreadPool> pool =
+        makePool(options.num_threads);
+    const auto partitioner = part::makePartitioner(options.method);
+
+    // One cloud = one work item: the serving-shaped decomposition.
+    // Each item runs its own stages sequentially (inner parallelism
+    // would only contend with other requests for the same pool), so
+    // every per-cloud result is trivially identical to a sequential
+    // run of that cloud.
+    core::parallelFor(
+        pool.get(), 0, clouds.size(), 1,
+        [&](std::size_t cb, std::size_t ce) {
+            for (std::size_t i = cb; i < ce; ++i) {
+                const data::PointCloud &cloud = clouds[i];
+                fc_assert(!cloud.empty(),
+                          "runBatch requires non-empty clouds (cloud "
+                          "%zu is empty)",
+                          i);
+                part::PartitionConfig config;
+                config.threshold = options.threshold;
+                const part::PartitionResult part =
+                    partitioner->partition(cloud, config, nullptr);
+
+                BatchResult &out = results[i];
+                ops::FpsOptions fps;
+                fps.window_check = options.window_check;
+                out.sampled = ops::blockFarthestPointSample(
+                    cloud, part.tree, request.sample_rate, fps,
+                    nullptr);
+                out.grouped = ops::blockBallQuery(
+                    cloud, part.tree, out.sampled, request.radius,
+                    request.neighbors, nullptr);
+                out.gathered = ops::blockGatherNeighborhoods(
+                    cloud, part.tree, out.sampled.indices,
+                    out.sampled.leaf_offsets, out.grouped, nullptr);
+                out.partition_stats = part.stats;
+                out.num_blocks = part.tree.leaves().size();
+            }
+        });
+    return results;
 }
 
 } // namespace fc

@@ -12,7 +12,15 @@
  *   4. hardware latency/energy estimation on the FractalCloud
  *      accelerator model.
  *
- * See examples/quickstart.cc for a guided tour.
+ * Block-parallel here is literal: partitioning and the block-wise
+ * ops dispatch their per-block work items over a core::ThreadPool
+ * sized by PipelineOptions::num_threads, and every result is
+ * bit-identical to the sequential path (num_threads = 1).
+ *
+ * For serving-shaped workloads, runBatch() processes many clouds
+ * concurrently over one shared pool (one request per work item).
+ *
+ * See examples/quickstart.cpp for a guided tour.
  */
 
 #ifndef FC_CORE_PIPELINE_H
@@ -20,8 +28,10 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "accel/accelerator.h"
+#include "core/parallel.h"
 #include "dataset/point_cloud.h"
 #include "nn/network.h"
 #include "ops/fps.h"
@@ -44,13 +54,44 @@ struct PipelineOptions
 
     /** Model the RSPU window-check when counting sampling work. */
     bool window_check = true;
+
+    /**
+     * Worker threads for block-parallel execution: 0 = all hardware
+     * threads, 1 = the exact sequential path (no pool), n = a fixed
+     * pool of n. Results are bit-identical at every setting.
+     */
+    unsigned num_threads = 0;
+};
+
+/** One request of the batched entry point. */
+struct BatchRequest
+{
+    /** Block-wise FPS rate for the sampling stage. */
+    double sample_rate = 0.25;
+
+    /** Ball-query radius for the grouping stage. */
+    float radius = 0.2f;
+
+    /** Neighbors per center for grouping/gathering. */
+    std::size_t neighbors = 32;
+};
+
+/** Per-cloud output of FractalCloudPipeline::runBatch. */
+struct BatchResult
+{
+    ops::BlockSampleResult sampled;
+    ops::NeighborResult grouped;
+    ops::GatherResult gathered;
+    part::PartitionStats partition_stats;
+    std::size_t num_blocks = 0;
 };
 
 /**
  * A partitioned point cloud with block-parallel operations.
  *
  * The pipeline owns a copy of the cloud and its BlockTree; operations
- * return results in original-cloud index space.
+ * return results in original-cloud index space. It also owns the
+ * thread pool (when num_threads != 1) that all its operations share.
  */
 class FractalCloudPipeline
 {
@@ -63,6 +104,9 @@ class FractalCloudPipeline
     const part::BlockTree &tree() const { return partition_.tree; }
     const part::PartitionResult &partition() const { return partition_; }
     const PipelineOptions &options() const { return options_; }
+
+    /** The pipeline's pool; null when running sequentially. */
+    core::ThreadPool *pool() const { return pool_.get(); }
 
     /** The cloud in DFT (block-contiguous) memory order. */
     data::PointCloud reordered() const;
@@ -93,9 +137,24 @@ class FractalCloudPipeline
      */
     accel::RunReport estimate(const nn::ModelConfig &model) const;
 
+    /**
+     * Batched, serving-shaped entry point: partition + sample +
+     * group + gather every cloud, processing clouds concurrently
+     * over one pool sized by options.num_threads (each cloud is one
+     * work item; per-cloud processing runs sequentially inside its
+     * item). Output order matches input order and every per-cloud
+     * result is bit-identical to constructing a sequential pipeline
+     * for that cloud.
+     */
+    static std::vector<BatchResult>
+    runBatch(const std::vector<data::PointCloud> &clouds,
+             const PipelineOptions &options = {},
+             const BatchRequest &request = {});
+
   private:
     data::PointCloud cloud_;
     PipelineOptions options_;
+    std::shared_ptr<core::ThreadPool> pool_;
     part::PartitionResult partition_;
 };
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "common/logging.h"
+#include "core/parallel.h"
 
 namespace fc::ops {
 
@@ -80,14 +82,12 @@ farthestPointSample(const data::PointCloud &cloud,
     if (cloud.empty() || num_samples == 0)
         return result;
 
-    // Identity view over the whole cloud.
-    static thread_local std::vector<PointIdx> identity;
-    if (identity.size() < cloud.size()) {
-        const std::size_t old = identity.size();
-        identity.resize(cloud.size());
-        for (std::size_t i = old; i < cloud.size(); ++i)
-            identity[i] = static_cast<PointIdx>(i);
-    }
+    // Identity view over the whole cloud. Per-call scratch: an O(n)
+    // fill is noise next to the O(n^2) sampling loop, and unlike a
+    // thread_local cache it holds no memory past the call and no
+    // stale state on pool threads.
+    std::vector<PointIdx> identity(cloud.size());
+    std::iota(identity.begin(), identity.end(), PointIdx{0});
     result.indices.reserve(std::min(num_samples, cloud.size()));
     fpsOverView(cloud, identity, 0,
                 static_cast<std::uint32_t>(cloud.size()), num_samples,
@@ -99,7 +99,8 @@ farthestPointSample(const data::PointCloud &cloud,
 BlockSampleResult
 blockFarthestPointSample(const data::PointCloud &cloud,
                          const part::BlockTree &tree, double rate,
-                         const FpsOptions &options)
+                         const FpsOptions &options,
+                         core::ThreadPool *pool)
 {
     fc_assert(rate > 0.0 && rate <= 1.0,
               "sampling rate %f outside (0, 1]", rate);
@@ -119,30 +120,51 @@ blockFarthestPointSample(const data::PointCloud &cloud,
             : rate * static_cast<double>(tree.numPoints()) /
                   static_cast<double>(nonempty);
 
-    for (const part::NodeIdx leaf : leaves) {
-        const part::BlockNode &node = tree.node(leaf);
-        const std::uint32_t size = node.size();
-        if (size > 0) {
-            // Fixed rate, rounded to nearest; at least one sample so
-            // sparse regions stay represented.
-            std::size_t quota = static_cast<std::size_t>(std::llround(
-                options.fixed_count_per_block
-                    ? per_block_count
-                    : rate * static_cast<double>(size)));
-            quota = std::clamp<std::size_t>(quota, 1, size);
-            fpsOverView(cloud, tree.order(), node.begin, node.end, quota,
-                        options.start_index, options.window_check,
-                        result.indices, result.stats);
-        }
+    // Per-leaf work items: each leaf samples into its own buffer, the
+    // buffers are concatenated in leaf order afterwards — the merged
+    // result is byte-for-byte the sequential one.
+    std::vector<std::vector<PointIdx>> leaf_samples(leaves.size());
+    std::vector<OpStats> leaf_stats(leaves.size());
+    core::parallelFor(
+        pool, 0, leaves.size(), 1,
+        [&](std::size_t lb, std::size_t le) {
+            for (std::size_t li = lb; li < le; ++li) {
+                const part::BlockNode &node = tree.node(leaves[li]);
+                const std::uint32_t size = node.size();
+                if (size == 0)
+                    continue;
+                // Fixed rate, rounded to nearest; at least one sample
+                // so sparse regions stay represented.
+                std::size_t quota =
+                    static_cast<std::size_t>(std::llround(
+                        options.fixed_count_per_block
+                            ? per_block_count
+                            : rate * static_cast<double>(size)));
+                quota = std::clamp<std::size_t>(quota, 1, size);
+                leaf_samples[li].reserve(quota);
+                fpsOverView(cloud, tree.order(), node.begin, node.end,
+                            quota, options.start_index,
+                            options.window_check, leaf_samples[li],
+                            leaf_stats[li]);
+            }
+        });
+    for (std::size_t li = 0; li < leaves.size(); ++li) {
+        result.indices.insert(result.indices.end(),
+                              leaf_samples[li].begin(),
+                              leaf_samples[li].end());
+        result.stats += leaf_stats[li];
         result.leaf_offsets.push_back(
             static_cast<std::uint32_t>(result.indices.size()));
     }
 
     // Recover DFT positions with one inverse-permutation pass.
     std::vector<std::uint32_t> inverse(tree.order().size());
-    for (std::uint32_t pos = 0;
-         pos < static_cast<std::uint32_t>(tree.order().size()); ++pos)
-        inverse[tree.order()[pos]] = pos;
+    core::parallelFor(pool, 0, tree.order().size(), 65536,
+                      [&](std::size_t cb, std::size_t ce) {
+                          for (std::size_t pos = cb; pos < ce; ++pos)
+                              inverse[tree.order()[pos]] =
+                                  static_cast<std::uint32_t>(pos);
+                      });
     result.positions.resize(result.indices.size());
     for (std::size_t i = 0; i < result.indices.size(); ++i)
         result.positions[i] = inverse[result.indices[i]];

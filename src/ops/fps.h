@@ -8,6 +8,10 @@
  * Block-wise FPS runs an independent FPS inside every leaf block of a
  * BlockTree with one fixed sampling rate, and concatenates the
  * results — the decomposition that makes sampling block-parallel.
+ *
+ * Block-wise FPS dispatches its per-leaf work items over an optional
+ * core::ThreadPool; per-leaf outputs are merged in leaf order, so the
+ * result is bit-identical to the sequential path at any thread count.
  */
 
 #ifndef FC_OPS_FPS_H
@@ -19,6 +23,10 @@
 #include "dataset/point_cloud.h"
 #include "ops/op_stats.h"
 #include "partition/block_tree.h"
+
+namespace fc::core {
+class ThreadPool;
+}
 
 namespace fc::ops {
 
@@ -92,11 +100,13 @@ SampleResult farthestPointSample(const data::PointCloud &cloud,
  * @param cloud  input points (original order)
  * @param tree   partition (DFT layout)
  * @param rate   target sampling rate in (0, 1]
+ * @param pool   optional thread pool; null = sequential
  */
 BlockSampleResult blockFarthestPointSample(const data::PointCloud &cloud,
                                            const part::BlockTree &tree,
                                            double rate,
-                                           const FpsOptions &options = {});
+                                           const FpsOptions &options = {},
+                                           core::ThreadPool *pool = nullptr);
 
 } // namespace fc::ops
 

@@ -1,6 +1,7 @@
 #include "ops/gather.h"
 
 #include "common/logging.h"
+#include "core/parallel.h"
 
 namespace fc::ops {
 
@@ -69,7 +70,7 @@ blockGatherNeighborhoods(
     const data::PointCloud &cloud, const part::BlockTree &tree,
     const std::vector<PointIdx> &centers,
     const std::vector<std::uint32_t> &center_leaf_offsets,
-    const NeighborResult &neighbors)
+    const NeighborResult &neighbors, core::ThreadPool *pool)
 {
     fc_assert(centers.size() == neighbors.num_centers,
               "centers (%zu) and neighbor rows (%zu) disagree",
@@ -88,25 +89,36 @@ blockGatherNeighborhoods(
     // Values are identical to the global gather; what changes is the
     // access pattern: per leaf, the search-space blocks are streamed
     // once into SRAM and every center of the leaf reads from there.
-    for (std::size_t li = 0; li < leaves.size(); ++li) {
-        const part::BlockNode &space =
-            tree.node(tree.searchSpaceNode(leaves[li]));
-        const std::uint32_t first = center_leaf_offsets[li];
-        const std::uint32_t last = center_leaf_offsets[li + 1];
-        if (first == last)
-            continue;
-        // One streamed fetch of the search space per leaf (parent
-        // data shared across siblings is accounted by the hardware
-        // model; here we charge the leaf-local stream).
-        result.stats.bytes_gathered +=
-            static_cast<std::uint64_t>(space.size()) *
-            (cloud.featureDim() * 2 + 8);
-        for (std::uint32_t row = first; row < last; ++row) {
-            gatherRow(cloud, centers[row], neighbors, row,
-                      result.channels, result.values);
-            result.stats.points_visited += result.k;
-        }
-    }
+    // Per-leaf work items write disjoint value rows; per-chunk stats
+    // fold in chunk order.
+    result.stats += core::parallelReduce(
+        pool, 0, leaves.size(), 1, OpStats{},
+        [&](std::size_t lb, std::size_t le) {
+            OpStats stats;
+            for (std::size_t li = lb; li < le; ++li) {
+                const part::BlockNode &space =
+                    tree.node(tree.searchSpaceNode(leaves[li]));
+                const std::uint32_t first = center_leaf_offsets[li];
+                const std::uint32_t last =
+                    center_leaf_offsets[li + 1];
+                if (first == last)
+                    continue;
+                // One streamed fetch of the search space per leaf
+                // (parent data shared across siblings is accounted by
+                // the hardware model; here we charge the leaf-local
+                // stream).
+                stats.bytes_gathered +=
+                    static_cast<std::uint64_t>(space.size()) *
+                    (cloud.featureDim() * 2 + 8);
+                for (std::uint32_t row = first; row < last; ++row) {
+                    gatherRow(cloud, centers[row], neighbors, row,
+                              result.channels, result.values);
+                    stats.points_visited += result.k;
+                }
+            }
+            return stats;
+        },
+        [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
     return result;
 }
 

@@ -23,6 +23,10 @@
 #include "ops/neighbor.h"
 #include "partition/block_tree.h"
 
+namespace fc::core {
+class ThreadPool;
+}
+
 namespace fc::ops {
 
 /** Gathered neighborhood tensor. */
@@ -63,13 +67,15 @@ GatherResult gatherNeighborhoods(const data::PointCloud &cloud,
 /**
  * Same values as gatherNeighborhoods but with block-wise memory
  * accounting: accesses are counted per block as streamed reads (the
- * DFT layout makes each block contiguous).
+ * DFT layout makes each block contiguous). Per-leaf work items run
+ * over @p pool; rows are disjoint, so the values are bit-identical to
+ * sequential execution.
  */
 GatherResult blockGatherNeighborhoods(
     const data::PointCloud &cloud, const part::BlockTree &tree,
     const std::vector<PointIdx> &centers,
     const std::vector<std::uint32_t> &center_leaf_offsets,
-    const NeighborResult &neighbors);
+    const NeighborResult &neighbors, core::ThreadPool *pool = nullptr);
 
 } // namespace fc::ops
 

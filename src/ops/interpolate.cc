@@ -3,20 +3,29 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "core/parallel.h"
 
 namespace fc::ops {
 
 namespace {
 
-/** Weighted blend of neighbor feature rows into the result. */
+/** Rows per parallel chunk of the blend loop. */
+constexpr std::size_t kBlendGrain = 1024;
+
+/**
+ * Weighted blend of neighbor feature rows into the result for rows
+ * [row_begin, row_end). Writes only those value rows and @p stats.
+ */
 void
 blendRows(const data::PointCloud &cloud,
           const std::vector<float> &known_features, std::size_t channels,
           const std::unordered_map<PointIdx, std::size_t> &known_row,
-          const NeighborResult &neighbors, InterpolateResult &result)
+          const NeighborResult &neighbors, std::size_t row_begin,
+          std::size_t row_end, InterpolateResult &result,
+          OpStats &stats)
 {
     constexpr float kEps = 1e-8f;
-    for (std::size_t row = 0; row < neighbors.num_centers; ++row) {
+    for (std::size_t row = row_begin; row < row_end; ++row) {
         float *out = result.values.data() + row * channels;
         const Vec3 &query = cloud[static_cast<PointIdx>(row)];
         float weight_sum = 0.0f;
@@ -47,9 +56,9 @@ blendRows(const data::PointCloud &cloud,
             const float w = weights[j] * inv;
             for (std::size_t c = 0; c < channels; ++c)
                 out[c] += w * src[c];
-            result.stats.bytes_gathered += channels * 2; // fp16 row
+            stats.bytes_gathered += channels * 2; // fp16 row
         }
-        ++result.stats.iterations;
+        ++stats.iterations;
     }
 }
 
@@ -70,7 +79,8 @@ interpolateFeatures(const data::PointCloud &cloud,
                     const std::vector<float> &known_features,
                     std::size_t channels,
                     const std::vector<PointIdx> &known_indices,
-                    const NeighborResult &neighbors)
+                    const NeighborResult &neighbors,
+                    core::ThreadPool *pool)
 {
     fc_assert(known_features.size() == known_indices.size() * channels,
               "known feature matrix shape mismatch");
@@ -84,9 +94,18 @@ interpolateFeatures(const data::PointCloud &cloud,
     result.values.assign(result.num_points * channels, 0.0f);
     result.stats += neighbors.stats;
 
+    // Row chunks write disjoint value rows; per-chunk stats fold in
+    // chunk order.
     const auto known_row = buildKnownRowMap(known_indices);
-    blendRows(cloud, known_features, channels, known_row, neighbors,
-              result);
+    result.stats += core::parallelReduce(
+        pool, 0, neighbors.num_centers, kBlendGrain, OpStats{},
+        [&](std::size_t cb, std::size_t ce) {
+            OpStats stats;
+            blendRows(cloud, known_features, channels, known_row,
+                      neighbors, cb, ce, result, stats);
+            return stats;
+        },
+        [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
     return result;
 }
 
@@ -109,12 +128,13 @@ blockInterpolate(const data::PointCloud &cloud,
                  const part::BlockTree &tree,
                  const BlockSampleResult &sampled,
                  const std::vector<float> &known_features,
-                 std::size_t channels, std::size_t k)
+                 std::size_t channels, std::size_t k,
+                 core::ThreadPool *pool)
 {
     const NeighborResult neighbors =
-        blockKnnToSamples(cloud, tree, sampled, k);
+        blockKnnToSamples(cloud, tree, sampled, k, pool);
     return interpolateFeatures(cloud, known_features, channels,
-                               sampled.indices, neighbors);
+                               sampled.indices, neighbors, pool);
 }
 
 } // namespace fc::ops

@@ -20,6 +20,10 @@
 #include "ops/neighbor.h"
 #include "partition/block_tree.h"
 
+namespace fc::core {
+class ThreadPool;
+}
+
 namespace fc::ops {
 
 /** Interpolated feature matrix. */
@@ -50,7 +54,8 @@ interpolateFeatures(const data::PointCloud &cloud,
                     const std::vector<float> &known_features,
                     std::size_t channels,
                     const std::vector<PointIdx> &known_indices,
-                    const NeighborResult &neighbors);
+                    const NeighborResult &neighbors,
+                    core::ThreadPool *pool = nullptr);
 
 /**
  * Convenience wrapper: global 3-NN then interpolation.
@@ -64,14 +69,17 @@ globalInterpolate(const data::PointCloud &cloud,
 
 /**
  * Block-wise interpolation: 3-NN restricted to each leaf's search
- * space via blockKnnToSamples, then the same weighted average.
+ * space via blockKnnToSamples, then the same weighted average. Both
+ * stages dispatch over @p pool; each output row is owned by exactly
+ * one work item, so results match sequential execution bit-for-bit.
  */
 InterpolateResult
 blockInterpolate(const data::PointCloud &cloud,
                  const part::BlockTree &tree,
                  const BlockSampleResult &sampled,
                  const std::vector<float> &known_features,
-                 std::size_t channels, std::size_t k = 3);
+                 std::size_t channels, std::size_t k = 3,
+                 core::ThreadPool *pool = nullptr);
 
 } // namespace fc::ops
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "core/parallel.h"
 
 namespace fc::ops {
 
@@ -30,46 +31,61 @@ struct TopK
     }
 };
 
+/** Write one vertex's edge row (padded) at @p row. */
 void
-emitRow(const TopK &top, std::size_t k, std::vector<PointIdx> &edges)
+emitRow(const TopK &top, std::size_t k, PointIdx *row)
 {
+    std::size_t col = 0;
     for (const auto &[dist, idx] : top.best)
-        edges.push_back(idx);
+        row[col++] = idx;
     const PointIdx pad =
         top.best.empty() ? kInvalidPoint : top.best[0].second;
-    for (std::size_t j = top.best.size(); j < k; ++j)
-        edges.push_back(pad);
+    for (; col < k; ++col)
+        row[col] = pad;
 }
+
+/** Vertices per parallel chunk of the exact builder. */
+constexpr std::size_t kGraphGrain = 256;
 
 } // namespace
 
 KnnGraph
-buildKnnGraph(const data::PointCloud &cloud, std::size_t k)
+buildKnnGraph(const data::PointCloud &cloud, std::size_t k,
+              core::ThreadPool *pool)
 {
     fc_assert(k > 0, "graph needs k > 0");
     KnnGraph graph;
     graph.num_vertices = cloud.size();
     graph.k = k;
-    graph.edges.reserve(cloud.size() * k);
-    for (std::size_t i = 0; i < cloud.size(); ++i) {
-        TopK top(k);
-        for (std::size_t j = 0; j < cloud.size(); ++j) {
-            if (j == i)
-                continue;
-            ++graph.stats.points_visited;
-            ++graph.stats.distance_computations;
-            top.offer(distance2(cloud[i], cloud[j]),
-                      static_cast<PointIdx>(j));
-        }
-        emitRow(top, k, graph.edges);
-        ++graph.stats.iterations;
-    }
+    graph.edges.resize(cloud.size() * k);
+
+    graph.stats += core::parallelReduce(
+        pool, 0, cloud.size(), kGraphGrain, ops::OpStats{},
+        [&](std::size_t cb, std::size_t ce) {
+            OpStats stats;
+            for (std::size_t i = cb; i < ce; ++i) {
+                TopK top(k);
+                for (std::size_t j = 0; j < cloud.size(); ++j) {
+                    if (j == i)
+                        continue;
+                    ++stats.points_visited;
+                    ++stats.distance_computations;
+                    top.offer(distance2(cloud[i], cloud[j]),
+                              static_cast<PointIdx>(j));
+                }
+                emitRow(top, k, graph.edges.data() + i * k);
+                ++stats.iterations;
+            }
+            return stats;
+        },
+        [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
     return graph;
 }
 
 KnnGraph
 buildBlockKnnGraph(const data::PointCloud &cloud,
-                   const part::BlockTree &tree, std::size_t k)
+                   const part::BlockTree &tree, std::size_t k,
+                   core::ThreadPool *pool)
 {
     fc_assert(k > 0, "graph needs k > 0");
     fc_assert(tree.numPoints() == cloud.size(),
@@ -80,36 +96,40 @@ buildBlockKnnGraph(const data::PointCloud &cloud,
     graph.k = k;
     graph.edges.assign(cloud.size() * k, kInvalidPoint);
 
-    for (const part::NodeIdx leaf : tree.leaves()) {
-        const part::BlockNode &space =
-            tree.node(tree.searchSpaceNode(leaf));
-        const part::BlockNode &node = tree.node(leaf);
-        for (std::uint32_t pos = node.begin; pos < node.end; ++pos) {
-            const PointIdx self = tree.order()[pos];
-            TopK top(k);
-            for (std::uint32_t cand = space.begin; cand < space.end;
-                 ++cand) {
-                const PointIdx other = tree.order()[cand];
-                if (other == self)
-                    continue;
-                ++graph.stats.points_visited;
-                ++graph.stats.distance_computations;
-                top.offer(distance2(cloud[self], cloud[other]),
-                          other);
+    // Per-leaf work items; every vertex owns the edge row of its
+    // original id, so leaves write disjoint rows.
+    const auto &leaves = tree.leaves();
+    graph.stats += core::parallelReduce(
+        pool, 0, leaves.size(), 1, ops::OpStats{},
+        [&](std::size_t lb, std::size_t le) {
+            OpStats stats;
+            for (std::size_t li = lb; li < le; ++li) {
+                const part::BlockNode &space =
+                    tree.node(tree.searchSpaceNode(leaves[li]));
+                const part::BlockNode &node = tree.node(leaves[li]);
+                for (std::uint32_t pos = node.begin; pos < node.end;
+                     ++pos) {
+                    const PointIdx self = tree.order()[pos];
+                    TopK top(k);
+                    for (std::uint32_t cand = space.begin;
+                         cand < space.end; ++cand) {
+                        const PointIdx other = tree.order()[cand];
+                        if (other == self)
+                            continue;
+                        ++stats.points_visited;
+                        ++stats.distance_computations;
+                        top.offer(distance2(cloud[self], cloud[other]),
+                                  other);
+                    }
+                    // Rows are written at the vertex's original id so
+                    // the graph layout matches the exact builder.
+                    emitRow(top, k, graph.edges.data() + self * k);
+                    ++stats.iterations;
+                }
             }
-            // Rows are written at the vertex's original id so the
-            // graph layout matches the exact builder.
-            std::size_t col = 0;
-            for (const auto &[dist, idx] : top.best)
-                graph.edges[self * k + col++] = idx;
-            const PointIdx pad =
-                top.best.empty() ? kInvalidPoint
-                                 : top.best[0].second;
-            for (; col < k; ++col)
-                graph.edges[self * k + col] = pad;
-            ++graph.stats.iterations;
-        }
-    }
+            return stats;
+        },
+        [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
     return graph;
 }
 

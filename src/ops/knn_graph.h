@@ -18,6 +18,10 @@
 #include "ops/op_stats.h"
 #include "partition/block_tree.h"
 
+namespace fc::core {
+class ThreadPool;
+}
+
 namespace fc::ops {
 
 /** Directed k-NN graph: edge (i -> neighbors of i). */
@@ -40,18 +44,23 @@ struct KnnGraph
 
 /**
  * Exact global k-NN graph (self-edges excluded); the DGCNN baseline.
- * O(n^2) distance evaluations.
+ * O(n^2) distance evaluations. Vertex rows are independent and
+ * dispatch in chunks over @p pool.
  */
-KnnGraph buildKnnGraph(const data::PointCloud &cloud, std::size_t k);
+KnnGraph buildKnnGraph(const data::PointCloud &cloud, std::size_t k,
+                       core::ThreadPool *pool = nullptr);
 
 /**
  * Block-wise k-NN graph: every vertex searches only its leaf's
  * search-space node (parent block). O(n * search_space) work. Edge
  * recall against the exact graph is high because Fractal blocks align
- * with the geometry that k-NN locality follows.
+ * with the geometry that k-NN locality follows. Per-leaf work items
+ * dispatch over @p pool; each vertex owns its edge row, so the graph
+ * is bit-identical to sequential construction.
  */
 KnnGraph buildBlockKnnGraph(const data::PointCloud &cloud,
-                            const part::BlockTree &tree, std::size_t k);
+                            const part::BlockTree &tree, std::size_t k,
+                            core::ThreadPool *pool = nullptr);
 
 /** Fraction of exact-graph edges present in the test graph. */
 double graphEdgeRecall(const KnnGraph &exact, const KnnGraph &test);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 
 #include "common/logging.h"
+#include "core/parallel.h"
 
 namespace fc::ops {
 
@@ -11,33 +13,30 @@ namespace {
 
 /**
  * Ball query for one center over a view of candidate positions.
- * Appends exactly k entries (padded) to result.indices.
+ * Writes exactly k entries (padded) into @p row; returns the number
+ * of real neighbors found.
  */
-void
-ballQueryOne(const data::PointCloud &cloud, const Vec3 &center_pt,
+std::uint32_t
+ballQueryRow(const data::PointCloud &cloud, const Vec3 &center_pt,
              const std::vector<PointIdx> &order, std::uint32_t begin,
              std::uint32_t end, float radius2, std::size_t k,
-             NeighborResult &result)
+             PointIdx *row, OpStats &stats)
 {
-    const std::size_t row_start = result.indices.size();
     std::uint32_t found = 0;
     for (std::uint32_t pos = begin; pos < end && found < k; ++pos) {
         const PointIdx idx = order[pos];
-        ++result.stats.points_visited;
-        ++result.stats.distance_computations;
-        if (distance2(center_pt, cloud[idx]) <= radius2) {
-            result.indices.push_back(idx);
-            ++found;
-        }
+        ++stats.points_visited;
+        ++stats.distance_computations;
+        if (distance2(center_pt, cloud[idx]) <= radius2)
+            row[found++] = idx;
     }
-    result.counts.push_back(found);
     // PointNet++ padding: repeat the first neighbor; centers with no
     // neighbor at all (possible when the center is not among the
     // candidates) repeat kInvalidPoint.
-    const PointIdx pad =
-        found > 0 ? result.indices[row_start] : kInvalidPoint;
+    const PointIdx pad = found > 0 ? row[0] : kInvalidPoint;
     for (std::size_t j = found; j < k; ++j)
-        result.indices.push_back(pad);
+        row[j] = pad;
+    return found;
 }
 
 /** Insertion-based top-k (k is small: 3..64), ascending distance. */
@@ -62,25 +61,30 @@ struct TopK
     }
 };
 
-void
-knnOne(const data::PointCloud &cloud, const Vec3 &query,
+/**
+ * KNN for one query over an explicit candidate list. Writes exactly k
+ * entries (padded) into @p row; returns the real neighbor count.
+ */
+std::uint32_t
+knnRow(const data::PointCloud &cloud, const Vec3 &query,
        const std::vector<PointIdx> &candidates, std::size_t k,
-       NeighborResult &result)
+       PointIdx *row, OpStats &stats)
 {
     TopK top(k);
     for (const PointIdx idx : candidates) {
-        ++result.stats.points_visited;
-        ++result.stats.distance_computations;
+        ++stats.points_visited;
+        ++stats.distance_computations;
         top.offer(distance2(query, cloud[idx]), idx);
     }
     const std::uint32_t found =
         static_cast<std::uint32_t>(top.heap.size());
-    result.counts.push_back(found);
+    std::size_t j = 0;
     for (const auto &[dist, idx] : top.heap)
-        result.indices.push_back(idx);
+        row[j++] = idx;
     const PointIdx pad = found > 0 ? top.heap[0].second : kInvalidPoint;
-    for (std::size_t j = found; j < k; ++j)
-        result.indices.push_back(pad);
+    for (; j < k; ++j)
+        row[j] = pad;
+    return found;
 }
 
 } // namespace
@@ -94,22 +98,20 @@ ballQuery(const data::PointCloud &cloud,
     NeighborResult result;
     result.num_centers = centers.size();
     result.k = k;
-    result.indices.reserve(centers.size() * k);
-    result.counts.reserve(centers.size());
+    result.indices.resize(centers.size() * k);
+    result.counts.resize(centers.size());
 
-    static thread_local std::vector<PointIdx> identity;
-    if (identity.size() < cloud.size()) {
-        const std::size_t old = identity.size();
-        identity.resize(cloud.size());
-        for (std::size_t i = old; i < cloud.size(); ++i)
-            identity[i] = static_cast<PointIdx>(i);
-    }
+    // Identity view over the whole cloud (per-call scratch; no cached
+    // thread-local state).
+    std::vector<PointIdx> identity(cloud.size());
+    std::iota(identity.begin(), identity.end(), PointIdx{0});
 
     const float r2 = radius * radius;
-    for (const PointIdx c : centers) {
-        ballQueryOne(cloud, cloud[c], identity, 0,
-                     static_cast<std::uint32_t>(cloud.size()), r2, k,
-                     result);
+    for (std::size_t ci = 0; ci < centers.size(); ++ci) {
+        result.counts[ci] = ballQueryRow(
+            cloud, cloud[centers[ci]], identity, 0,
+            static_cast<std::uint32_t>(cloud.size()), r2, k,
+            result.indices.data() + ci * k, result.stats);
         ++result.stats.iterations;
     }
     return result;
@@ -124,10 +126,12 @@ knnSearch(const data::PointCloud &cloud,
     NeighborResult result;
     result.num_centers = queries.size();
     result.k = k;
-    result.indices.reserve(queries.size() * k);
-    result.counts.reserve(queries.size());
-    for (const Vec3 &q : queries) {
-        knnOne(cloud, q, candidates, k, result);
+    result.indices.resize(queries.size() * k);
+    result.counts.resize(queries.size());
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        result.counts[qi] =
+            knnRow(cloud, queries[qi], candidates, k,
+                   result.indices.data() + qi * k, result.stats);
         ++result.stats.iterations;
     }
     return result;
@@ -136,14 +140,14 @@ knnSearch(const data::PointCloud &cloud,
 NeighborResult
 blockBallQuery(const data::PointCloud &cloud, const part::BlockTree &tree,
                const BlockSampleResult &centers, float radius,
-               std::size_t k)
+               std::size_t k, core::ThreadPool *pool)
 {
     fc_assert(k > 0, "ball query needs k > 0");
     NeighborResult result;
     result.num_centers = centers.indices.size();
     result.k = k;
-    result.indices.reserve(result.num_centers * k);
-    result.counts.reserve(result.num_centers);
+    result.indices.resize(result.num_centers * k);
+    result.counts.resize(result.num_centers);
     const float r2 = radius * radius;
 
     const auto &leaves = tree.leaves();
@@ -152,85 +156,106 @@ blockBallQuery(const data::PointCloud &cloud, const part::BlockTree &tree,
               "leaves)",
               centers.leaf_offsets.size(), leaves.size());
 
-    for (std::size_t li = 0; li < leaves.size(); ++li) {
-        const part::NodeIdx space_idx =
-            tree.searchSpaceNode(leaves[li]);
-        const part::BlockNode &space = tree.node(space_idx);
-        for (std::uint32_t ci = centers.leaf_offsets[li];
-             ci < centers.leaf_offsets[li + 1]; ++ci) {
-            const Vec3 &center_pt = cloud[centers.indices[ci]];
-            ballQueryOne(cloud, center_pt, tree.order(), space.begin,
-                         space.end, r2, k, result);
-            ++result.stats.iterations;
-        }
-    }
+    // Per-leaf work items. Every center owns one fixed k-wide row of
+    // indices, so leaves write disjoint slots; per-chunk stats fold
+    // in chunk order.
+    result.stats += core::parallelReduce(
+        pool, 0, leaves.size(), 1, OpStats{},
+        [&](std::size_t lb, std::size_t le) {
+            OpStats stats;
+            for (std::size_t li = lb; li < le; ++li) {
+                const part::BlockNode &space =
+                    tree.node(tree.searchSpaceNode(leaves[li]));
+                for (std::uint32_t ci = centers.leaf_offsets[li];
+                     ci < centers.leaf_offsets[li + 1]; ++ci) {
+                    const Vec3 &center_pt =
+                        cloud[centers.indices[ci]];
+                    result.counts[ci] = ballQueryRow(
+                        cloud, center_pt, tree.order(), space.begin,
+                        space.end, r2, k,
+                        result.indices.data() +
+                            static_cast<std::size_t>(ci) * k,
+                        stats);
+                    ++stats.iterations;
+                }
+            }
+            return stats;
+        },
+        [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
     return result;
 }
 
 NeighborResult
 blockKnnToSamples(const data::PointCloud &cloud,
                   const part::BlockTree &tree,
-                  const BlockSampleResult &sampled, std::size_t k)
+                  const BlockSampleResult &sampled, std::size_t k,
+                  core::ThreadPool *pool)
 {
     fc_assert(k > 0, "knn needs k > 0");
     NeighborResult result;
     result.num_centers = cloud.size();
     result.k = k;
-    result.indices.reserve(cloud.size() * k);
-    result.counts.reserve(cloud.size());
+    result.indices.resize(cloud.size() * k);
+    result.counts.resize(cloud.size());
 
-    // Sorted copy of sampled DFT positions for range extraction.
+    // Sorted copy of sampled DFT positions for range extraction
+    // (shared, read-only during the parallel phase).
     std::vector<std::uint32_t> sorted_pos = sampled.positions;
     std::sort(sorted_pos.begin(), sorted_pos.end());
     std::vector<PointIdx> sorted_idx(sorted_pos.size());
     for (std::size_t i = 0; i < sorted_pos.size(); ++i)
         sorted_idx[i] = tree.order()[sorted_pos[i]];
 
+    // Per-leaf work items; every query writes the row of its original
+    // point id, so rows come out in original order directly (the
+    // sequential version's final permutation pass is no longer
+    // needed). The candidate list is per-chunk scratch; per-chunk
+    // stats fold in chunk order.
     const auto &leaves = tree.leaves();
-    std::vector<PointIdx> local_candidates;
-    for (std::size_t li = 0; li < leaves.size(); ++li) {
-        const part::NodeIdx leaf_idx = leaves[li];
-        const part::BlockNode &leaf = tree.node(leaf_idx);
-        const part::BlockNode &space =
-            tree.node(tree.searchSpaceNode(leaf_idx));
+    result.stats += core::parallelReduce(
+        pool, 0, leaves.size(), 1, OpStats{},
+        [&](std::size_t lb, std::size_t le) {
+            OpStats stats;
+            std::vector<PointIdx> local_candidates;
+            for (std::size_t li = lb; li < le; ++li) {
+                const part::NodeIdx leaf_idx = leaves[li];
+                const part::BlockNode &leaf = tree.node(leaf_idx);
+                const part::BlockNode &space =
+                    tree.node(tree.searchSpaceNode(leaf_idx));
 
-        // Sampled points whose DFT position falls inside the search
-        // space range.
-        local_candidates.clear();
-        const auto lo = std::lower_bound(sorted_pos.begin(),
-                                         sorted_pos.end(), space.begin);
-        const auto hi = std::lower_bound(sorted_pos.begin(),
-                                         sorted_pos.end(), space.end);
-        for (auto it = lo; it != hi; ++it)
-            local_candidates.push_back(
-                sorted_idx[static_cast<std::size_t>(
-                    it - sorted_pos.begin())]);
-        if (local_candidates.empty() && !sorted_idx.empty()) {
-            // Degenerate foreign tree: fall back to all samples.
-            local_candidates = sorted_idx;
-        }
+                // Sampled points whose DFT position falls inside the
+                // search space range.
+                local_candidates.clear();
+                const auto lo =
+                    std::lower_bound(sorted_pos.begin(),
+                                     sorted_pos.end(), space.begin);
+                const auto hi =
+                    std::lower_bound(sorted_pos.begin(),
+                                     sorted_pos.end(), space.end);
+                for (auto it = lo; it != hi; ++it)
+                    local_candidates.push_back(
+                        sorted_idx[static_cast<std::size_t>(
+                            it - sorted_pos.begin())]);
+                if (local_candidates.empty() && !sorted_idx.empty()) {
+                    // Degenerate foreign tree: fall back to all
+                    // samples.
+                    local_candidates = sorted_idx;
+                }
 
-        for (std::uint32_t pos = leaf.begin; pos < leaf.end; ++pos) {
-            const PointIdx query_idx = tree.order()[pos];
-            knnOne(cloud, cloud[query_idx], local_candidates, k,
-                   result);
-            ++result.stats.iterations;
-        }
-    }
-
-    // Rows were appended in DFT order; permute back to original order
-    // so row i describes cloud point i.
-    std::vector<PointIdx> indices(result.indices.size());
-    std::vector<std::uint32_t> counts(result.counts.size());
-    for (std::uint32_t pos = 0;
-         pos < static_cast<std::uint32_t>(tree.order().size()); ++pos) {
-        const PointIdx orig = tree.order()[pos];
-        counts[orig] = result.counts[pos];
-        for (std::size_t j = 0; j < k; ++j)
-            indices[orig * k + j] = result.indices[pos * k + j];
-    }
-    result.indices = std::move(indices);
-    result.counts = std::move(counts);
+                for (std::uint32_t pos = leaf.begin; pos < leaf.end;
+                     ++pos) {
+                    const PointIdx query_idx = tree.order()[pos];
+                    result.counts[query_idx] = knnRow(
+                        cloud, cloud[query_idx], local_candidates, k,
+                        result.indices.data() +
+                            static_cast<std::size_t>(query_idx) * k,
+                        stats);
+                    ++stats.iterations;
+                }
+            }
+            return stats;
+        },
+        [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
     return result;
 }
 

@@ -12,6 +12,11 @@
  * Block-wise variants restrict the candidate set of a center in leaf L
  * to the range of searchSpaceNode(L) — the leaf itself at depth <= 1,
  * otherwise its immediate parent (paper Fig. 7(a)).
+ *
+ * The block-wise variants dispatch per-leaf work items over an
+ * optional core::ThreadPool. Every center owns a fixed k-wide output
+ * row, so parallel execution writes disjoint slots and the result is
+ * bit-identical to the sequential path at any thread count.
  */
 
 #ifndef FC_OPS_NEIGHBOR_H
@@ -24,6 +29,10 @@
 #include "ops/fps.h"
 #include "ops/op_stats.h"
 #include "partition/block_tree.h"
+
+namespace fc::core {
+class ThreadPool;
+}
 
 namespace fc::ops {
 
@@ -79,7 +88,8 @@ NeighborResult knnSearch(const data::PointCloud &cloud,
 NeighborResult blockBallQuery(const data::PointCloud &cloud,
                               const part::BlockTree &tree,
                               const BlockSampleResult &centers,
-                              float radius, std::size_t k);
+                              float radius, std::size_t k,
+                              core::ThreadPool *pool = nullptr);
 
 /**
  * Block-wise KNN used by interpolation: for every point of every leaf
@@ -94,7 +104,8 @@ NeighborResult blockBallQuery(const data::PointCloud &cloud,
 NeighborResult blockKnnToSamples(const data::PointCloud &cloud,
                                  const part::BlockTree &tree,
                                  const BlockSampleResult &sampled,
-                                 std::size_t k);
+                                 std::size_t k,
+                                 core::ThreadPool *pool = nullptr);
 
 } // namespace fc::ops
 

@@ -8,6 +8,42 @@
 namespace fc::part::detail {
 
 void
+replaySplits(BlockTree &tree, NodeIdx node_idx, const SplitRec *rec,
+             PartitionStats &stats)
+{
+    if (rec == nullptr)
+        return;
+    stats += rec->local;
+    if (rec->dim < 0)
+        return; // all-degenerate leaf: stats only
+    const std::uint32_t begin = tree.node(node_idx).begin;
+    const std::uint32_t end = tree.node(node_idx).end;
+    const std::uint16_t depth = tree.node(node_idx).depth;
+
+    BlockNode left;
+    left.begin = begin;
+    left.end = rec->split;
+    left.parent = node_idx;
+    left.depth = static_cast<std::uint16_t>(depth + 1);
+    BlockNode right;
+    right.begin = rec->split;
+    right.end = end;
+    right.parent = node_idx;
+    right.depth = static_cast<std::uint16_t>(depth + 1);
+
+    const NodeIdx left_idx = tree.addNode(left);
+    const NodeIdx right_idx = tree.addNode(right);
+    BlockNode &parent = tree.node(node_idx);
+    parent.left = left_idx;
+    parent.right = right_idx;
+    parent.splitDim = rec->dim;
+    parent.splitValue = rec->value;
+
+    replaySplits(tree, left_idx, rec->left.get(), stats);
+    replaySplits(tree, right_idx, rec->right.get(), stats);
+}
+
+void
 computeBounds(BlockTree &tree, const data::PointCloud &cloud)
 {
     // Leaves first (any order), then internal nodes children-before-
@@ -27,27 +63,37 @@ computeBounds(BlockTree &tree, const data::PointCloud &cloud)
 }
 
 std::uint32_t
+splitRange(std::vector<PointIdx> &order, const data::PointCloud &cloud,
+           std::uint32_t begin, std::uint32_t end, int dim,
+           float split_value)
+{
+    auto first = order.begin() + begin;
+    auto last = order.begin() + end;
+    auto mid = std::partition(first, last, [&](PointIdx idx) {
+        return cloud[idx][dim] < split_value;
+    });
+    return static_cast<std::uint32_t>(mid - order.begin());
+}
+
+std::uint32_t
 splitRange(BlockTree &tree, const data::PointCloud &cloud,
            std::uint32_t begin, std::uint32_t end, int dim,
            float split_value)
 {
-    auto first = tree.order().begin() + begin;
-    auto last = tree.order().begin() + end;
-    auto mid = std::partition(first, last, [&](PointIdx idx) {
-        return cloud[idx][dim] < split_value;
-    });
-    return static_cast<std::uint32_t>(mid - tree.order().begin());
+    return splitRange(tree.order(), cloud, begin, end, dim,
+                      split_value);
 }
 
 std::pair<float, float>
-rangeExtrema(const BlockTree &tree, const data::PointCloud &cloud,
-             std::uint32_t begin, std::uint32_t end, int dim)
+rangeExtrema(const std::vector<PointIdx> &order,
+             const data::PointCloud &cloud, std::uint32_t begin,
+             std::uint32_t end, int dim)
 {
     fc_assert(begin < end, "extrema over empty range");
     float lo = std::numeric_limits<float>::infinity();
     float hi = -std::numeric_limits<float>::infinity();
     for (std::uint32_t pos = begin; pos < end; ++pos) {
-        const float v = cloud[tree.order()[pos]][dim];
+        const float v = cloud[order[pos]][dim];
         lo = std::min(lo, v);
         hi = std::max(hi, v);
     }

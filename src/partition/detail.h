@@ -8,11 +8,54 @@
 #define FC_PARTITION_DETAIL_H
 
 #include <cstdint>
+#include <memory>
 
 #include "dataset/point_cloud.h"
 #include "partition/block_tree.h"
+#include "partition/partitioner.h"
 
 namespace fc::part::detail {
+
+/**
+ * Subtrees at or above this many points are forked as pool tasks by
+ * the parallel builders; smaller ones recurse inline (task overhead
+ * would dominate).
+ */
+inline constexpr std::uint32_t kParallelCutoff = 2048;
+
+/**
+ * One performed split, recorded during a (possibly parallel) build
+ * phase and replayed sequentially into the BlockTree.
+ *
+ * The parallel builders only mutate disjoint slices of the DFT order;
+ * node allocation is deferred to replaySplits(), which walks this
+ * record tree in exactly the order the sequential builder allocates
+ * nodes — so the resulting BlockTree is bit-identical at any thread
+ * count.
+ */
+struct SplitRec
+{
+    /** Position of the first right-side element (split or median). */
+    std::uint32_t split = 0;
+
+    /** Split axis, or -1 for a degenerate (stats-only) record. */
+    std::int8_t dim = -1;
+    float value = 0.0f;
+
+    /** Stat deltas attributable to this node's split attempts. */
+    PartitionStats local;
+
+    std::unique_ptr<SplitRec> left;
+    std::unique_ptr<SplitRec> right;
+};
+
+/**
+ * Replay a record tree into @p tree, allocating nodes in the exact
+ * order of the sequential builders (left, right, then left's
+ * subtree), and fold each record's stat deltas in the same pre-order.
+ */
+void replaySplits(BlockTree &tree, NodeIdx node_idx,
+                  const SplitRec *rec, PartitionStats &stats);
 
 /**
  * Fill node.bounds for every node from the actual point positions:
@@ -29,8 +72,18 @@ std::uint32_t splitRange(BlockTree &tree, const data::PointCloud &cloud,
                          std::uint32_t begin, std::uint32_t end, int dim,
                          float split_value);
 
+/**
+ * Order-slice overload for builders that run before the BlockTree
+ * exists (the parallel subtree builders mutate disjoint slices of the
+ * bare DFT order).
+ */
+std::uint32_t splitRange(std::vector<PointIdx> &order,
+                         const data::PointCloud &cloud,
+                         std::uint32_t begin, std::uint32_t end, int dim,
+                         float split_value);
+
 /** Min/max of coordinate @p dim over the order slice [begin, end). */
-std::pair<float, float> rangeExtrema(const BlockTree &tree,
+std::pair<float, float> rangeExtrema(const std::vector<PointIdx> &order,
                                      const data::PointCloud &cloud,
                                      std::uint32_t begin,
                                      std::uint32_t end, int dim);

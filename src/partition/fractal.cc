@@ -1,79 +1,85 @@
 #include "partition/fractal.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
+#include "core/parallel.h"
 #include "partition/detail.h"
 
 namespace fc::part {
 
 namespace {
 
+using detail::SplitRec;
+
 struct Builder
 {
     const data::PointCloud &cloud;
     const PartitionConfig &config;
-    BlockTree &tree;
-    PartitionStats &stats;
+    std::vector<PointIdx> &order;
+    core::ThreadPool *pool;
 
     /**
-     * Recursively partition the node's range. @p dim_counter is the
-     * paper's cycling dimension index d.
+     * Recursively split the order slice [begin, end), mutating only
+     * that slice and recording the split structure for the replay
+     * (see detail::SplitRec). @p dim_counter is the paper's cycling
+     * dimension index d. Returns null when the slice stays a leaf.
      */
-    void
-    build(NodeIdx node_idx, int dim_counter)
+    std::unique_ptr<SplitRec>
+    build(std::uint32_t begin, std::uint32_t end, std::uint16_t depth,
+          int dim_counter)
     {
-        // Copy the POD fields we need: addNode() may reallocate nodes.
-        const std::uint32_t begin = tree.node(node_idx).begin;
-        const std::uint32_t end = tree.node(node_idx).end;
-        const std::uint16_t depth = tree.node(node_idx).depth;
         const std::uint32_t size = end - begin;
-
         if (size <= config.threshold || depth >= config.max_depth)
-            return; // Leaf.
+            return nullptr; // Leaf.
 
+        auto rec = std::make_unique<SplitRec>();
         // Try the cycling axis first, then the other two for
         // degenerate (non-splittable) layouts.
         for (int attempt = 0; attempt < 3; ++attempt) {
             const int dim = (dim_counter + attempt) % 3;
             const auto [lo, hi] =
-                detail::rangeExtrema(tree, cloud, begin, end, dim);
-            stats.elements_traversed += size; // extrema traversal
+                detail::rangeExtrema(order, cloud, begin, end, dim);
+            rec->local.elements_traversed += size; // extrema traversal
             const float mid = (lo + hi) * 0.5f;
             const std::uint32_t split =
-                detail::splitRange(tree, cloud, begin, end, dim, mid);
-            stats.elements_traversed += size; // partition traversal
+                detail::splitRange(order, cloud, begin, end, dim, mid);
+            rec->local.elements_traversed += size; // partition traversal
             if (split == begin || split == end) {
-                ++stats.degenerate_retries;
+                ++rec->local.degenerate_retries;
                 continue;
             }
-            ++stats.num_splits;
+            ++rec->local.num_splits;
+            rec->split = split;
+            rec->dim = static_cast<std::int8_t>(dim);
+            rec->value = mid;
 
-            BlockNode left;
-            left.begin = begin;
-            left.end = split;
-            left.parent = node_idx;
-            left.depth = static_cast<std::uint16_t>(depth + 1);
-            BlockNode right;
-            right.begin = split;
-            right.end = end;
-            right.parent = node_idx;
-            right.depth = static_cast<std::uint16_t>(depth + 1);
-
-            const NodeIdx left_idx = tree.addNode(left);
-            const NodeIdx right_idx = tree.addNode(right);
-            BlockNode &parent = tree.node(node_idx);
-            parent.left = left_idx;
-            parent.right = right_idx;
-            parent.splitDim = static_cast<std::int8_t>(dim);
-            parent.splitValue = mid;
-
-            build(left_idx, dim_counter + attempt + 1);
-            build(right_idx, dim_counter + attempt + 1);
-            return;
+            const std::uint16_t child_depth =
+                static_cast<std::uint16_t>(depth + 1);
+            const int next = dim_counter + attempt + 1;
+            if (pool != nullptr && pool->numThreads() > 1 &&
+                size >= 2 * detail::kParallelCutoff) {
+                // Fork the left subtree; build the right one on this
+                // thread. The slices are disjoint, so no
+                // synchronization beyond the join is needed.
+                core::TaskGroup group(pool);
+                group.run([this, begin, split, child_depth, next,
+                           &rec] {
+                    rec->left = build(begin, split, child_depth, next);
+                });
+                rec->right = build(split, end, child_depth, next);
+                group.wait();
+            } else {
+                rec->left = build(begin, split, child_depth, next);
+                rec->right = build(split, end, child_depth, next);
+            }
+            return rec;
         }
         // Degenerate on all three axes: coincident points; keep as a
-        // leaf even above threshold.
+        // leaf even above threshold. The record (dim = -1) carries
+        // the traversal cost of the failed attempts.
+        return rec;
     }
 };
 
@@ -81,7 +87,8 @@ struct Builder
 
 PartitionResult
 FractalPartitioner::partition(const data::PointCloud &cloud,
-                              const PartitionConfig &config) const
+                              const PartitionConfig &config,
+                              core::ThreadPool *pool) const
 {
     fc_assert(config.threshold > 0, "threshold must be positive");
     PartitionResult result;
@@ -94,8 +101,14 @@ FractalPartitioner::partition(const data::PointCloud &cloud,
     root.end = static_cast<std::uint32_t>(cloud.size());
     result.tree.addNode(root);
 
-    Builder builder{cloud, config, result.tree, result.stats};
-    builder.build(0, config.first_dim);
+    // Phase 1 (parallel): reorder the DFT permutation and record the
+    // split structure. Phase 2 (sequential, cheap): replay the records
+    // into nodes, preserving the sequential allocation order.
+    Builder builder{cloud, config, result.tree.order(), pool};
+    const std::unique_ptr<SplitRec> root_rec =
+        builder.build(0, static_cast<std::uint32_t>(cloud.size()), 0,
+                      config.first_dim);
+    detail::replaySplits(result.tree, 0, root_rec.get(), result.stats);
 
     result.tree.rebuildLeafList();
     detail::computeBounds(result.tree, cloud);

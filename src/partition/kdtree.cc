@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/logging.h"
+#include "core/parallel.h"
 #include "partition/detail.h"
 
 namespace fc::part {
 
 namespace {
+
+using detail::SplitRec;
 
 /** Merge-sort comparator count for n elements: n * ceil(log2 n). */
 std::uint64_t
@@ -29,62 +33,63 @@ struct Builder
 {
     const data::PointCloud &cloud;
     const PartitionConfig &config;
-    BlockTree &tree;
-    PartitionStats &stats;
+    std::vector<PointIdx> &order;
+    core::ThreadPool *pool;
 
-    void
-    build(NodeIdx node_idx, int dim_counter)
+    std::unique_ptr<SplitRec>
+    build(std::uint32_t begin, std::uint32_t end, std::uint16_t depth,
+          int dim_counter)
     {
-        const std::uint32_t begin = tree.node(node_idx).begin;
-        const std::uint32_t end = tree.node(node_idx).end;
-        const std::uint16_t depth = tree.node(node_idx).depth;
         const std::uint32_t size = end - begin;
-
         if (size <= config.threshold || depth >= config.max_depth ||
             size < 2) {
-            return;
+            return nullptr;
         }
 
+        auto rec = std::make_unique<SplitRec>();
         const int dim = dim_counter % 3;
         // Median split: the hardware performs a full merge sort per
         // node (PointAcc-style sorter, reused by Crescent); we realize
-        // it with nth_element but charge the full sort cost.
+        // it with nth_element but charge the full sort cost. Subtree
+        // tasks touch disjoint order slices, so the selection is safe
+        // to run concurrently across siblings.
         const std::uint32_t median = begin + size / 2;
-        auto first = tree.order().begin() + begin;
-        auto nth = tree.order().begin() + median;
-        auto last = tree.order().begin() + end;
+        auto first = order.begin() + begin;
+        auto nth = order.begin() + median;
+        auto last = order.begin() + end;
         std::nth_element(first, nth, last,
                          [&](PointIdx a, PointIdx b) {
                              return cloud[a][dim] < cloud[b][dim];
                          });
-        ++stats.num_sorts;
-        stats.sort_compares += sortCost(size);
-        stats.elements_traversed += size;
-        ++stats.num_splits;
+        ++rec->local.num_sorts;
+        rec->local.sort_compares += sortCost(size);
+        rec->local.elements_traversed += size;
+        ++rec->local.num_splits;
 
-        const float split_value = cloud[tree.order()[median]][dim];
+        rec->split = median;
+        rec->dim = static_cast<std::int8_t>(dim);
+        rec->value = cloud[order[median]][dim];
 
-        BlockNode left;
-        left.begin = begin;
-        left.end = median;
-        left.parent = node_idx;
-        left.depth = static_cast<std::uint16_t>(depth + 1);
-        BlockNode right;
-        right.begin = median;
-        right.end = end;
-        right.parent = node_idx;
-        right.depth = static_cast<std::uint16_t>(depth + 1);
-
-        const NodeIdx left_idx = tree.addNode(left);
-        const NodeIdx right_idx = tree.addNode(right);
-        BlockNode &parent = tree.node(node_idx);
-        parent.left = left_idx;
-        parent.right = right_idx;
-        parent.splitDim = static_cast<std::int8_t>(dim);
-        parent.splitValue = split_value;
-
-        build(left_idx, dim_counter + 1);
-        build(right_idx, dim_counter + 1);
+        const std::uint16_t child_depth =
+            static_cast<std::uint16_t>(depth + 1);
+        if (pool != nullptr && pool->numThreads() > 1 &&
+            size >= 2 * detail::kParallelCutoff) {
+            core::TaskGroup group(pool);
+            group.run([this, begin, median, child_depth, dim_counter,
+                       &rec] {
+                rec->left =
+                    build(begin, median, child_depth, dim_counter + 1);
+            });
+            rec->right =
+                build(median, end, child_depth, dim_counter + 1);
+            group.wait();
+        } else {
+            rec->left =
+                build(begin, median, child_depth, dim_counter + 1);
+            rec->right =
+                build(median, end, child_depth, dim_counter + 1);
+        }
+        return rec;
     }
 };
 
@@ -92,7 +97,8 @@ struct Builder
 
 PartitionResult
 KdTreePartitioner::partition(const data::PointCloud &cloud,
-                             const PartitionConfig &config) const
+                             const PartitionConfig &config,
+                             core::ThreadPool *pool) const
 {
     fc_assert(config.threshold > 0, "threshold must be positive");
     PartitionResult result;
@@ -105,8 +111,11 @@ KdTreePartitioner::partition(const data::PointCloud &cloud,
     root.end = static_cast<std::uint32_t>(cloud.size());
     result.tree.addNode(root);
 
-    Builder builder{cloud, config, result.tree, result.stats};
-    builder.build(0, config.first_dim);
+    Builder builder{cloud, config, result.tree.order(), pool};
+    const std::unique_ptr<SplitRec> root_rec =
+        builder.build(0, static_cast<std::uint32_t>(cloud.size()), 0,
+                      config.first_dim);
+    detail::replaySplits(result.tree, 0, root_rec.get(), result.stats);
 
     result.tree.rebuildLeafList();
     detail::computeBounds(result.tree, cloud);

@@ -73,8 +73,11 @@ struct Builder
 
 PartitionResult
 OctreePartitioner::partition(const data::PointCloud &cloud,
-                             const PartitionConfig &config) const
+                             const PartitionConfig &config,
+                             core::ThreadPool *) const
 {
+    // Space-midpoint splits need no extrema scan, so construction is
+    // memory-bound and stays sequential; the pool is ignored.
     fc_assert(config.threshold > 0, "threshold must be positive");
     PartitionResult result;
     result.method = Method::Octree;

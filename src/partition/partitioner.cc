@@ -17,7 +17,8 @@ class NonePartitioner : public Partitioner
   public:
     PartitionResult
     partition(const data::PointCloud &cloud,
-              const PartitionConfig &config) const override
+              const PartitionConfig &config,
+              core::ThreadPool * = nullptr) const override
     {
         PartitionResult result;
         result.method = Method::None;

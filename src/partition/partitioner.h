@@ -19,6 +19,10 @@
 #include "dataset/point_cloud.h"
 #include "partition/block_tree.h"
 
+namespace fc::core {
+class ThreadPool;
+}
+
 namespace fc::part {
 
 /** Strategy identifiers (paper naming). */
@@ -74,6 +78,18 @@ struct PartitionStats
 
     /** Number of split operations performed. */
     std::uint64_t num_splits = 0;
+
+    PartitionStats &
+    operator+=(const PartitionStats &o)
+    {
+        elements_traversed += o.elements_traversed;
+        traversal_passes += o.traversal_passes;
+        num_sorts += o.num_sorts;
+        sort_compares += o.sort_compares;
+        degenerate_retries += o.degenerate_retries;
+        num_splits += o.num_splits;
+        return *this;
+    }
 };
 
 /** Result bundle. */
@@ -91,10 +107,19 @@ class Partitioner
   public:
     virtual ~Partitioner() = default;
 
-    /** Partition a cloud into blocks of at most config.threshold. */
+    /**
+     * Partition a cloud into blocks of at most config.threshold.
+     *
+     * @p pool optionally parallelizes tree construction (subtree
+     * tasks over disjoint ranges of the DFT order). The resulting
+     * tree — node order, ranges, split planes, and stats — is
+     * bit-identical to the sequential (null-pool) build. Strategies
+     * without a parallel builder ignore the pool.
+     */
     virtual PartitionResult
     partition(const data::PointCloud &cloud,
-              const PartitionConfig &config) const = 0;
+              const PartitionConfig &config,
+              core::ThreadPool *pool = nullptr) const = 0;
 
     virtual Method method() const = 0;
 

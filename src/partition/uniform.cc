@@ -71,8 +71,12 @@ struct Builder
 
 PartitionResult
 UniformPartitioner::partition(const data::PointCloud &cloud,
-                              const PartitionConfig &config) const
+                              const PartitionConfig &config,
+                              core::ThreadPool *) const
 {
+    // The fixed-depth space bisection is cheap enough that a parallel
+    // builder has never been worth it; the pool is accepted for
+    // interface uniformity and ignored.
     fc_assert(config.threshold > 0, "threshold must be positive");
     PartitionResult result;
     result.method = Method::Uniform;

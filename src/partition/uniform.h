@@ -21,8 +21,10 @@ namespace fc::part {
 class UniformPartitioner : public Partitioner
 {
   public:
-    PartitionResult partition(const data::PointCloud &cloud,
-                              const PartitionConfig &config) const override;
+    PartitionResult
+    partition(const data::PointCloud &cloud,
+              const PartitionConfig &config,
+              core::ThreadPool *pool = nullptr) const override;
 
     Method method() const override { return Method::Uniform; }
 };

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Tests for the block-parallel execution runtime: ThreadPool /
+ * TaskGroup / parallelFor semantics, and bit-identical determinism of
+ * every parallelized layer (partition construction, block-wise ops,
+ * batched pipeline) against the sequential path.
+ */
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/parallel.h"
+#include "core/pipeline.h"
+#include "dataset/s3dis.h"
+#include "ops/fps.h"
+#include "ops/gather.h"
+#include "ops/interpolate.h"
+#include "ops/knn_graph.h"
+#include "ops/neighbor.h"
+#include "partition/partitioner.h"
+
+namespace fc {
+namespace {
+
+using core::ThreadPool;
+
+// ------------------------------------------------------------ pool basics
+
+TEST(ThreadPool, ResolvesThreadCount)
+{
+    EXPECT_GE(ThreadPool::resolveThreadCount(0), 1u);
+    EXPECT_EQ(ThreadPool::resolveThreadCount(1), 1u);
+    EXPECT_EQ(ThreadPool::resolveThreadCount(7), 7u);
+}
+
+TEST(ThreadPool, SingleThreadPoolSpawnsNothingAndRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.numThreads(), 1u);
+    std::vector<int> order;
+    core::TaskGroup group(&pool);
+    group.run([&] { order.push_back(1); });
+    group.run([&] { order.push_back(2); });
+    group.wait();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    core::parallelFor(&pool, 0, n, 7,
+                      [&](std::size_t cb, std::size_t ce) {
+                          for (std::size_t i = cb; i < ce; ++i)
+                              hits[i].fetch_add(1);
+                      });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, ChunkBoundariesIndependentOfThreadCount)
+{
+    // Chunk shape is a pure function of (begin, end, grain): every
+    // thread count must observe the same cut points.
+    auto boundaries = [](unsigned threads) {
+        ThreadPool pool(threads);
+        std::mutex mutex;
+        std::vector<std::pair<std::size_t, std::size_t>> chunks;
+        core::parallelFor(&pool, 3, 100, 13,
+                          [&](std::size_t cb, std::size_t ce) {
+                              std::lock_guard<std::mutex> lock(mutex);
+                              chunks.emplace_back(cb, ce);
+                          });
+        std::sort(chunks.begin(), chunks.end());
+        return chunks;
+    };
+    const auto seq = boundaries(1);
+    EXPECT_EQ(seq.front().first, 3u);
+    EXPECT_EQ(seq.back().second, 100u);
+    EXPECT_EQ(boundaries(2), seq);
+    EXPECT_EQ(boundaries(8), seq);
+}
+
+TEST(ParallelFor, PropagatesExceptions)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        core::parallelFor(&pool, 0, 100, 1,
+                          [&](std::size_t cb, std::size_t) {
+                              if (cb == 42)
+                                  throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    // Null-pool (sequential) path propagates too.
+    EXPECT_THROW(
+        core::parallelFor(nullptr, 0, 10, 1,
+                          [&](std::size_t, std::size_t) {
+                              throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, PoolSurvivesThrowingWork)
+{
+    // After an exception the pool must keep scheduling new work.
+    ThreadPool pool(4);
+    EXPECT_THROW(core::parallelFor(&pool, 0, 8, 1,
+                                   [&](std::size_t, std::size_t) {
+                                       throw std::runtime_error("x");
+                                   }),
+                 std::runtime_error);
+    std::atomic<int> sum{0};
+    core::parallelFor(&pool, 0, 100, 1,
+                      [&](std::size_t cb, std::size_t) {
+                          sum.fetch_add(static_cast<int>(cb));
+                      });
+    EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(TaskGroup, NestedSubmitDoesNotDeadlock)
+{
+    // Tasks forking subtasks onto the same pool is exactly what the
+    // recursive partition builders do; waiting threads must help.
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    core::TaskGroup outer(&pool);
+    for (int t = 0; t < 8; ++t) {
+        outer.run([&] {
+            core::TaskGroup inner(&pool);
+            for (int s = 0; s < 8; ++s)
+                inner.run([&] { total.fetch_add(1); });
+            inner.wait();
+        });
+    }
+    outer.wait();
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelReduce, FoldsInChunkOrder)
+{
+    ThreadPool pool(8);
+    // Concatenation is non-commutative: any out-of-order fold shows.
+    const std::vector<std::size_t> folded = core::parallelReduce(
+        &pool, 0, 100, 9, std::vector<std::size_t>{},
+        [](std::size_t cb, std::size_t ce) {
+            std::vector<std::size_t> chunk;
+            for (std::size_t i = cb; i < ce; ++i)
+                chunk.push_back(i);
+            return chunk;
+        },
+        [](std::vector<std::size_t> &acc,
+           std::vector<std::size_t> &&chunk) {
+            acc.insert(acc.end(), chunk.begin(), chunk.end());
+        });
+    std::vector<std::size_t> expect(100);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(folded, expect);
+}
+
+// -------------------------------------------------------- determinism
+
+void
+expectStatsEqual(const ops::OpStats &a, const ops::OpStats &b)
+{
+    EXPECT_EQ(a.distance_computations, b.distance_computations);
+    EXPECT_EQ(a.points_visited, b.points_visited);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.skipped, b.skipped);
+    EXPECT_EQ(a.bytes_gathered, b.bytes_gathered);
+}
+
+void
+expectTreesIdentical(const part::PartitionResult &a,
+                     const part::PartitionResult &b)
+{
+    ASSERT_EQ(a.tree.numNodes(), b.tree.numNodes());
+    EXPECT_EQ(a.tree.order(), b.tree.order());
+    EXPECT_EQ(a.tree.leaves(), b.tree.leaves());
+    for (std::size_t i = 0; i < a.tree.numNodes(); ++i) {
+        const part::BlockNode &na =
+            a.tree.node(static_cast<part::NodeIdx>(i));
+        const part::BlockNode &nb =
+            b.tree.node(static_cast<part::NodeIdx>(i));
+        EXPECT_EQ(na.begin, nb.begin) << "node " << i;
+        EXPECT_EQ(na.end, nb.end) << "node " << i;
+        EXPECT_EQ(na.parent, nb.parent) << "node " << i;
+        EXPECT_EQ(na.left, nb.left) << "node " << i;
+        EXPECT_EQ(na.right, nb.right) << "node " << i;
+        EXPECT_EQ(na.depth, nb.depth) << "node " << i;
+        EXPECT_EQ(na.splitDim, nb.splitDim) << "node " << i;
+        EXPECT_EQ(na.splitValue, nb.splitValue) << "node " << i;
+    }
+    EXPECT_EQ(a.stats.elements_traversed, b.stats.elements_traversed);
+    EXPECT_EQ(a.stats.traversal_passes, b.stats.traversal_passes);
+    EXPECT_EQ(a.stats.num_sorts, b.stats.num_sorts);
+    EXPECT_EQ(a.stats.sort_compares, b.stats.sort_compares);
+    EXPECT_EQ(a.stats.degenerate_retries, b.stats.degenerate_retries);
+    EXPECT_EQ(a.stats.num_splits, b.stats.num_splits);
+}
+
+/** Thread counts every determinism test sweeps. */
+const unsigned kThreadSweep[] = {1, 2, 8};
+
+/** Partition methods with a tree worth checking. */
+const part::Method kMethodSweep[] = {part::Method::Fractal,
+                                     part::Method::KdTree,
+                                     part::Method::Octree};
+
+TEST(ParallelDeterminism, PartitionTreesMatchSequential)
+{
+    // 8192 points with th=256 forks subtree tasks well above the
+    // builders' cutoff, so the parallel path is really exercised.
+    const data::PointCloud scene = data::makeS3disScene(8192, 21);
+    part::PartitionConfig config;
+    config.threshold = 256;
+    for (const part::Method method : kMethodSweep) {
+        const auto partitioner = part::makePartitioner(method);
+        const part::PartitionResult sequential =
+            partitioner->partition(scene, config, nullptr);
+        for (const unsigned threads : kThreadSweep) {
+            ThreadPool pool(threads);
+            const part::PartitionResult parallel =
+                partitioner->partition(scene, config, &pool);
+            SCOPED_TRACE(part::methodName(method) + " threads=" +
+                         std::to_string(threads));
+            expectTreesIdentical(sequential, parallel);
+        }
+    }
+}
+
+TEST(ParallelDeterminism, BlockOpsMatchSequential)
+{
+    const data::PointCloud scene = data::makeS3disScene(8192, 22);
+    part::PartitionConfig config;
+    config.threshold = 256;
+    for (const part::Method method : kMethodSweep) {
+        const auto partitioner = part::makePartitioner(method);
+        const part::PartitionResult part =
+            partitioner->partition(scene, config, nullptr);
+
+        const ops::BlockSampleResult seq_sampled =
+            ops::blockFarthestPointSample(scene, part.tree, 0.25, {},
+                                          nullptr);
+        const ops::NeighborResult seq_grouped = ops::blockBallQuery(
+            scene, part.tree, seq_sampled, 0.2f, 16, nullptr);
+        const ops::NeighborResult seq_knn = ops::blockKnnToSamples(
+            scene, part.tree, seq_sampled, 3, nullptr);
+        const ops::KnnGraph seq_graph =
+            ops::buildBlockKnnGraph(scene, part.tree, 8, nullptr);
+
+        for (const unsigned threads : kThreadSweep) {
+            SCOPED_TRACE(part::methodName(method) + " threads=" +
+                         std::to_string(threads));
+            ThreadPool pool(threads);
+
+            const ops::BlockSampleResult sampled =
+                ops::blockFarthestPointSample(scene, part.tree, 0.25,
+                                              {}, &pool);
+            EXPECT_EQ(sampled.indices, seq_sampled.indices);
+            EXPECT_EQ(sampled.positions, seq_sampled.positions);
+            EXPECT_EQ(sampled.leaf_offsets, seq_sampled.leaf_offsets);
+            expectStatsEqual(sampled.stats, seq_sampled.stats);
+
+            const ops::NeighborResult grouped = ops::blockBallQuery(
+                scene, part.tree, sampled, 0.2f, 16, &pool);
+            EXPECT_EQ(grouped.indices, seq_grouped.indices);
+            EXPECT_EQ(grouped.counts, seq_grouped.counts);
+            expectStatsEqual(grouped.stats, seq_grouped.stats);
+
+            const ops::NeighborResult knn = ops::blockKnnToSamples(
+                scene, part.tree, sampled, 3, &pool);
+            EXPECT_EQ(knn.indices, seq_knn.indices);
+            EXPECT_EQ(knn.counts, seq_knn.counts);
+            expectStatsEqual(knn.stats, seq_knn.stats);
+
+            const ops::KnnGraph graph =
+                ops::buildBlockKnnGraph(scene, part.tree, 8, &pool);
+            EXPECT_EQ(graph.edges, seq_graph.edges);
+            expectStatsEqual(graph.stats, seq_graph.stats);
+        }
+    }
+}
+
+TEST(ParallelDeterminism, GatherAndInterpolateMatchSequential)
+{
+    data::PointCloud scene = data::makeS3disScene(4096, 23);
+    const auto partitioner = part::makePartitioner(part::Method::Fractal);
+    part::PartitionConfig config;
+    config.threshold = 128;
+    const part::PartitionResult part =
+        partitioner->partition(scene, config, nullptr);
+
+    const ops::BlockSampleResult sampled =
+        ops::blockFarthestPointSample(scene, part.tree, 0.25, {},
+                                      nullptr);
+    const ops::NeighborResult grouped =
+        ops::blockBallQuery(scene, part.tree, sampled, 0.25f, 16,
+                            nullptr);
+    const ops::GatherResult seq_gathered =
+        ops::blockGatherNeighborhoods(scene, part.tree, sampled.indices,
+                                      sampled.leaf_offsets, grouped,
+                                      nullptr);
+
+    // Known features: one row per sampled point.
+    constexpr std::size_t channels = 8;
+    std::vector<float> known(sampled.indices.size() * channels);
+    for (std::size_t i = 0; i < known.size(); ++i)
+        known[i] = 0.01f * static_cast<float>(i % 97);
+    const ops::InterpolateResult seq_interp =
+        ops::blockInterpolate(scene, part.tree, sampled, known,
+                              channels, 3, nullptr);
+
+    for (const unsigned threads : kThreadSweep) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        ThreadPool pool(threads);
+
+        const ops::GatherResult gathered =
+            ops::blockGatherNeighborhoods(scene, part.tree,
+                                          sampled.indices,
+                                          sampled.leaf_offsets, grouped,
+                                          &pool);
+        // Bit-exact float comparison is intentional: the parallel
+        // schedule must not change a single operation.
+        EXPECT_EQ(gathered.values, seq_gathered.values);
+        expectStatsEqual(gathered.stats, seq_gathered.stats);
+
+        const ops::InterpolateResult interp =
+            ops::blockInterpolate(scene, part.tree, sampled, known,
+                                  channels, 3, &pool);
+        EXPECT_EQ(interp.values, seq_interp.values);
+        expectStatsEqual(interp.stats, seq_interp.stats);
+    }
+}
+
+TEST(ParallelDeterminism, PipelineEndToEndMatchesSequential)
+{
+    const data::PointCloud scene = data::makeS3disScene(8192, 24);
+    PipelineOptions sequential;
+    sequential.num_threads = 1;
+    const FractalCloudPipeline seq(scene, sequential);
+    const ops::BlockSampleResult seq_sampled = seq.sample(0.25);
+
+    for (const unsigned threads : kThreadSweep) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        PipelineOptions options;
+        options.num_threads = threads;
+        const FractalCloudPipeline pipeline(scene, options);
+        EXPECT_EQ(pipeline.tree().order(), seq.tree().order());
+        const ops::BlockSampleResult sampled = pipeline.sample(0.25);
+        EXPECT_EQ(sampled.indices, seq_sampled.indices);
+    }
+}
+
+TEST(ParallelDeterminism, RunBatchMatchesSequentialPipelines)
+{
+    std::vector<data::PointCloud> clouds;
+    for (std::uint64_t seed = 30; seed < 36; ++seed)
+        clouds.push_back(data::makeS3disScene(2048, seed));
+
+    BatchRequest request;
+    request.sample_rate = 0.25;
+    request.radius = 0.25f;
+    request.neighbors = 16;
+
+    PipelineOptions sequential;
+    sequential.num_threads = 1;
+    const std::vector<BatchResult> baseline =
+        FractalCloudPipeline::runBatch(clouds, sequential, request);
+    ASSERT_EQ(baseline.size(), clouds.size());
+
+    // Baseline itself must equal per-cloud sequential pipelines.
+    for (std::size_t i = 0; i < clouds.size(); ++i) {
+        const FractalCloudPipeline pipeline(clouds[i], sequential);
+        const ops::BlockSampleResult sampled =
+            pipeline.sample(request.sample_rate);
+        EXPECT_EQ(baseline[i].sampled.indices, sampled.indices);
+        EXPECT_EQ(baseline[i].num_blocks,
+                  pipeline.tree().leaves().size());
+    }
+
+    for (const unsigned threads : kThreadSweep) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        PipelineOptions options;
+        options.num_threads = threads;
+        const std::vector<BatchResult> batch =
+            FractalCloudPipeline::runBatch(clouds, options, request);
+        ASSERT_EQ(batch.size(), clouds.size());
+        for (std::size_t i = 0; i < clouds.size(); ++i) {
+            EXPECT_EQ(batch[i].sampled.indices,
+                      baseline[i].sampled.indices);
+            EXPECT_EQ(batch[i].sampled.leaf_offsets,
+                      baseline[i].sampled.leaf_offsets);
+            EXPECT_EQ(batch[i].grouped.indices,
+                      baseline[i].grouped.indices);
+            EXPECT_EQ(batch[i].grouped.counts,
+                      baseline[i].grouped.counts);
+            EXPECT_EQ(batch[i].gathered.values,
+                      baseline[i].gathered.values);
+            EXPECT_EQ(batch[i].num_blocks, baseline[i].num_blocks);
+            EXPECT_EQ(batch[i].partition_stats.num_splits,
+                      baseline[i].partition_stats.num_splits);
+        }
+    }
+}
+
+} // namespace
+} // namespace fc
