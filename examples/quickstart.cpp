@@ -7,18 +7,22 @@
  *   3. run the block-parallel point operations (sampling, grouping,
  *      gathering, interpolation),
  *   4. compare against exact global operations,
- *   5. estimate latency/energy on the FractalCloud accelerator, and
- *   6. process a batch of clouds over one shared thread pool.
+ *   5. estimate latency/energy on the FractalCloud accelerator,
+ *   6. process a batch of clouds over one shared thread pool, and
+ *   7. serve clouds asynchronously with submit/poll, deadlines, and
+ *      the work-conserving scheduler.
  *
  * Build & run:  ./build/quickstart
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "core/pipeline.h"
 #include "dataset/s3dis.h"
 #include "nn/models.h"
 #include "ops/quality.h"
+#include "serve/async_pipeline.h"
 
 int
 main()
@@ -96,11 +100,13 @@ main()
                 100.0 * report.latencyMs(accel::Phase::Partition) /
                     report.totalLatencyMs());
 
-    // 6. Batched serving: many clouds over one pool. Each cloud is
-    // one work item (inter-request parallelism — the shape a
-    // multi-user service wants), output order matches input order,
-    // and each per-cloud result is bit-identical to running that
-    // cloud through its own sequential pipeline.
+    // 6. Batched serving: many clouds over one pool. runBatch is the
+    // blocking wrapper around the async frontend of section 7: each
+    // cloud is one FIFO-dispatched request, the work-conserving
+    // scheduler spills intra-cloud block items into idle slots at
+    // the batch tail, output order matches input order, and each
+    // per-cloud result is bit-identical to running that cloud
+    // through its own sequential pipeline.
     std::vector<data::PointCloud> batch;
     for (std::uint64_t seed = 1; seed <= 4; ++seed)
         batch.push_back(data::makeS3disScene(8192, seed));
@@ -116,5 +122,45 @@ main()
                     i, results[i].num_blocks,
                     results[i].sampled.indices.size(),
                     results[i].gathered.values.size());
+
+    // 7. Async serving: the submit/poll frontend a real service
+    // integrates against. Each submit() admits one cloud into a
+    // bounded FIFO queue and returns a Ticket immediately; poll()
+    // checks progress without blocking, wait() collects the terminal
+    // outcome. Per-request deadlines retire late work as Expired
+    // instead of running it, cancel() retires unwanted work, and the
+    // work-conserving scheduler spills a request's intra-cloud block
+    // items into idle pool slots whenever in-flight requests number
+    // fewer than pool threads — so a lone request still uses the
+    // whole pool. Results are byte-identical to the blocking path at
+    // any thread count.
+    serve::ServeOptions serve_options;
+    serve_options.pipeline = options;
+    serve_options.queue_capacity = 8;
+    serve::AsyncPipeline server(serve_options);
+
+    // The deadline is deliberately generous: quickstart should never
+    // print "expired" on a loaded single-core machine. Tight
+    // deadlines are exercised in tests/test_serve.cc.
+    std::vector<serve::Ticket> tickets;
+    for (const data::PointCloud &cloud : batch)
+        tickets.push_back(
+            server.submit(cloud, request, std::chrono::seconds(10)));
+    std::size_t ready = 0;
+    for (const serve::Ticket ticket : tickets)
+        ready += server.poll(ticket); // non-blocking progress check
+    std::printf("async: %zu submitted, %zu already done at first "
+                "poll\n",
+                tickets.size(), ready);
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        const serve::RequestOutcome outcome = server.wait(tickets[i]);
+        const std::chrono::duration<double, std::milli> latency =
+            outcome.timing.finished - outcome.timing.submitted;
+        std::printf("async cloud %zu: %s in %.2f ms (%zu samples%s)\n",
+                    i, serve::stateName(outcome.state),
+                    latency.count(),
+                    outcome.result.sampled.indices.size(),
+                    outcome.spilled ? ", spilled" : "");
+    }
     return 0;
 }

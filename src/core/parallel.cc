@@ -13,13 +13,16 @@ ThreadPool::resolveThreadCount(unsigned requested)
     return hw == 0 ? 1 : hw;
 }
 
-ThreadPool::ThreadPool(unsigned num_threads)
+ThreadPool::ThreadPool(unsigned num_threads, bool standalone)
     : num_threads_(resolveThreadCount(num_threads))
 {
-    // The joining thread is the last worker (help-join), so a pool of
-    // n threads spawns n - 1 and a pool of 1 spawns none.
-    workers_.reserve(num_threads_ - 1);
-    for (unsigned t = 0; t + 1 < num_threads_; ++t)
+    // Fork/join mode: the joining thread is the last worker
+    // (help-join), so a pool of n threads spawns n - 1 and a pool of
+    // 1 spawns none. Standalone mode has no joining caller, so all n
+    // workers are real threads.
+    const unsigned spawn = standalone ? num_threads_ : num_threads_ - 1;
+    workers_.reserve(spawn);
+    for (unsigned t = 0; t < spawn; ++t)
         workers_.emplace_back([this] { workerLoop(); });
 }
 
@@ -28,13 +31,35 @@ ThreadPool::~ThreadPool()
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stop_ = true;
-        fc_assert(queue_.empty(),
+        fc_assert(queue_.empty() && detached_.empty(),
                   "thread pool destroyed with %zu tasks still queued",
-                  queue_.size());
+                  queue_.size() + detached_.size());
     }
     work_cv_.notify_all();
     for (std::thread &worker : workers_)
         worker.join();
+}
+
+void
+ThreadPool::submitDetached(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fc_assert(!stop_, "submitDetached on a stopped pool");
+        // Only dedicated workers run the detached lane (TaskGroup
+        // waiters never touch it), so a 0-worker fork/join pool would
+        // park the task forever.
+        fc_assert(!workers_.empty(),
+                  "submitDetached needs worker threads (construct the "
+                  "pool with standalone=true)");
+        detached_.emplace_back(std::move(task));
+    }
+    // notify_all, not notify_one: a TaskGroup waiter shares this CV
+    // but never takes detached work, so a single wake could land on
+    // it and leave the idle worker asleep until the next chunk
+    // completion. Detached submissions are coarse; the broadcast is
+    // noise-free in practice.
+    work_cv_.notify_all();
 }
 
 void
@@ -44,12 +69,20 @@ ThreadPool::workerLoop()
         std::function<void()> task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            work_cv_.wait(lock,
-                          [this] { return stop_ || !queue_.empty(); });
-            if (queue_.empty())
+            work_cv_.wait(lock, [this] {
+                return stop_ || !queue_.empty() || !detached_.empty();
+            });
+            // Fork/join chunks first: they unblock waiters and keep
+            // spilled requests moving; detached requests follow.
+            if (!queue_.empty()) {
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            } else if (!detached_.empty()) {
+                task = std::move(detached_.front());
+                detached_.pop_front();
+            } else {
                 return; // stop_ set and nothing left to run
-            task = std::move(queue_.front());
-            queue_.pop_front();
+            }
         }
         task();
     }

@@ -38,17 +38,36 @@
 namespace fc::core {
 
 /**
- * Fixed-size thread pool with one shared FIFO queue.
+ * Fixed-size thread pool with two FIFO lanes:
  *
- * The pool owns num_threads - 1 worker threads; the thread that waits
- * on a TaskGroup acts as the final worker (help-join), so a pool of n
- * threads keeps exactly n threads busy and a pool of 1 spawns none.
+ *   - the fork/join lane (TaskGroup::run): chunk-sized tasks that a
+ *     waiter is allowed to help drain, and
+ *   - the detached lane (submitDetached): whole-request tasks with no
+ *     joiner, run only by dedicated workers.
+ *
+ * Workers prefer the fork/join lane — chunks unblock waiters and keep
+ * spilled requests low-latency — and a TaskGroup waiter never touches
+ * the detached lane, so helping can't nest an unrelated full request
+ * (and its latency/deadline) onto a waiter's stack.
+ *
+ * In fork/join mode the pool owns num_threads - 1 worker threads; the
+ * thread that waits on a TaskGroup acts as the final worker
+ * (help-join), so a pool of n threads keeps exactly n threads busy
+ * and a pool of 1 spawns none.
  */
 class ThreadPool
 {
   public:
-    /** @param num_threads 0 = all hardware threads, n = exactly n. */
-    explicit ThreadPool(unsigned num_threads = 0);
+    /**
+     * @param num_threads 0 = all hardware threads, n = exactly n.
+     * @param standalone  false (fork/join use): spawn num_threads - 1
+     *     workers and count the thread that waits on a TaskGroup as
+     *     the final worker. true (serving use, see fc::serve): the
+     *     pool hosts detached work with no external joining thread,
+     *     so it spawns exactly num_threads workers.
+     */
+    explicit ThreadPool(unsigned num_threads = 0,
+                        bool standalone = false);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -56,6 +75,14 @@ class ThreadPool
 
     /** Resolved thread count (>= 1). */
     unsigned numThreads() const { return num_threads_; }
+
+    /**
+     * Enqueue a fire-and-forget task at the tail of the detached
+     * lane. Unlike TaskGroup::run there is no join: the caller must
+     * guarantee every detached task has finished before the pool is
+     * destroyed (the serving layer tracks this via its Scheduler).
+     */
+    void submitDetached(std::function<void()> task);
 
     /** 0 -> hardware concurrency (min 1), n -> n. */
     static unsigned resolveThreadCount(unsigned requested);
@@ -67,7 +94,8 @@ class ThreadPool
 
     unsigned num_threads_;
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<std::function<void()>> queue_;    ///< fork/join lane
+    std::deque<std::function<void()>> detached_; ///< detached lane
     std::mutex mutex_;
     std::condition_variable work_cv_;
     bool stop_ = false;

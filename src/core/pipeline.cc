@@ -1,6 +1,9 @@
 #include "core/pipeline.h"
 
+#include <exception>
+
 #include "common/logging.h"
+#include "serve/async_pipeline.h"
 
 namespace fc {
 
@@ -100,45 +103,48 @@ FractalCloudPipeline::runBatch(const std::vector<data::PointCloud> &clouds,
 {
     fc_assert(request.neighbors > 0, "batch needs neighbors > 0");
     std::vector<BatchResult> results(clouds.size());
-    const std::shared_ptr<core::ThreadPool> pool =
-        makePool(options.num_threads);
-    const auto partitioner = part::makePartitioner(options.method);
+    if (clouds.empty())
+        return results;
 
-    // One cloud = one work item: the serving-shaped decomposition.
-    // Each item runs its own stages sequentially (inner parallelism
-    // would only contend with other requests for the same pool), so
-    // every per-cloud result is trivially identical to a sequential
-    // run of that cloud.
-    core::parallelFor(
-        pool.get(), 0, clouds.size(), 1,
-        [&](std::size_t cb, std::size_t ce) {
-            for (std::size_t i = cb; i < ce; ++i) {
-                const data::PointCloud &cloud = clouds[i];
-                fc_assert(!cloud.empty(),
-                          "runBatch requires non-empty clouds (cloud "
-                          "%zu is empty)",
-                          i);
-                part::PartitionConfig config;
-                config.threshold = options.threshold;
-                const part::PartitionResult part =
-                    partitioner->partition(cloud, config, nullptr);
+    // Re-expressed over the async serving path: one ticket per cloud,
+    // FIFO dispatch over a standalone pool, and the work-conserving
+    // scheduler spilling intra-cloud block items into idle slots when
+    // the batch tail leaves threads unoccupied. Every per-cloud
+    // result stays bit-identical to a sequential pipeline run of that
+    // cloud. Deliberate tradeoff: even num_threads = 1 now spawns
+    // one short-lived worker (the pre-async path ran inline); the
+    // ~0.1 ms of thread setup is noise against per-cloud processing,
+    // and one code path keeps blocking === async by construction.
+    serve::ServeOptions serve_options;
+    serve_options.pipeline = options;
+    serve_options.queue_capacity = clouds.size();
+    serve::AsyncPipeline server(serve_options);
 
-                BatchResult &out = results[i];
-                ops::FpsOptions fps;
-                fps.window_check = options.window_check;
-                out.sampled = ops::blockFarthestPointSample(
-                    cloud, part.tree, request.sample_rate, fps,
-                    nullptr);
-                out.grouped = ops::blockBallQuery(
-                    cloud, part.tree, out.sampled, request.radius,
-                    request.neighbors, nullptr);
-                out.gathered = ops::blockGatherNeighborhoods(
-                    cloud, part.tree, out.sampled.indices,
-                    out.sampled.leaf_offsets, out.grouped, nullptr);
-                out.partition_stats = part.stats;
-                out.num_blocks = part.tree.leaves().size();
-            }
-        });
+    std::vector<serve::Ticket> tickets;
+    tickets.reserve(clouds.size());
+    for (std::size_t i = 0; i < clouds.size(); ++i) {
+        fc_assert(!clouds[i].empty(),
+                  "runBatch requires non-empty clouds (cloud %zu is "
+                  "empty)",
+                  i);
+        // Aliasing handle: the caller's vector outlives the server,
+        // which drains fully before this function returns.
+        tickets.push_back(server.submitShared(
+            std::shared_ptr<const data::PointCloud>(
+                std::shared_ptr<const data::PointCloud>(), &clouds[i]),
+            request));
+    }
+    for (std::size_t i = 0; i < clouds.size(); ++i) {
+        serve::RequestOutcome outcome = server.wait(tickets[i]);
+        // Blocking semantics: a stage exception propagates to the
+        // caller exactly as the pre-async runBatch rethrew it.
+        if (outcome.state == serve::RequestState::Failed)
+            std::rethrow_exception(outcome.exception);
+        fc_assert(outcome.state == serve::RequestState::Done,
+                  "batch cloud %zu ended %s", i,
+                  serve::stateName(outcome.state));
+        results[i] = std::move(outcome.result);
+    }
     return results;
 }
 

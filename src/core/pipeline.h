@@ -18,7 +18,9 @@
  * bit-identical to the sequential path (num_threads = 1).
  *
  * For serving-shaped workloads, runBatch() processes many clouds
- * concurrently over one shared pool (one request per work item).
+ * concurrently over one shared pool; it is the blocking wrapper
+ * around the asynchronous submit/poll frontend in
+ * serve/async_pipeline.h.
  *
  * See examples/quickstart.cpp for a guided tour.
  */
@@ -139,12 +141,16 @@ class FractalCloudPipeline
 
     /**
      * Batched, serving-shaped entry point: partition + sample +
-     * group + gather every cloud, processing clouds concurrently
-     * over one pool sized by options.num_threads (each cloud is one
-     * work item; per-cloud processing runs sequentially inside its
-     * item). Output order matches input order and every per-cloud
-     * result is bit-identical to constructing a sequential pipeline
-     * for that cloud.
+     * group + gather every cloud over one pool sized by
+     * options.num_threads. Implemented as a blocking wrapper around
+     * serve::AsyncPipeline: each cloud is one FIFO-dispatched
+     * request, and the work-conserving scheduler spills intra-cloud
+     * block items into idle pool slots when in-flight requests
+     * number fewer than threads (e.g. the tail of a batch). Output
+     * order matches input order and every per-cloud result is
+     * bit-identical to constructing a sequential pipeline for that
+     * cloud. For non-blocking submit/poll with deadlines and
+     * cancellation, use serve::AsyncPipeline directly.
      */
     static std::vector<BatchResult>
     runBatch(const std::vector<data::PointCloud> &clouds,

@@ -14,14 +14,16 @@ namespace {
 
 /**
  * FPS over an index view. @p view maps dense positions [0, view_size)
- * to original point indices. Emits original indices into @p out.
+ * to original point indices. Writes exactly min(num_samples, n)
+ * original indices to @p out — callers size their output ranges from
+ * the same formula, so disjoint leaves can write one shared buffer.
  */
 void
 fpsOverView(const data::PointCloud &cloud,
             const std::vector<PointIdx> &order, std::uint32_t begin,
             std::uint32_t end, std::size_t num_samples,
             std::uint32_t start_offset, bool window_check,
-            std::vector<PointIdx> &out, OpStats &stats)
+            PointIdx *out, OpStats &stats)
 {
     const std::uint32_t n = end - begin;
     if (n == 0 || num_samples == 0)
@@ -33,7 +35,7 @@ fpsOverView(const data::PointCloud &cloud,
 
     std::uint32_t current = std::min(start_offset, n - 1);
     sampled[current] = true;
-    out.push_back(order[begin + current]);
+    *out++ = order[begin + current];
 
     for (std::size_t s = 1; s < num_samples; ++s) {
         ++stats.iterations;
@@ -65,7 +67,7 @@ fpsOverView(const data::PointCloud &cloud,
         }
         current = best_pos;
         sampled[current] = true;
-        out.push_back(order[begin + current]);
+        *out++ = order[begin + current];
     }
     // Final iteration bookkeeping: the first sample costs one setup
     // iteration as well.
@@ -88,11 +90,11 @@ farthestPointSample(const data::PointCloud &cloud,
     // stale state on pool threads.
     std::vector<PointIdx> identity(cloud.size());
     std::iota(identity.begin(), identity.end(), PointIdx{0});
-    result.indices.reserve(std::min(num_samples, cloud.size()));
+    result.indices.resize(std::min(num_samples, cloud.size()));
     fpsOverView(cloud, identity, 0,
                 static_cast<std::uint32_t>(cloud.size()), num_samples,
                 options.start_index, options.window_check,
-                result.indices, result.stats);
+                result.indices.data(), result.stats);
     return result;
 }
 
@@ -120,42 +122,50 @@ blockFarthestPointSample(const data::PointCloud &cloud,
             : rate * static_cast<double>(tree.numPoints()) /
                   static_cast<double>(nonempty);
 
-    // Per-leaf work items: each leaf samples into its own buffer, the
-    // buffers are concatenated in leaf order afterwards — the merged
-    // result is byte-for-byte the sequential one.
-    std::vector<std::vector<PointIdx>> leaf_samples(leaves.size());
+    // Every quota is a pure function of the leaf size and the
+    // options, so the per-leaf output ranges are known before any
+    // sampling runs: prefix-summing the quotas yields leaf_offsets up
+    // front, and each leaf then writes its disjoint slice of
+    // result.indices directly — no per-leaf buffers, no merge copy.
+    std::vector<std::size_t> quotas(leaves.size());
+    for (std::size_t li = 0; li < leaves.size(); ++li) {
+        const std::uint32_t size = tree.node(leaves[li]).size();
+        if (size == 0) {
+            quotas[li] = 0;
+        } else {
+            // Fixed rate, rounded to nearest; at least one sample so
+            // sparse regions stay represented.
+            const std::size_t quota =
+                static_cast<std::size_t>(std::llround(
+                    options.fixed_count_per_block
+                        ? per_block_count
+                        : rate * static_cast<double>(size)));
+            quotas[li] = std::clamp<std::size_t>(quota, 1, size);
+        }
+        result.leaf_offsets.push_back(
+            result.leaf_offsets[li] +
+            static_cast<std::uint32_t>(quotas[li]));
+    }
+    result.indices.resize(result.leaf_offsets.back());
+
     std::vector<OpStats> leaf_stats(leaves.size());
     core::parallelFor(
         pool, 0, leaves.size(), 1,
         [&](std::size_t lb, std::size_t le) {
             for (std::size_t li = lb; li < le; ++li) {
-                const part::BlockNode &node = tree.node(leaves[li]);
-                const std::uint32_t size = node.size();
-                if (size == 0)
+                if (quotas[li] == 0)
                     continue;
-                // Fixed rate, rounded to nearest; at least one sample
-                // so sparse regions stay represented.
-                std::size_t quota =
-                    static_cast<std::size_t>(std::llround(
-                        options.fixed_count_per_block
-                            ? per_block_count
-                            : rate * static_cast<double>(size)));
-                quota = std::clamp<std::size_t>(quota, 1, size);
-                leaf_samples[li].reserve(quota);
+                const part::BlockNode &node = tree.node(leaves[li]);
                 fpsOverView(cloud, tree.order(), node.begin, node.end,
-                            quota, options.start_index,
-                            options.window_check, leaf_samples[li],
+                            quotas[li], options.start_index,
+                            options.window_check,
+                            result.indices.data() +
+                                result.leaf_offsets[li],
                             leaf_stats[li]);
             }
         });
-    for (std::size_t li = 0; li < leaves.size(); ++li) {
-        result.indices.insert(result.indices.end(),
-                              leaf_samples[li].begin(),
-                              leaf_samples[li].end());
+    for (std::size_t li = 0; li < leaves.size(); ++li)
         result.stats += leaf_stats[li];
-        result.leaf_offsets.push_back(
-            static_cast<std::uint32_t>(result.indices.size()));
-    }
 
     // Recover DFT positions with one inverse-permutation pass.
     std::vector<std::uint32_t> inverse(tree.order().size());

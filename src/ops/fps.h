@@ -10,7 +10,8 @@
  * results — the decomposition that makes sampling block-parallel.
  *
  * Block-wise FPS dispatches its per-leaf work items over an optional
- * core::ThreadPool; per-leaf outputs are merged in leaf order, so the
+ * core::ThreadPool; per-leaf quotas are prefix-summed up front so
+ * every leaf writes a disjoint slice of the output directly, and the
  * result is bit-identical to the sequential path at any thread count.
  */
 

@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 
+#include "core/parallel.h"
 #include "dataset/point_cloud.h"
 #include "partition/block_tree.h"
 #include "partition/partitioner.h"
@@ -22,6 +24,32 @@ namespace fc::part::detail {
  * would dominate).
  */
 inline constexpr std::uint32_t kParallelCutoff = 2048;
+
+/**
+ * The builders' shared fork/join policy: fork @p left onto the pool,
+ * run @p right on the calling thread, and join before returning. A
+ * null/single-thread pool, or a node of fewer than twice
+ * kParallelCutoff points (both halves must be worth a task), degrades
+ * to plain sequential calls — left, then right. The two callables
+ * must touch disjoint state (the builders hand them disjoint order
+ * slices).
+ */
+template <typename LeftFn, typename RightFn>
+void
+forkJoin(core::ThreadPool *pool, std::uint32_t size, LeftFn &&left,
+         RightFn &&right)
+{
+    if (pool != nullptr && pool->numThreads() > 1 &&
+        size >= 2 * kParallelCutoff) {
+        core::TaskGroup group(pool);
+        group.run(std::forward<LeftFn>(left));
+        right();
+        group.wait();
+    } else {
+        left();
+        right();
+    }
+}
 
 /**
  * One performed split, recorded during a (possibly parallel) build

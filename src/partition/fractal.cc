@@ -58,22 +58,15 @@ struct Builder
             const std::uint16_t child_depth =
                 static_cast<std::uint16_t>(depth + 1);
             const int next = dim_counter + attempt + 1;
-            if (pool != nullptr && pool->numThreads() > 1 &&
-                size >= 2 * detail::kParallelCutoff) {
-                // Fork the left subtree; build the right one on this
-                // thread. The slices are disjoint, so no
-                // synchronization beyond the join is needed.
-                core::TaskGroup group(pool);
-                group.run([this, begin, split, child_depth, next,
-                           &rec] {
+            // Disjoint slices: fork left, build right on this thread.
+            detail::forkJoin(
+                pool, size,
+                [this, begin, split, child_depth, next, &rec] {
                     rec->left = build(begin, split, child_depth, next);
+                },
+                [this, split, end, child_depth, next, &rec] {
+                    rec->right = build(split, end, child_depth, next);
                 });
-                rec->right = build(split, end, child_depth, next);
-                group.wait();
-            } else {
-                rec->left = build(begin, split, child_depth, next);
-                rec->right = build(split, end, child_depth, next);
-            }
             return rec;
         }
         // Degenerate on all three axes: coincident points; keep as a

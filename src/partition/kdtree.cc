@@ -72,23 +72,16 @@ struct Builder
 
         const std::uint16_t child_depth =
             static_cast<std::uint16_t>(depth + 1);
-        if (pool != nullptr && pool->numThreads() > 1 &&
-            size >= 2 * detail::kParallelCutoff) {
-            core::TaskGroup group(pool);
-            group.run([this, begin, median, child_depth, dim_counter,
-                       &rec] {
+        detail::forkJoin(
+            pool, size,
+            [this, begin, median, child_depth, dim_counter, &rec] {
                 rec->left =
                     build(begin, median, child_depth, dim_counter + 1);
+            },
+            [this, median, end, child_depth, dim_counter, &rec] {
+                rec->right =
+                    build(median, end, child_depth, dim_counter + 1);
             });
-            rec->right =
-                build(median, end, child_depth, dim_counter + 1);
-            group.wait();
-        } else {
-            rec->left =
-                build(begin, median, child_depth, dim_counter + 1);
-            rec->right =
-                build(median, end, child_depth, dim_counter + 1);
-        }
         return rec;
     }
 };

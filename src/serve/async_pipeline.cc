@@ -1,0 +1,161 @@
+#include "serve/async_pipeline.h"
+
+#include <exception>
+#include <utility>
+
+#include "common/logging.h"
+#include "ops/fps.h"
+#include "ops/gather.h"
+#include "ops/neighbor.h"
+#include "partition/partitioner.h"
+
+namespace fc::serve {
+
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::Started:
+        return "started";
+      case Stage::Partitioned:
+        return "partitioned";
+      case Stage::Sampled:
+        return "sampled";
+      case Stage::Grouped:
+        return "grouped";
+    }
+    return "unknown";
+}
+
+AsyncPipeline::AsyncPipeline(const ServeOptions &options)
+    : options_(options),
+      pool_(options.pipeline.num_threads, /*standalone=*/true),
+      scheduler_(options.queue_capacity, pool_.numThreads(),
+                 options.work_conserving)
+{
+}
+
+AsyncPipeline::~AsyncPipeline()
+{
+    // Retire everything before the pool (and its queue) dies: after
+    // shutdown() no executor task remains queued, so the pool's
+    // destructor assertion (empty queue) holds.
+    scheduler_.shutdown();
+}
+
+std::optional<Ticket>
+AsyncPipeline::trySubmitShared(
+    std::shared_ptr<const data::PointCloud> cloud,
+    const BatchRequest &request,
+    std::optional<Clock::duration> deadline)
+{
+    std::optional<Ticket> ticket =
+        scheduler_.trySubmit(std::move(cloud), request, deadline);
+    if (ticket)
+        pool_.submitDetached([this] { execute(); });
+    return ticket;
+}
+
+Ticket
+AsyncPipeline::submitShared(std::shared_ptr<const data::PointCloud> cloud,
+                            const BatchRequest &request,
+                            std::optional<Clock::duration> deadline)
+{
+    std::optional<Ticket> ticket =
+        scheduler_.submitBlocking(std::move(cloud), request, deadline);
+    fc_assert(ticket.has_value(),
+              "submit on a shutting-down AsyncPipeline");
+    pool_.submitDetached([this] { execute(); });
+    return *ticket;
+}
+
+std::optional<Ticket>
+AsyncPipeline::trySubmit(data::PointCloud cloud,
+                         const BatchRequest &request,
+                         std::optional<Clock::duration> deadline)
+{
+    return trySubmitShared(
+        std::make_shared<const data::PointCloud>(std::move(cloud)),
+        request, deadline);
+}
+
+Ticket
+AsyncPipeline::submit(data::PointCloud cloud, const BatchRequest &request,
+                      std::optional<Clock::duration> deadline)
+{
+    return submitShared(
+        std::make_shared<const data::PointCloud>(std::move(cloud)),
+        request, deadline);
+}
+
+void
+AsyncPipeline::notifyObserver(std::uint64_t id, Stage stage)
+{
+    if (options_.stage_observer)
+        options_.stage_observer(Ticket{id}, stage);
+}
+
+void
+AsyncPipeline::execute()
+{
+    std::optional<Scheduler::Job> job = scheduler_.acquire();
+    if (!job)
+        return; // the head was retired (cancelled/expired) unrun
+
+    // Spill: hand the shared pool to a stage so its per-block work
+    // items fill idle slots; otherwise the stage runs inline on this
+    // worker (one cloud per thread). The decision is refreshed at
+    // every checkpoint — a request acquired at saturation starts
+    // spilling once the pool drains. Identical results either way;
+    // only the schedule differs.
+    bool spill = job->spill;
+    const auto pool = [&]() -> core::ThreadPool * {
+        return spill && pool_.numThreads() > 1 ? &pool_ : nullptr;
+    };
+    const std::uint64_t id = job->id;
+    const data::PointCloud &cloud = *job->cloud;
+
+    try {
+        notifyObserver(id, Stage::Started);
+        if (!scheduler_.checkpoint(id, &spill))
+            return;
+
+        part::PartitionConfig config;
+        config.threshold = options_.pipeline.threshold;
+        const auto partitioner =
+            part::makePartitioner(options_.pipeline.method);
+        const part::PartitionResult part =
+            partitioner->partition(cloud, config, pool());
+        notifyObserver(id, Stage::Partitioned);
+        if (!scheduler_.checkpoint(id, &spill))
+            return;
+
+        BatchResult out;
+        ops::FpsOptions fps;
+        fps.window_check = options_.pipeline.window_check;
+        out.sampled = ops::blockFarthestPointSample(
+            cloud, part.tree, job->request.sample_rate, fps, pool());
+        notifyObserver(id, Stage::Sampled);
+        if (!scheduler_.checkpoint(id, &spill))
+            return;
+
+        out.grouped =
+            ops::blockBallQuery(cloud, part.tree, out.sampled,
+                                job->request.radius,
+                                job->request.neighbors, pool());
+        notifyObserver(id, Stage::Grouped);
+        if (!scheduler_.checkpoint(id, &spill))
+            return;
+
+        out.gathered = ops::blockGatherNeighborhoods(
+            cloud, part.tree, out.sampled.indices,
+            out.sampled.leaf_offsets, out.grouped, pool());
+        out.partition_stats = part.stats;
+        out.num_blocks = part.tree.leaves().size();
+        scheduler_.complete(id, std::move(out));
+    } catch (...) {
+        scheduler_.fail(id, std::current_exception());
+    }
+}
+
+} // namespace fc::serve

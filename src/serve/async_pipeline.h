@@ -1,0 +1,191 @@
+/**
+ * @file
+ * fc::serve::AsyncPipeline — the asynchronous serving frontend.
+ *
+ * FractalCloudPipeline::runBatch is a blocking call. This layer turns
+ * the library into a service skeleton:
+ *
+ *   - submit()/trySubmit() admit one cloud each into a bounded FIFO
+ *     admission queue and return a Ticket immediately; trySubmit
+ *     rejects (nullopt) when the queue is full,
+ *   - poll()/state()/wait() observe a ticket; wait() blocks for and
+ *     consumes the terminal RequestOutcome,
+ *   - per-request deadlines retire late work as Expired the moment a
+ *     worker would otherwise start — or, between stages, continue —
+ *     it,
+ *   - cancel() retires queued work without running it and interrupts
+ *     running work at its next stage boundary, and
+ *   - the work-conserving Scheduler spills a request's intra-cloud
+ *     block items (partition subtrees, block-wise FPS / neighbor /
+ *     gather) into idle pool slots whenever in-flight requests number
+ *     fewer than pool threads; otherwise requests run one-per-thread.
+ *     The decision is re-evaluated at every stage boundary, so the
+ *     last big request of a batch starts spilling once its peers
+ *     finish.
+ *
+ * Results are byte-identical to the blocking path at any thread
+ * count: every stage is deterministic with respect to its pool, so
+ * scheduling decisions affect wall-clock only.
+ *
+ * Each request runs the serving stage sequence of runBatch:
+ * partition -> block-wise FPS -> ball query -> gather, producing the
+ * same BatchResult.
+ */
+
+#ifndef FC_SERVE_ASYNC_PIPELINE_H
+#define FC_SERVE_ASYNC_PIPELINE_H
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/parallel.h"
+#include "core/pipeline.h"
+#include "serve/scheduler.h"
+
+namespace fc::serve {
+
+/** Stage boundaries of one request, in execution order. */
+enum class Stage : std::uint8_t {
+    Started,     ///< acquired by a worker, before partitioning
+    Partitioned, ///< partition built
+    Sampled,     ///< block-wise FPS done
+    Grouped,     ///< ball query done
+};
+
+const char *stageName(Stage stage);
+
+/** Configuration of an AsyncPipeline. */
+struct ServeOptions
+{
+    /** Partition method/threshold plus num_threads, which sizes the
+     *  serving pool (0 = hardware). Unlike the blocking pipeline,
+     *  num_threads = 1 still spawns one background worker — requests
+     *  are processed asynchronously but strictly FIFO, with results
+     *  identical to the sequential path. */
+    PipelineOptions pipeline;
+
+    /** Admission-queue bound: max requests waiting to start. */
+    std::size_t queue_capacity = 64;
+
+    /** Enable the work-conserving spill policy. false = always
+     *  one-cloud-per-thread (the PR 1 runBatch dispatch). */
+    bool work_conserving = true;
+
+    /**
+     * Test/telemetry hook: invoked on the executing worker at every
+     * stage boundary of every request, just before that boundary's
+     * cancel/deadline checkpoint (so a cancel() issued while the
+     * observer runs is honored). Must be thread-safe; leave empty
+     * for production use.
+     */
+    std::function<void(Ticket, Stage)> stage_observer;
+};
+
+/**
+ * Asynchronous submit/poll/wait serving frontend over one standalone
+ * ThreadPool.
+ *
+ * Thread-safe: any thread may submit, poll, cancel, or wait. The
+ * destructor rejects new work, cancels everything still queued, and
+ * blocks until in-flight requests retire — do not race submissions
+ * against destruction.
+ */
+class AsyncPipeline
+{
+  public:
+    explicit AsyncPipeline(const ServeOptions &options = {});
+    ~AsyncPipeline();
+
+    AsyncPipeline(const AsyncPipeline &) = delete;
+    AsyncPipeline &operator=(const AsyncPipeline &) = delete;
+
+    /**
+     * Admit one cloud; returns nullopt when the admission queue is
+     * full (the request is rejected, not queued). @p deadline is
+     * relative to now; late work is retired as Expired instead of
+     * running.
+     *
+     * The cloud is moved into the call and dropped on rejection —
+     * retry-with-backoff loops should use trySubmitShared, which
+     * keeps one shared cloud alive across attempts instead of
+     * re-copying (or losing) it.
+     */
+    std::optional<Ticket>
+    trySubmit(data::PointCloud cloud, const BatchRequest &request = {},
+              std::optional<Clock::duration> deadline = std::nullopt);
+
+    /** Blocking admission: waits for queue space instead of
+     *  rejecting. */
+    Ticket
+    submit(data::PointCloud cloud, const BatchRequest &request = {},
+           std::optional<Clock::duration> deadline = std::nullopt);
+
+    /**
+     * Zero-copy variants for callers that manage cloud lifetime
+     * themselves (e.g. runBatch aliases its input vector): the cloud
+     * must stay alive until the ticket retires.
+     */
+    std::optional<Ticket>
+    trySubmitShared(std::shared_ptr<const data::PointCloud> cloud,
+                    const BatchRequest &request = {},
+                    std::optional<Clock::duration> deadline = std::nullopt);
+    Ticket
+    submitShared(std::shared_ptr<const data::PointCloud> cloud,
+                 const BatchRequest &request = {},
+                 std::optional<Clock::duration> deadline = std::nullopt);
+
+    /** True once the ticket reached a terminal state. */
+    bool poll(Ticket ticket) const { return scheduler_.poll(ticket); }
+
+    /** Current state of a live (not yet wait()ed) ticket. */
+    RequestState
+    state(Ticket ticket) const
+    {
+        return scheduler_.state(ticket);
+    }
+
+    /** Block until terminal; consumes the ticket. */
+    RequestOutcome wait(Ticket ticket) { return scheduler_.wait(ticket); }
+
+    /** Best-effort cancel; true = requested, not guaranteed — the
+     *  request may still retire Done (see Scheduler::cancel). */
+    bool cancel(Ticket ticket) { return scheduler_.cancel(ticket); }
+
+    /**
+     * Give up on a ticket without collecting its outcome (its record
+     * is reclaimed once the request retires). Every ticket must end
+     * in exactly one wait() or discard() — cancel() alone does not
+     * free the bookkeeping. See Scheduler::discard.
+     */
+    void discard(Ticket ticket) { scheduler_.discard(ticket); }
+
+    /** Resolved serving-pool size. */
+    unsigned numThreads() const { return pool_.numThreads(); }
+
+    std::size_t queuedCount() const { return scheduler_.queuedCount(); }
+    std::size_t runningCount() const
+    {
+        return scheduler_.runningCount();
+    }
+
+    /** Records held (pending + terminal-but-uncollected). */
+    std::size_t liveRecordCount() const
+    {
+        return scheduler_.liveRecordCount();
+    }
+
+  private:
+    /** Executor task body: process (or retire) the FIFO head. */
+    void execute();
+
+    void notifyObserver(std::uint64_t id, Stage stage);
+
+    ServeOptions options_;
+    core::ThreadPool pool_;
+    Scheduler scheduler_;
+};
+
+} // namespace fc::serve
+
+#endif // FC_SERVE_ASYNC_PIPELINE_H

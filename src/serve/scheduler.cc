@@ -1,0 +1,331 @@
+#include "serve/scheduler.h"
+
+#include "common/logging.h"
+
+namespace fc::serve {
+
+const char *
+stateName(RequestState state)
+{
+    switch (state) {
+      case RequestState::Queued:
+        return "queued";
+      case RequestState::Running:
+        return "running";
+      case RequestState::Done:
+        return "done";
+      case RequestState::Cancelled:
+        return "cancelled";
+      case RequestState::Expired:
+        return "expired";
+      case RequestState::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+bool
+isTerminal(RequestState state)
+{
+    return state != RequestState::Queued &&
+           state != RequestState::Running;
+}
+
+Scheduler::Scheduler(std::size_t queue_capacity, unsigned num_threads,
+                     bool work_conserving)
+    : capacity_(queue_capacity), num_threads_(num_threads),
+      work_conserving_(work_conserving)
+{
+    fc_assert(capacity_ > 0, "scheduler needs a positive capacity");
+    fc_assert(num_threads_ > 0, "scheduler needs a positive pool size");
+}
+
+Scheduler::~Scheduler()
+{
+    // AsyncPipeline::~AsyncPipeline calls shutdown() first; a bare
+    // Scheduler (unit tests) has no executors to wait for, but any
+    // still-live request here would mean a protocol violation.
+    fc_assert(running_ == 0,
+              "scheduler destroyed with %zu requests running",
+              running_);
+}
+
+std::optional<Ticket>
+Scheduler::trySubmit(std::shared_ptr<const data::PointCloud> cloud,
+                     const BatchRequest &request,
+                     std::optional<Clock::duration> deadline)
+{
+    fc_assert(cloud != nullptr && !cloud->empty(),
+              "serve requests need a non-empty cloud");
+    fc_assert(request.neighbors > 0, "serve requests need neighbors > 0");
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_ || queued_ >= capacity_)
+        return std::nullopt;
+
+    const Clock::time_point now = Clock::now();
+    const std::uint64_t id = next_id_++;
+    Record &record = records_[id];
+    record.cloud = std::move(cloud);
+    record.request = request;
+    if (deadline)
+        record.deadline = now + *deadline;
+    record.timing.submitted = now;
+    fifo_.push_back(id);
+    ++queued_;
+    return Ticket{id};
+}
+
+std::optional<Ticket>
+Scheduler::submitBlocking(std::shared_ptr<const data::PointCloud> cloud,
+                          const BatchRequest &request,
+                          std::optional<Clock::duration> deadline)
+{
+    // A freed slot can be stolen between the wait and trySubmit;
+    // loop until admission sticks (rare: only other submitters
+    // compete).
+    for (;;) {
+        std::optional<Ticket> ticket =
+            trySubmit(cloud, request, deadline);
+        if (ticket)
+            return ticket;
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (shutdown_)
+            return std::nullopt;
+        cv_.wait(lock, [this] {
+            return shutdown_ || queued_ < capacity_;
+        });
+    }
+}
+
+void
+Scheduler::retireLocked(std::uint64_t id, Record &record,
+                        RequestState state)
+{
+    record.state = state;
+    record.timing.finished = Clock::now();
+    if (record.timing.started == Clock::time_point{})
+        record.timing.started = record.timing.finished;
+    record.cloud.reset(); // free the input as soon as possible
+    if (record.abandoned)
+        records_.erase(id); // discard()ed: nobody will wait()
+    cv_.notify_all();
+}
+
+std::optional<Scheduler::Job>
+Scheduler::acquire()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    fc_assert(!fifo_.empty(),
+              "acquire with no queued request (task/record mismatch)");
+    const std::uint64_t id = fifo_.front();
+    fifo_.pop_front();
+    --queued_;
+    cv_.notify_all(); // queue space freed for blocking submitters
+
+    Record &record = records_.at(id);
+    const Clock::time_point now = Clock::now();
+    if (record.cancel_requested) {
+        retireLocked(id, record, RequestState::Cancelled);
+        return std::nullopt;
+    }
+    if (record.deadline && now > *record.deadline) {
+        retireLocked(id, record, RequestState::Expired);
+        return std::nullopt;
+    }
+
+    record.state = RequestState::Running;
+    record.timing.started = now;
+    ++running_;
+    // Work-conserving spill: with fewer requests in flight than pool
+    // threads, whole requests cannot saturate the pool, so this
+    // request should fan its block items out onto the idle slots.
+    record.spilled =
+        work_conserving_ && queued_ + running_ < num_threads_;
+
+    Job job;
+    job.id = id;
+    job.cloud = record.cloud;
+    job.request = record.request;
+    job.spill = record.spilled;
+    return job;
+}
+
+bool
+Scheduler::checkpoint(std::uint64_t id, bool *spill)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Record &record = records_.at(id);
+    fc_assert(record.state == RequestState::Running,
+              "checkpoint on a request in state %s",
+              stateName(record.state));
+    if (record.cancel_requested) {
+        --running_;
+        retireLocked(id, record, RequestState::Cancelled);
+        return false;
+    }
+    if (record.deadline && Clock::now() > *record.deadline) {
+        --running_;
+        retireLocked(id, record, RequestState::Expired);
+        return false;
+    }
+    if (spill != nullptr) {
+        // Refresh the work-conserving decision (sticky upward): the
+        // pool may have drained since acquire, freeing slots this
+        // request's remaining stages should fill.
+        record.spilled =
+            record.spilled ||
+            (work_conserving_ && queued_ + running_ < num_threads_);
+        *spill = record.spilled;
+    }
+    return true;
+}
+
+void
+Scheduler::complete(std::uint64_t id, BatchResult result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Record &record = records_.at(id);
+    fc_assert(record.state == RequestState::Running,
+              "complete on a request in state %s",
+              stateName(record.state));
+    record.result = std::move(result);
+    --running_;
+    retireLocked(id, record, RequestState::Done);
+}
+
+void
+Scheduler::fail(std::uint64_t id, std::exception_ptr exception)
+{
+    // Derive the message outside the lock (rethrowing is the only
+    // portable way to read an exception_ptr).
+    std::string error = "unknown exception";
+    try {
+        std::rethrow_exception(exception);
+    } catch (const std::exception &e) {
+        error = e.what();
+    } catch (...) {
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    Record &record = records_.at(id);
+    fc_assert(record.state == RequestState::Running,
+              "fail on a request in state %s", stateName(record.state));
+    record.error = std::move(error);
+    record.exception = exception;
+    --running_;
+    retireLocked(id, record, RequestState::Failed);
+}
+
+bool
+Scheduler::cancel(Ticket ticket)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(ticket.id);
+    if (it == records_.end() || isTerminal(it->second.state))
+        return false;
+    it->second.cancel_requested = true;
+    return true;
+}
+
+const Scheduler::Record &
+Scheduler::recordFor(Ticket ticket) const
+{
+    auto it = records_.find(ticket.id);
+    fc_assert(it != records_.end(),
+              "unknown or already-consumed ticket %llu",
+              static_cast<unsigned long long>(ticket.id));
+    return it->second;
+}
+
+bool
+Scheduler::poll(Ticket ticket) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return isTerminal(recordFor(ticket).state);
+}
+
+RequestState
+Scheduler::state(Ticket ticket) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recordFor(ticket).state;
+}
+
+RequestOutcome
+Scheduler::wait(Ticket ticket)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = records_.find(ticket.id);
+    fc_assert(it != records_.end(),
+              "wait on unknown or already-consumed ticket %llu",
+              static_cast<unsigned long long>(ticket.id));
+    // Hold a pointer, not the iterator: concurrent submissions can
+    // rehash records_ while we sleep, which invalidates iterators but
+    // never element references (the map is node-based).
+    Record *record = &it->second;
+    cv_.wait(lock, [record] { return isTerminal(record->state); });
+
+    RequestOutcome outcome;
+    outcome.state = record->state;
+    outcome.result = std::move(record->result);
+    outcome.error = std::move(record->error);
+    outcome.exception = record->exception;
+    outcome.timing = record->timing;
+    outcome.spilled = record->spilled;
+    records_.erase(ticket.id);
+    return outcome;
+}
+
+void
+Scheduler::discard(Ticket ticket)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(ticket.id);
+    if (it == records_.end())
+        return; // already consumed by wait() or a prior discard
+    Record &record = it->second;
+    if (isTerminal(record.state)) {
+        records_.erase(it);
+        return;
+    }
+    record.cancel_requested = true; // stop undone work early
+    record.abandoned = true;        // reclaim at retirement
+}
+
+std::size_t
+Scheduler::liveRecordCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+}
+
+std::size_t
+Scheduler::queuedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queued_;
+}
+
+std::size_t
+Scheduler::runningCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return running_;
+}
+
+void
+Scheduler::shutdown()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    for (const std::uint64_t id : fifo_)
+        records_.at(id).cancel_requested = true;
+    cv_.notify_all();
+    // Every queued request still has an executor task that will pop
+    // (and then instantly retire) it; running ones finish or stop at
+    // their next checkpoint. When both counters reach zero, no
+    // executor task remains in the pool queue.
+    cv_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+}
+
+} // namespace fc::serve

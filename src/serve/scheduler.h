@@ -1,0 +1,291 @@
+/**
+ * @file
+ * The serving scheduler: bounded FIFO admission, per-request
+ * deadlines, cooperative cancellation, and the work-conserving spill
+ * policy.
+ *
+ * The Scheduler owns no threads — it is the pure bookkeeping core of
+ * fc::serve::AsyncPipeline, which pairs it with a standalone
+ * core::ThreadPool. Executors interact with it through a narrow
+ * protocol:
+ *
+ *   trySubmit/submitBlocking  admit one request at the FIFO tail
+ *                             (bounded; trySubmit fails when full),
+ *   acquire                   pop the FIFO head; requests already
+ *                             cancelled or past their deadline are
+ *                             retired here without running,
+ *   checkpoint                mid-run cancel/deadline probe at stage
+ *                             boundaries; retires the request when it
+ *                             answers false,
+ *   complete/fail             terminal transitions, and
+ *   poll/state/wait/cancel    the client-facing side.
+ *
+ * Work-conserving spill: acquire() marks a request `spill` when the
+ * requests in flight (queued + running) number fewer than the pool's
+ * threads — the pool cannot be saturated by whole requests, so the
+ * executor should dispatch the request's intra-cloud block items onto
+ * the shared pool instead of running them inline. checkpoint()
+ * refreshes the decision at every stage boundary, so a request
+ * acquired at saturation starts spilling once the pool drains. Every
+ * block op is deterministic with respect to its pool, so the decision
+ * affects wall-clock only, never results.
+ */
+
+#ifndef FC_SERVE_SCHEDULER_H
+#define FC_SERVE_SCHEDULER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/pipeline.h"
+#include "dataset/point_cloud.h"
+
+namespace fc::serve {
+
+/** Steady clock used for deadlines and latency accounting. */
+using Clock = std::chrono::steady_clock;
+
+/** Opaque handle to a submitted request. id 0 is never issued. */
+struct Ticket
+{
+    std::uint64_t id = 0;
+};
+
+/** Lifecycle of a request. */
+enum class RequestState : std::uint8_t {
+    Queued,    ///< admitted, waiting for a worker
+    Running,   ///< a worker is processing it
+    Done,      ///< finished; outcome carries the result
+    Cancelled, ///< retired by cancel() before finishing
+    Expired,   ///< retired because its deadline passed
+    Failed,    ///< processing threw; outcome carries the message
+};
+
+const char *stateName(RequestState state);
+
+/** Done / Cancelled / Expired / Failed. */
+bool isTerminal(RequestState state);
+
+/** Steady-clock milestones of one request (for latency accounting). */
+struct RequestTiming
+{
+    Clock::time_point submitted;
+    Clock::time_point started; ///< == finished for never-run requests
+    Clock::time_point finished;
+};
+
+/** Terminal outcome of a request, returned once by wait(). */
+struct RequestOutcome
+{
+    RequestState state = RequestState::Cancelled;
+
+    /** Identical to the blocking path's output; valid when Done. */
+    BatchResult result;
+
+    /** Exception message; non-empty only when Failed. */
+    std::string error;
+
+    /** The original exception, for callers (like runBatch) that want
+     *  to rethrow it; non-null only when Failed. */
+    std::exception_ptr exception;
+
+    RequestTiming timing;
+
+    /** Whether the work-conserving policy spilled this request's
+     *  intra-cloud block items onto the shared pool for at least one
+     *  stage. */
+    bool spilled = false;
+};
+
+/**
+ * Thread-safe request ledger (see file comment for the protocol).
+ *
+ * FIFO fairness note: executors do not acquire a *specific* request —
+ * acquire() always hands out the current FIFO head. AsyncPipeline
+ * enqueues exactly one executor task per admitted request, so the
+ * i-th task to run processes the i-th admitted request even when task
+ * and record insertion interleave across submitter threads.
+ */
+class Scheduler
+{
+  public:
+    /** What an executor needs to process one request. */
+    struct Job
+    {
+        std::uint64_t id = 0;
+        std::shared_ptr<const data::PointCloud> cloud;
+        BatchRequest request;
+
+        /** Work-conserving decision (see file comment). */
+        bool spill = false;
+    };
+
+    /**
+     * @param queue_capacity  max requests waiting (Queued) at once
+     * @param num_threads     pool size the spill policy compares with
+     * @param work_conserving false pins every request to one-cloud-
+     *                        per-thread (spill always false)
+     */
+    Scheduler(std::size_t queue_capacity, unsigned num_threads,
+              bool work_conserving = true);
+
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /**
+     * Admit one request at the FIFO tail. Fails (nullopt) when the
+     * queue is at capacity or the scheduler is shutting down.
+     *
+     * @param deadline relative to now; the request is retired as
+     *        Expired if a worker would start or continue it after
+     *        submit time + deadline.
+     */
+    std::optional<Ticket>
+    trySubmit(std::shared_ptr<const data::PointCloud> cloud,
+              const BatchRequest &request,
+              std::optional<Clock::duration> deadline);
+
+    /** Like trySubmit, but blocks until queue space frees up. Fails
+     *  only when the scheduler shuts down while waiting. */
+    std::optional<Ticket>
+    submitBlocking(std::shared_ptr<const data::PointCloud> cloud,
+                   const BatchRequest &request,
+                   std::optional<Clock::duration> deadline);
+
+    /**
+     * Pop the FIFO head (must be non-empty: one executor task exists
+     * per queued request). Returns the job to run, or nullopt when
+     * the head was already cancelled or past its deadline — the
+     * record is retired (Cancelled/Expired) and the executor has
+     * nothing to do.
+     */
+    std::optional<Job> acquire();
+
+    /**
+     * Mid-run probe, called between stages of a Running request.
+     * Returns true to continue; false means the request was just
+     * retired (Cancelled or Expired) and the executor must stop.
+     *
+     * When continuing and @p spill is non-null, the work-conserving
+     * decision is refreshed into it: a request acquired at pool
+     * saturation starts spilling at its next stage boundary once the
+     * pool drains below one-request-per-thread (sticky — a request
+     * that started spilling keeps spilling; its chunks are already in
+     * flight).
+     */
+    bool checkpoint(std::uint64_t id, bool *spill = nullptr);
+
+    /** Terminal transition: the request finished with @p result. */
+    void complete(std::uint64_t id, BatchResult result);
+
+    /** Terminal transition: processing threw @p exception. */
+    void fail(std::uint64_t id, std::exception_ptr exception);
+
+    /**
+     * Request cancellation. Queued work is retired when its executor
+     * task pops it; running work stops at its next checkpoint().
+     * Returns false when the request already reached a terminal
+     * state (or the ticket was consumed by wait()).
+     *
+     * true means "cancellation requested", not "will not complete":
+     * a request past its last stage checkpoint still retires Done,
+     * so callers must branch on the terminal state from wait(), not
+     * on cancel()'s return value.
+     */
+    bool cancel(Ticket ticket);
+
+    /** True once the request is in a terminal state. */
+    bool poll(Ticket ticket) const;
+
+    /** Current state of a live (not yet wait()ed) ticket. */
+    RequestState state(Ticket ticket) const;
+
+    /**
+     * Block until terminal, then consume the record and return its
+     * outcome. Each ticket may be waited exactly once.
+     */
+    RequestOutcome wait(Ticket ticket);
+
+    /**
+     * Give up on a ticket without collecting its outcome: requests
+     * still pending are flagged for cancellation, and the record is
+     * reclaimed the moment it retires (immediately if already
+     * terminal). A fire-and-forget or cancel-and-forget client must
+     * call this (or wait()) for every ticket, or abandoned records
+     * accumulate for the scheduler's lifetime. Idempotent; safe on
+     * already-consumed tickets.
+     */
+    void discard(Ticket ticket);
+
+    std::size_t queuedCount() const;
+    std::size_t runningCount() const;
+
+    /** Records currently held (pending + terminal-but-uncollected);
+     *  serving telemetry and leak tests read this. */
+    std::size_t liveRecordCount() const;
+
+    /**
+     * Reject new submissions, flag all queued requests for
+     * cancellation, and block until no request is Queued or Running
+     * (i.e. every executor task has retired its request). Called by
+     * ~AsyncPipeline before the pool is destroyed.
+     */
+    void shutdown();
+
+  private:
+    struct Record
+    {
+        RequestState state = RequestState::Queued;
+        bool cancel_requested = false;
+        std::shared_ptr<const data::PointCloud> cloud;
+        BatchRequest request;
+        std::optional<Clock::time_point> deadline;
+        RequestTiming timing;
+        BatchResult result;
+        std::string error;
+        std::exception_ptr exception;
+        bool spilled = false;
+        bool abandoned = false; ///< discard()ed; reclaim on retire
+    };
+
+    /** Retire a non-terminal record as Cancelled/Expired/Done/Failed
+     *  (mutex held). Drops the cloud reference, wakes waiters, and
+     *  erases the record if it was abandoned — callers must not
+     *  touch @p record afterwards. */
+    void retireLocked(std::uint64_t id, Record &record,
+                      RequestState state);
+
+    const Record &recordFor(Ticket ticket) const;
+
+    mutable std::mutex mutex_;
+
+    /** One CV for every sleeper: ticket waiters, blocking submitters,
+     *  and shutdown(). Transitions are rare next to the work each
+     *  request performs, so sharing costs nothing measurable. */
+    mutable std::condition_variable cv_;
+
+    const std::size_t capacity_;
+    const unsigned num_threads_;
+    const bool work_conserving_;
+
+    std::uint64_t next_id_ = 1;
+    std::deque<std::uint64_t> fifo_;
+    std::unordered_map<std::uint64_t, Record> records_;
+    std::size_t queued_ = 0;
+    std::size_t running_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace fc::serve
+
+#endif // FC_SERVE_SCHEDULER_H

@@ -120,6 +120,50 @@ TEST(ParallelFor, PoolSurvivesThrowingWork)
     EXPECT_EQ(sum.load(), 4950);
 }
 
+TEST(ThreadPool, WaiterHelpsChunksButNeverDetachedTasks)
+{
+    // Standalone pool, both workers parked: the only runnable thread
+    // is the TaskGroup waiter. It must drain the fork/join lane (its
+    // own chunk) but never the detached lane — a helper running a
+    // whole unrelated request would nest that request's latency onto
+    // the waiter's stack.
+    ThreadPool pool(2, /*standalone=*/true);
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+    std::atomic<int> parked{0};
+    for (int w = 0; w < 2; ++w) {
+        pool.submitDetached([&] {
+            std::unique_lock<std::mutex> lock(mutex);
+            parked.fetch_add(1);
+            cv.notify_all();
+            cv.wait(lock, [&] { return release; });
+        });
+    }
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return parked.load() == 2; });
+    }
+
+    std::atomic<bool> detached_ran{false};
+    pool.submitDetached([&] { detached_ran.store(true); });
+    std::atomic<bool> chunk_ran{false};
+    core::TaskGroup group(&pool);
+    group.run([&] { chunk_ran.store(true); });
+    group.wait(); // only the waiter can make progress here
+    EXPECT_TRUE(chunk_ran.load());
+    EXPECT_FALSE(detached_ran.load())
+        << "help-join must not execute detached work";
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        release = true;
+    }
+    cv.notify_all();
+    while (!detached_ran.load())
+        std::this_thread::yield(); // a freed worker picks it up
+}
+
 TEST(TaskGroup, NestedSubmitDoesNotDeadlock)
 {
     // Tasks forking subtasks onto the same pool is exactly what the
