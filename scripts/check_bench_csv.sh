@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Perf-smoke sanity gate for bench CSVs.
+#
+# Usage: check_bench_csv.sh <csv-file> <min-data-rows>
+#
+# Fails (non-zero exit) when the CSV is missing, has an empty or
+# single-column header, has fewer data rows than expected, or has a
+# row whose column count disagrees with the header — the shapes a
+# crashed or truncated bench binary leaves behind. Values are not
+# compared against thresholds: wall-clock numbers are hardware-bound
+# and belong in the uploaded artifacts, not in a gate.
+set -euo pipefail
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 <csv-file> <min-data-rows>" >&2
+    exit 2
+fi
+
+csv="$1"
+min_rows="$2"
+
+if [ ! -s "$csv" ]; then
+    echo "FAIL: $csv is missing or empty" >&2
+    exit 1
+fi
+
+awk -v min_rows="$min_rows" -v csv="$csv" -F',' '
+NR == 1 {
+    header_cols = NF
+    if (header_cols < 2) {
+        printf "FAIL: %s header has %d column(s); expected >= 2\n", \
+               csv, header_cols > "/dev/stderr"
+        failed = 1
+        exit 1
+    }
+    next
+}
+{
+    if (NF != header_cols) {
+        printf "FAIL: %s row %d has %d column(s); header has %d\n", \
+               csv, NR, NF, header_cols > "/dev/stderr"
+        failed = 1
+        exit 1
+    }
+    rows++
+}
+END {
+    if (failed)
+        exit 1
+    if (rows < min_rows) {
+        printf "FAIL: %s has %d data row(s); expected >= %d\n", \
+               csv, rows, min_rows > "/dev/stderr"
+        exit 1
+    }
+    printf "OK: %s (%d rows x %d cols)\n", csv, rows, header_cols
+}' "$csv"

@@ -165,11 +165,16 @@ struct Aabb
 
     Vec3 extent() const { return hi - lo; }
 
-    /** Midpoint of one axis: (max+min)/2, the Fractal split value. */
+    /**
+     * Midpoint of one axis: (max+min)/2, the Fractal split value.
+     * Halve-then-add: the naive sum overflows to inf for spans
+     * beyond FLT_MAX (identical rounding for normal floats, since
+     * halving just steps the exponent).
+     */
     float
     midpoint(int dim) const
     {
-        return (lo[dim] + hi[dim]) * 0.5f;
+        return lo[dim] * 0.5f + hi[dim] * 0.5f;
     }
 
     /** Longest axis index (0=x, 1=y, 2=z). */

@@ -148,6 +148,23 @@ void parallelFor(ThreadPool *pool, std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t, std::size_t)> &fn);
 
 /**
+ * Grain (chunk length) targeting roughly @p target_ops scalar
+ * operations per chunk for a loop whose every index costs
+ * @p ops_per_item operations. A pure function of its arguments —
+ * never of the pool or thread count — so loops sized with it keep the
+ * bit-identical determinism contract of parallelFor. The network and
+ * partition layers use it to pick row/point grains that amortize task
+ * overhead for cheap items without starving wide pools on expensive
+ * ones.
+ */
+inline std::size_t
+costGrain(std::size_t ops_per_item, std::size_t target_ops = 1 << 15)
+{
+    return std::max<std::size_t>(
+        1, target_ops / std::max<std::size_t>(1, ops_per_item));
+}
+
+/**
  * Deterministic chunk-ordered reduction.
  *
  * Computes @p chunk_fn(chunk_begin, chunk_end) -> T per chunk

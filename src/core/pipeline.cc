@@ -81,6 +81,11 @@ FractalCloudPipeline::infer(const nn::Network &network) const
     nn::BackendOptions backend;
     backend.method = options_.method;
     backend.threshold = options_.threshold;
+    // The pipeline's pool drives the network end to end: per-stage
+    // re-partition, block ops, MLPs, pooling, interpolation. The
+    // partition built at construction is reused for SA stage 0.
+    backend.pool = pool_.get();
+    backend.root_partition = &partition_;
     return network.run(cloud_, backend);
 }
 

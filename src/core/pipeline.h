@@ -76,6 +76,15 @@ struct BatchRequest
 
     /** Neighbors per center for grouping/gathering. */
     std::size_t neighbors = 32;
+
+    /**
+     * Optional end-to-end inference: run this fixed-weight network
+     * over the cloud after the gather stage, with the serving pool
+     * driving the network's internal stages (re-partition, block
+     * ops, MLPs, pooling). Borrowed, never owned — the network must
+     * outlive every request referencing it. Null = point ops only.
+     */
+    const nn::Network *network = nullptr;
 };
 
 /** Per-cloud output of FractalCloudPipeline::runBatch. */
@@ -86,6 +95,9 @@ struct BatchResult
     ops::GatherResult gathered;
     part::PartitionStats partition_stats;
     std::size_t num_blocks = 0;
+
+    /** Present iff BatchRequest::network was set. */
+    std::optional<nn::InferenceResult> inference;
 };
 
 /**
@@ -130,7 +142,12 @@ class FractalCloudPipeline
                 const std::vector<float> &known_features,
                 std::size_t channels, std::size_t k = 3) const;
 
-    /** Run a fixed-weight network with block-wise point operations. */
+    /**
+     * Run a fixed-weight network with block-wise point operations.
+     * The pipeline's pool drives every stage of the network (see
+     * nn::BackendOptions::pool); results are bit-identical at any
+     * num_threads setting.
+     */
     nn::InferenceResult infer(const nn::Network &network) const;
 
     /**

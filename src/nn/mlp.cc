@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "core/parallel.h"
 
 namespace fc::nn {
 
@@ -25,26 +26,32 @@ LinearRelu::LinearRelu(std::size_t in, std::size_t out,
 }
 
 Tensor
-LinearRelu::forward(const Tensor &x) const
+LinearRelu::forward(const Tensor &x, core::ThreadPool *pool) const
 {
     fc_assert(x.cols() == in_, "layer expects %zu channels, got %zu",
               in_, x.cols());
     Tensor y(x.rows(), out_);
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-        const auto xin = x.row(r);
-        auto yout = y.row(r);
-        for (std::size_t o = 0; o < out_; ++o) {
-            // fp32 accumulation over fp16 operands, as in the PE
-            // array.
-            float acc = bias_[o];
-            const auto w = weights_.row(o);
-            for (std::size_t i = 0; i < in_; ++i)
-                acc += w[i] * xin[i];
-            if (relu_ && acc < 0.0f)
-                acc = 0.0f;
-            yout[o] = fp16Round(acc);
-        }
-    }
+    // Each row owns its output slice; the grain is a pure function of
+    // the layer shape, so chunking never affects the arithmetic.
+    core::parallelFor(
+        pool, 0, x.rows(), core::costGrain(in_ * out_),
+        [&](std::size_t rb, std::size_t re) {
+            for (std::size_t r = rb; r < re; ++r) {
+                const auto xin = x.row(r);
+                auto yout = y.row(r);
+                for (std::size_t o = 0; o < out_; ++o) {
+                    // fp32 accumulation over fp16 operands, as in the
+                    // PE array.
+                    float acc = bias_[o];
+                    const auto w = weights_.row(o);
+                    for (std::size_t i = 0; i < in_; ++i)
+                        acc += w[i] * xin[i];
+                    if (relu_ && acc < 0.0f)
+                        acc = 0.0f;
+                    yout[o] = fp16Round(acc);
+                }
+            }
+        });
     return y;
 }
 
@@ -57,12 +64,12 @@ Mlp::Mlp(const std::vector<std::size_t> &widths, std::uint64_t seed)
 }
 
 Tensor
-Mlp::forward(const Tensor &x) const
+Mlp::forward(const Tensor &x, core::ThreadPool *pool) const
 {
     fc_assert(!layers_.empty(), "forward through empty MLP");
-    Tensor cur = layers_.front().forward(x);
+    Tensor cur = layers_.front().forward(x, pool);
     for (std::size_t i = 1; i < layers_.size(); ++i)
-        cur = layers_[i].forward(cur);
+        cur = layers_[i].forward(cur, pool);
     return cur;
 }
 
@@ -90,7 +97,8 @@ Mlp::macs(std::uint64_t rows) const
 }
 
 Tensor
-maxPoolGroups(const Tensor &x, std::size_t group_size)
+maxPoolGroups(const Tensor &x, std::size_t group_size,
+              core::ThreadPool *pool)
 {
     fc_assert(group_size > 0, "group size must be positive");
     fc_assert(x.rows() % group_size == 0,
@@ -98,16 +106,20 @@ maxPoolGroups(const Tensor &x, std::size_t group_size)
               group_size);
     const std::size_t groups = x.rows() / group_size;
     Tensor y(groups, x.cols());
-    for (std::size_t g = 0; g < groups; ++g) {
-        auto out = y.row(g);
-        for (std::size_t c = 0; c < x.cols(); ++c)
-            out[c] = x.at(g * group_size, c);
-        for (std::size_t j = 1; j < group_size; ++j) {
-            const auto in = x.row(g * group_size + j);
-            for (std::size_t c = 0; c < x.cols(); ++c)
-                out[c] = std::max(out[c], in[c]);
-        }
-    }
+    core::parallelFor(
+        pool, 0, groups, core::costGrain(group_size * x.cols()),
+        [&](std::size_t gb, std::size_t ge) {
+            for (std::size_t g = gb; g < ge; ++g) {
+                auto out = y.row(g);
+                for (std::size_t c = 0; c < x.cols(); ++c)
+                    out[c] = x.at(g * group_size, c);
+                for (std::size_t j = 1; j < group_size; ++j) {
+                    const auto in = x.row(g * group_size + j);
+                    for (std::size_t c = 0; c < x.cols(); ++c)
+                        out[c] = std::max(out[c], in[c]);
+                }
+            }
+        });
     return y;
 }
 

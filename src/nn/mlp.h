@@ -18,6 +18,10 @@
 
 #include "nn/tensor.h"
 
+namespace fc::core {
+class ThreadPool;
+}
+
 namespace fc::nn {
 
 /** One linear + ReLU layer with fixed random weights. */
@@ -33,8 +37,14 @@ class LinearRelu
     LinearRelu(std::size_t in, std::size_t out, std::uint64_t seed,
                bool relu = true);
 
-    /** Apply to every row of @p x; returns [rows x out]. */
-    Tensor forward(const Tensor &x) const;
+    /**
+     * Apply to every row of @p x; returns [rows x out]. Rows are
+     * independent, so they dispatch in chunks over @p pool (null =
+     * sequential); every row's arithmetic is unchanged, making the
+     * result bit-identical at any thread count.
+     */
+    Tensor forward(const Tensor &x,
+                   core::ThreadPool *pool = nullptr) const;
 
     std::size_t inDim() const { return in_; }
     std::size_t outDim() const { return out_; }
@@ -66,7 +76,9 @@ class Mlp
      */
     Mlp(const std::vector<std::size_t> &widths, std::uint64_t seed);
 
-    Tensor forward(const Tensor &x) const;
+    /** Row-chunked over @p pool, layer by layer (see LinearRelu). */
+    Tensor forward(const Tensor &x,
+                   core::ThreadPool *pool = nullptr) const;
 
     std::size_t inDim() const;
     std::size_t outDim() const;
@@ -83,8 +95,11 @@ class Mlp
  * Max-pool groups of @p group_size consecutive rows:
  * [groups * group_size x c] -> [groups x c]. The pooling-unit
  * operation that reduces each gathered neighborhood to one feature.
+ * Groups own disjoint output rows and dispatch in chunks over
+ * @p pool; results are bit-identical at any thread count.
  */
-Tensor maxPoolGroups(const Tensor &x, std::size_t group_size);
+Tensor maxPoolGroups(const Tensor &x, std::size_t group_size,
+                     core::ThreadPool *pool = nullptr);
 
 /** Column-wise max over all rows: [n x c] -> [1 x c]. */
 Tensor globalMaxPool(const Tensor &x);

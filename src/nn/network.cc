@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "core/parallel.h"
 #include "ops/gather.h"
 #include "ops/interpolate.h"
 #include "ops/neighbor.h"
@@ -137,6 +138,7 @@ Network::run(const data::PointCloud &cloud,
     fc_assert(!cloud.empty(), "inference over empty cloud");
     InferenceResult result;
 
+    core::ThreadPool *pool = backend.pool;
     const bool use_blocks = backend.anyBlockOp();
     std::unique_ptr<part::Partitioner> partitioner;
     if (use_blocks)
@@ -150,14 +152,20 @@ Network::run(const data::PointCloud &cloud,
         Level base;
         base.cloud = cloud;
         base.features = Tensor(cloud.size(), 3 + config_.input_channels);
-        for (std::size_t i = 0; i < cloud.size(); ++i) {
-            auto row = base.features.row(i);
-            row[0] = cloud[i].x;
-            row[1] = cloud[i].y;
-            row[2] = cloud[i].z;
-            for (std::size_t c = 0; c < config_.input_channels; ++c)
-                row[3 + c] = cloud.featureRow(i)[c];
-        }
+        core::parallelFor(
+            pool, 0, cloud.size(),
+            core::costGrain(3 + config_.input_channels),
+            [&](std::size_t rb, std::size_t re) {
+                for (std::size_t i = rb; i < re; ++i) {
+                    auto row = base.features.row(i);
+                    row[0] = cloud[i].x;
+                    row[1] = cloud[i].y;
+                    row[2] = cloud[i].z;
+                    for (std::size_t c = 0; c < config_.input_channels;
+                         ++c)
+                        row[3 + c] = cloud.featureRow(i)[c];
+                }
+            });
         base.features.quantizeFp16();
         levels.push_back(std::move(base));
     }
@@ -175,8 +183,24 @@ Network::run(const data::PointCloud &cloud,
                                 static_cast<double>(n))));
 
         if (use_blocks) {
-            partitions[si] =
-                partitioner->partition(cur.cloud, pconfig);
+            // On-chip re-partition of this stage's input, over the
+            // same pool (subtree tasks + chunked root splits). Stage
+            // 0 may reuse a caller-provided partition of the input
+            // cloud — construction is deterministic, so the reuse is
+            // invisible in the result (stats included).
+            const part::PartitionResult *precomputed =
+                backend.root_partition;
+            if (si == 0 && precomputed != nullptr &&
+                precomputed->method == backend.method &&
+                precomputed->config.threshold == pconfig.threshold &&
+                precomputed->config.first_dim == pconfig.first_dim &&
+                precomputed->config.max_depth == pconfig.max_depth &&
+                precomputed->tree.order().size() == n) {
+                partitions[si] = *precomputed;
+            } else {
+                partitions[si] =
+                    partitioner->partition(cur.cloud, pconfig, pool);
+            }
             result.partition_stats.elements_traversed +=
                 partitions[si].stats.elements_traversed;
             result.partition_stats.num_sorts +=
@@ -199,7 +223,7 @@ Network::run(const data::PointCloud &cloud,
                 backend.method == part::Method::Uniform;
             block_sampled = ops::blockFarthestPointSample(
                 cur.cloud, partitions[si].tree, stage.sample_rate,
-                fps);
+                fps, pool);
             sampled = block_sampled.indices;
             result.op_stats += block_sampled.stats;
         } else {
@@ -222,7 +246,7 @@ Network::run(const data::PointCloud &cloud,
                     makeBlockSample(partitions[si].tree, sampled);
             neighbors = ops::blockBallQuery(
                 cur.cloud, partitions[si].tree, block_sampled,
-                stage.radius, stage.k);
+                stage.radius, stage.k, pool);
         } else {
             neighbors = ops::ballQuery(cur.cloud, sampled, stage.radius,
                                        stage.k);
@@ -241,7 +265,7 @@ Network::run(const data::PointCloud &cloud,
         if (use_blocks && backend.block_grouping) {
             gathered = ops::blockGatherNeighborhoods(
                 feat_cloud, partitions[si].tree, sampled,
-                block_sampled.leaf_offsets, neighbors);
+                block_sampled.leaf_offsets, neighbors, pool);
         } else {
             gathered =
                 ops::gatherNeighborhoods(feat_cloud, sampled, neighbors);
@@ -251,9 +275,9 @@ Network::run(const data::PointCloud &cloud,
         // --- Feature computation: MLP + max pool -------------------------
         Tensor grouped = gatherToTensor(gathered);
         grouped.quantizeFp16();
-        Tensor transformed = saMlps_[si].forward(grouped);
+        Tensor transformed = saMlps_[si].forward(grouped, pool);
         result.total_macs += saMlps_[si].macs(grouped.rows());
-        Tensor pooled = maxPoolGroups(transformed, stage.k);
+        Tensor pooled = maxPoolGroups(transformed, stage.k, pool);
 
         Level next;
         next.cloud = cur.cloud.subset(sampled);
@@ -266,7 +290,7 @@ Network::run(const data::PointCloud &cloud,
     if (!config_.isSegmentation()) {
         Tensor pooled = globalMaxPool(levels.back().features);
         if (!config_.head.empty()) {
-            result.embedding = headMlp_.forward(pooled);
+            result.embedding = headMlp_.forward(pooled, pool);
             result.total_macs += headMlp_.macs(1);
         } else {
             result.embedding = std::move(pooled);
@@ -299,18 +323,26 @@ Network::run(const data::PointCloud &cloud,
                  r < coarse_level.parent_indices.size(); ++r)
                 row_of[coarse_level.parent_indices[r]] =
                     static_cast<std::int64_t>(r);
-            for (std::size_t i = 0; i < known.indices.size(); ++i) {
-                const std::int64_t r = row_of[known.indices[i]];
-                fc_assert(r >= 0, "sample %u missing coarse feature",
-                          known.indices[i]);
-                std::copy(
-                    coarse.row(static_cast<std::size_t>(r)).begin(),
-                    coarse.row(static_cast<std::size_t>(r)).end(),
-                    known_feats.begin() + i * coarse.cols());
-            }
+            core::parallelFor(
+                pool, 0, known.indices.size(),
+                core::costGrain(coarse.cols()),
+                [&](std::size_t ib, std::size_t ie) {
+                    for (std::size_t i = ib; i < ie; ++i) {
+                        const std::int64_t r = row_of[known.indices[i]];
+                        fc_assert(r >= 0,
+                                  "sample %u missing coarse feature",
+                                  known.indices[i]);
+                        std::copy(
+                            coarse.row(static_cast<std::size_t>(r))
+                                .begin(),
+                            coarse.row(static_cast<std::size_t>(r))
+                                .end(),
+                            known_feats.begin() + i * coarse.cols());
+                    }
+                });
             interp = ops::blockInterpolate(fine_level.cloud, tree,
                                            known, known_feats,
-                                           coarse.cols());
+                                           coarse.cols(), 3, pool);
         } else {
             interp = ops::globalInterpolate(
                 fine_level.cloud, coarse.data(), coarse.cols(),
@@ -322,22 +354,28 @@ Network::run(const data::PointCloud &cloud,
         const std::size_t fine_c = fine_level.features.cols();
         Tensor merged(fine_level.cloud.size(),
                       coarse.cols() + fine_c);
-        for (std::size_t i = 0; i < fine_level.cloud.size(); ++i) {
-            auto out = merged.row(i);
-            const float *src = interp.values.data() + i * coarse.cols();
-            for (std::size_t c = 0; c < coarse.cols(); ++c)
-                out[c] = src[c];
-            const auto skip = fine_level.features.row(i);
-            for (std::size_t c = 0; c < fine_c; ++c)
-                out[coarse.cols() + c] = skip[c];
-        }
+        core::parallelFor(
+            pool, 0, fine_level.cloud.size(),
+            core::costGrain(coarse.cols() + fine_c),
+            [&](std::size_t rb, std::size_t re) {
+                for (std::size_t i = rb; i < re; ++i) {
+                    auto out = merged.row(i);
+                    const float *src =
+                        interp.values.data() + i * coarse.cols();
+                    for (std::size_t c = 0; c < coarse.cols(); ++c)
+                        out[c] = src[c];
+                    const auto skip = fine_level.features.row(i);
+                    for (std::size_t c = 0; c < fine_c; ++c)
+                        out[coarse.cols() + c] = skip[c];
+                }
+            });
         merged.quantizeFp16();
-        coarse = fpMlps_[fi].forward(merged);
+        coarse = fpMlps_[fi].forward(merged, pool);
         result.total_macs += fpMlps_[fi].macs(merged.rows());
     }
 
     if (!config_.head.empty()) {
-        result.point_features = headMlp_.forward(coarse);
+        result.point_features = headMlp_.forward(coarse, pool);
         result.total_macs += headMlp_.macs(coarse.rows());
     } else {
         result.point_features = std::move(coarse);

@@ -11,6 +11,12 @@
  * Per paper §IV, block structure is derived from the stage's input
  * coordinates on-chip ("on-chip fractal"), so each abstraction stage
  * re-partitions its own input when block ops are enabled.
+ *
+ * Execution is pool-driven end to end: BackendOptions::pool threads a
+ * core::ThreadPool through every stage — re-partitioning, block-wise
+ * point ops, per-row MLPs, per-group pooling, interpolation — with
+ * output bit-identical to the sequential path at any thread count
+ * (the same determinism contract as the rest of the runtime).
  */
 
 #ifndef FC_NN_NETWORK_H
@@ -26,6 +32,10 @@
 #include "ops/fps.h"
 #include "ops/op_stats.h"
 #include "partition/partitioner.h"
+
+namespace fc::core {
+class ThreadPool;
+}
 
 namespace fc::nn {
 
@@ -53,6 +63,31 @@ struct BackendOptions
      * (matching the design being modelled) unless overridden.
      */
     bool fixed_count_sampling = false;
+
+    /**
+     * Pool driving every stage of Network::run: the per-stage
+     * on-chip re-partition, block-wise sampling / grouping /
+     * gathering / interpolation, per-row MLP application, and
+     * per-group max pooling. Null (or a single-thread pool) is the
+     * exact sequential path; any thread count produces a
+     * bit-identical InferenceResult. The pool is borrowed, never
+     * owned — FractalCloudPipeline::infer passes its own pool, and
+     * standalone users keep theirs alive across run() calls.
+     */
+    core::ThreadPool *pool = nullptr;
+
+    /**
+     * Optional precomputed partition of the *input* cloud, reused as
+     * SA stage 0's on-chip partition when its method and threshold
+     * match this backend (deeper stages always re-partition their own
+     * input). Partition construction is deterministic, so reuse is a
+     * pure wall-clock saving: the InferenceResult — including
+     * partition_stats, which still charge stage 0's construction work
+     * — is bit-identical to recomputing. Borrowed, never owned.
+     * FractalCloudPipeline::infer and the serve inference stage pass
+     * the partition they already built.
+     */
+    const part::PartitionResult *root_partition = nullptr;
 
     bool
     anyBlockOp() const

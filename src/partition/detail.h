@@ -92,13 +92,35 @@ void replaySplits(BlockTree &tree, NodeIdx node_idx,
 void computeBounds(BlockTree &tree, const data::PointCloud &cloud);
 
 /**
- * Stable-partition the order slice [begin, end) of @p tree around
+ * Slices at or above this many points partition chunk-wise (parallel
+ * splitRange below); smaller slices use one plain std::partition.
+ * The choice depends only on the slice size — never on the pool — so
+ * any thread count (including none) produces the same arrangement.
+ */
+inline constexpr std::uint32_t kSplitParallelCutoff = 8192;
+
+/** Chunk length of the parallel splitRange phases. */
+inline constexpr std::uint32_t kSplitGrain = 4096;
+
+/**
+ * Partition the order slice [begin, end) of @p tree around
  * @p split_value on @p dim; returns the index of the first element of
  * the right side. Points with coordinate < split_value go left.
+ *
+ * Slices of at least kSplitParallelCutoff points run the parallel
+ * root-split algorithm: fixed kSplitGrain chunks are std::partition'd
+ * independently (dispatched over @p pool), then merged two-way in
+ * chunk order — left halves first, right halves after — so the result
+ * is a pure function of the input slice, bit-identical at any thread
+ * count. On already-partitioned input (including all-equal
+ * coordinates) every phase is the identity, matching a single
+ * std::partition byte for byte. Smaller slices take exactly the
+ * sequential std::partition path.
  */
 std::uint32_t splitRange(BlockTree &tree, const data::PointCloud &cloud,
                          std::uint32_t begin, std::uint32_t end, int dim,
-                         float split_value);
+                         float split_value,
+                         core::ThreadPool *pool = nullptr);
 
 /**
  * Order-slice overload for builders that run before the BlockTree
@@ -108,13 +130,38 @@ std::uint32_t splitRange(BlockTree &tree, const data::PointCloud &cloud,
 std::uint32_t splitRange(std::vector<PointIdx> &order,
                          const data::PointCloud &cloud,
                          std::uint32_t begin, std::uint32_t end, int dim,
-                         float split_value);
+                         float split_value,
+                         core::ThreadPool *pool = nullptr);
 
-/** Min/max of coordinate @p dim over the order slice [begin, end). */
+/**
+ * Rearrange the order slice [begin, end) so that every element of
+ * [begin, median) compares <= every element of [median, end) on
+ * @p dim, where median = begin + size / 2 — the arrangement the
+ * KD-tree builder needs around its fixed median position.
+ *
+ * Slices below kSplitParallelCutoff use std::nth_element (the
+ * historical sequential path, preserved bit for bit). Larger slices
+ * run a deterministic quickselect over parallel splitRange with
+ * extrema-midpoint pivots, cutting the serial median-selection prefix
+ * at the tree root. As with splitRange, the algorithm choice depends
+ * only on the slice size, so results are identical at any thread
+ * count.
+ */
+void medianSplit(std::vector<PointIdx> &order,
+                 const data::PointCloud &cloud, std::uint32_t begin,
+                 std::uint32_t end, int dim,
+                 core::ThreadPool *pool = nullptr);
+
+/**
+ * Min/max of coordinate @p dim over the order slice [begin, end).
+ * Chunked over @p pool for large slices; min/max folds are exact, so
+ * the result never depends on the chunking or thread count.
+ */
 std::pair<float, float> rangeExtrema(const std::vector<PointIdx> &order,
                                      const data::PointCloud &cloud,
                                      std::uint32_t begin,
-                                     std::uint32_t end, int dim);
+                                     std::uint32_t end, int dim,
+                                     core::ThreadPool *pool = nullptr);
 
 } // namespace fc::part::detail
 

@@ -39,12 +39,15 @@ struct Builder
         // degenerate (non-splittable) layouts.
         for (int attempt = 0; attempt < 3; ++attempt) {
             const int dim = (dim_counter + attempt) % 3;
-            const auto [lo, hi] =
-                detail::rangeExtrema(order, cloud, begin, end, dim);
+            const auto [lo, hi] = detail::rangeExtrema(
+                order, cloud, begin, end, dim, pool);
             rec->local.elements_traversed += size; // extrema traversal
-            const float mid = (lo + hi) * 0.5f;
-            const std::uint32_t split =
-                detail::splitRange(order, cloud, begin, end, dim, mid);
+            // Halve-then-add: lo + hi overflows to +/-inf for spans
+            // beyond FLT_MAX, and an inf midpoint degenerates every
+            // split (same guard as detail::medianSplit's pivot).
+            const float mid = lo * 0.5f + hi * 0.5f;
+            const std::uint32_t split = detail::splitRange(
+                order, cloud, begin, end, dim, mid, pool);
             rec->local.elements_traversed += size; // partition traversal
             if (split == begin || split == end) {
                 ++rec->local.degenerate_retries;

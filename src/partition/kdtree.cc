@@ -50,17 +50,14 @@ struct Builder
         const int dim = dim_counter % 3;
         // Median split: the hardware performs a full merge sort per
         // node (PointAcc-style sorter, reused by Crescent); we realize
-        // it with nth_element but charge the full sort cost. Subtree
+        // it with a median selection but charge the full sort cost.
+        // Small slices use nth_element; root-scale slices run the
+        // parallel quickselect over chunked splitRange, so even the
+        // first (serial-prefix) selections use the pool. Subtree
         // tasks touch disjoint order slices, so the selection is safe
         // to run concurrently across siblings.
         const std::uint32_t median = begin + size / 2;
-        auto first = order.begin() + begin;
-        auto nth = order.begin() + median;
-        auto last = order.begin() + end;
-        std::nth_element(first, nth, last,
-                         [&](PointIdx a, PointIdx b) {
-                             return cloud[a][dim] < cloud[b][dim];
-                         });
+        detail::medianSplit(order, cloud, begin, end, dim, pool);
         ++rec->local.num_sorts;
         rec->local.sort_compares += sortCost(size);
         rec->local.elements_traversed += size;

@@ -1,71 +1,77 @@
 #include "partition/octree.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
+#include "core/parallel.h"
 #include "partition/detail.h"
 
 namespace fc::part {
 
 namespace {
 
+using detail::SplitRec;
+
 struct Builder
 {
     const data::PointCloud &cloud;
     const PartitionConfig &config;
-    BlockTree &tree;
-    PartitionStats &stats;
+    std::vector<PointIdx> &order;
+    core::ThreadPool *pool;
 
-    void
-    build(NodeIdx node_idx, int dim_counter, Aabb cell)
+    /**
+     * Recursively split the order slice [begin, end) at the space
+     * midpoint of @p cell, mutating only that slice and recording the
+     * split structure for the replay. Returns null when the slice
+     * stays a leaf.
+     */
+    std::unique_ptr<SplitRec>
+    build(std::uint32_t begin, std::uint32_t end, std::uint16_t depth,
+          int dim_counter, Aabb cell)
     {
-        const std::uint32_t begin = tree.node(node_idx).begin;
-        const std::uint32_t end = tree.node(node_idx).end;
-        const std::uint16_t depth = tree.node(node_idx).depth;
         const std::uint32_t size = end - begin;
-
         if (size <= config.threshold || depth >= config.max_depth)
-            return;
+            return nullptr; // Leaf.
 
         const int dim = dim_counter % 3;
         const float extent = cell.hi[dim] - cell.lo[dim];
+        auto rec = std::make_unique<SplitRec>();
         if (!(extent > 0.0f)) {
-            // Degenerate cell (coincident points): give up.
-            ++stats.degenerate_retries;
-            return;
+            // Degenerate cell (coincident points): give up. The
+            // record (dim = -1) carries the retry count only.
+            ++rec->local.degenerate_retries;
+            return rec;
         }
         const float mid = cell.midpoint(dim);
-        const std::uint32_t split =
-            detail::splitRange(tree, cloud, begin, end, dim, mid);
-        stats.elements_traversed += size;
-        ++stats.num_splits;
-
-        BlockNode left;
-        left.begin = begin;
-        left.end = split;
-        left.parent = node_idx;
-        left.depth = static_cast<std::uint16_t>(depth + 1);
-        BlockNode right;
-        right.begin = split;
-        right.end = end;
-        right.parent = node_idx;
-        right.depth = static_cast<std::uint16_t>(depth + 1);
-
-        const NodeIdx left_idx = tree.addNode(left);
-        const NodeIdx right_idx = tree.addNode(right);
-        BlockNode &parent = tree.node(node_idx);
-        parent.left = left_idx;
-        parent.right = right_idx;
-        parent.splitDim = static_cast<std::int8_t>(dim);
-        parent.splitValue = mid;
+        const std::uint32_t split = detail::splitRange(
+            order, cloud, begin, end, dim, mid, pool);
+        rec->local.elements_traversed += size;
+        ++rec->local.num_splits;
+        rec->split = split;
+        rec->dim = static_cast<std::int8_t>(dim);
+        rec->value = mid;
 
         Aabb left_cell = cell;
         left_cell.hi.at(dim) = mid;
         Aabb right_cell = cell;
         right_cell.lo.at(dim) = mid;
-
-        build(left_idx, dim_counter + 1, left_cell);
-        build(right_idx, dim_counter + 1, right_cell);
+        const std::uint16_t child_depth =
+            static_cast<std::uint16_t>(depth + 1);
+        // Disjoint slices: fork left, build right on this thread.
+        detail::forkJoin(
+            pool, size,
+            [this, begin, split, child_depth, dim_counter, left_cell,
+             &rec] {
+                rec->left = build(begin, split, child_depth,
+                                  dim_counter + 1, left_cell);
+            },
+            [this, split, end, child_depth, dim_counter, right_cell,
+             &rec] {
+                rec->right = build(split, end, child_depth,
+                                   dim_counter + 1, right_cell);
+            });
+        return rec;
     }
 };
 
@@ -74,10 +80,8 @@ struct Builder
 PartitionResult
 OctreePartitioner::partition(const data::PointCloud &cloud,
                              const PartitionConfig &config,
-                             core::ThreadPool *) const
+                             core::ThreadPool *pool) const
 {
-    // Space-midpoint splits need no extrema scan, so construction is
-    // memory-bound and stays sequential; the pool is ignored.
     fc_assert(config.threshold > 0, "threshold must be positive");
     PartitionResult result;
     result.method = Method::Octree;
@@ -89,9 +93,17 @@ OctreePartitioner::partition(const data::PointCloud &cloud,
     root.end = static_cast<std::uint32_t>(cloud.size());
     result.tree.addNode(root);
 
-    Builder builder{cloud, config, result.tree, result.stats};
+    // Phase 1 (parallel): reorder the DFT permutation and record the
+    // split structure — subtree tasks below the first splits, and the
+    // chunked splitRange above them. Phase 2 (sequential, cheap):
+    // replay the records into nodes in sequential allocation order.
+    Builder builder{cloud, config, result.tree.order(), pool};
+    std::unique_ptr<SplitRec> root_rec;
     if (cloud.size() > 0)
-        builder.build(0, config.first_dim, cloud.bounds());
+        root_rec =
+            builder.build(0, static_cast<std::uint32_t>(cloud.size()),
+                          0, config.first_dim, cloud.bounds());
+    detail::replaySplits(result.tree, 0, root_rec.get(), result.stats);
 
     result.tree.rebuildLeafList();
     detail::computeBounds(result.tree, cloud);

@@ -2,68 +2,69 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/logging.h"
+#include "core/parallel.h"
 #include "partition/detail.h"
 
 namespace fc::part {
 
 namespace {
 
+using detail::SplitRec;
+
 struct Builder
 {
     const data::PointCloud &cloud;
-    BlockTree &tree;
-    PartitionStats &stats;
+    std::vector<PointIdx> &order;
+    core::ThreadPool *pool;
     std::uint16_t target_depth;
 
     /**
      * @p cell is the node's space cell (not the point bounds); splits
      * happen at the cell's spatial midpoint regardless of the data.
+     * Mutates only the order slice [begin, end) and records the split
+     * structure for the replay. Returns null at the target depth.
      */
-    void
-    build(NodeIdx node_idx, int dim_counter, Aabb cell)
+    std::unique_ptr<SplitRec>
+    build(std::uint32_t begin, std::uint32_t end, std::uint16_t depth,
+          int dim_counter, Aabb cell)
     {
-        const std::uint32_t begin = tree.node(node_idx).begin;
-        const std::uint32_t end = tree.node(node_idx).end;
-        const std::uint16_t depth = tree.node(node_idx).depth;
-
         if (depth >= target_depth)
-            return;
+            return nullptr; // Leaf (possibly empty).
 
+        auto rec = std::make_unique<SplitRec>();
         const int dim = dim_counter % 3;
         const float mid = cell.midpoint(dim);
-        const std::uint32_t split =
-            detail::splitRange(tree, cloud, begin, end, dim, mid);
-        stats.elements_traversed += end - begin;
-        ++stats.num_splits;
-
-        BlockNode left;
-        left.begin = begin;
-        left.end = split;
-        left.parent = node_idx;
-        left.depth = static_cast<std::uint16_t>(depth + 1);
-        BlockNode right;
-        right.begin = split;
-        right.end = end;
-        right.parent = node_idx;
-        right.depth = static_cast<std::uint16_t>(depth + 1);
-
-        const NodeIdx left_idx = tree.addNode(left);
-        const NodeIdx right_idx = tree.addNode(right);
-        BlockNode &parent = tree.node(node_idx);
-        parent.left = left_idx;
-        parent.right = right_idx;
-        parent.splitDim = static_cast<std::int8_t>(dim);
-        parent.splitValue = mid;
+        const std::uint32_t split = detail::splitRange(
+            order, cloud, begin, end, dim, mid, pool);
+        rec->local.elements_traversed += end - begin;
+        ++rec->local.num_splits;
+        rec->split = split;
+        rec->dim = static_cast<std::int8_t>(dim);
+        rec->value = mid;
 
         Aabb left_cell = cell;
         left_cell.hi.at(dim) = mid;
         Aabb right_cell = cell;
         right_cell.lo.at(dim) = mid;
-
-        build(left_idx, dim_counter + 1, left_cell);
-        build(right_idx, dim_counter + 1, right_cell);
+        const std::uint16_t child_depth =
+            static_cast<std::uint16_t>(depth + 1);
+        // Disjoint slices: fork left, build right on this thread.
+        detail::forkJoin(
+            pool, end - begin,
+            [this, begin, split, child_depth, dim_counter, left_cell,
+             &rec] {
+                rec->left = build(begin, split, child_depth,
+                                  dim_counter + 1, left_cell);
+            },
+            [this, split, end, child_depth, dim_counter, right_cell,
+             &rec] {
+                rec->right = build(split, end, child_depth,
+                                   dim_counter + 1, right_cell);
+            });
+        return rec;
     }
 };
 
@@ -72,11 +73,8 @@ struct Builder
 PartitionResult
 UniformPartitioner::partition(const data::PointCloud &cloud,
                               const PartitionConfig &config,
-                              core::ThreadPool *) const
+                              core::ThreadPool *pool) const
 {
-    // The fixed-depth space bisection is cheap enough that a parallel
-    // builder has never been worth it; the pool is accepted for
-    // interface uniformity and ignored.
     fc_assert(config.threshold > 0, "threshold must be positive");
     PartitionResult result;
     result.method = Method::Uniform;
@@ -99,9 +97,16 @@ UniformPartitioner::partition(const data::PointCloud &cloud,
         ++depth;
     }
 
-    Builder builder{cloud, result.tree, result.stats, depth};
+    // Phase 1 (parallel): reorder the DFT permutation and record the
+    // split structure. Phase 2 (sequential, cheap): replay the records
+    // into nodes in sequential allocation order.
+    Builder builder{cloud, result.tree.order(), pool, depth};
+    std::unique_ptr<SplitRec> root_rec;
     if (cloud.size() > 0)
-        builder.build(0, config.first_dim, cloud.bounds());
+        root_rec =
+            builder.build(0, static_cast<std::uint32_t>(cloud.size()),
+                          0, config.first_dim, cloud.bounds());
+    detail::replaySplits(result.tree, 0, root_rec.get(), result.stats);
 
     result.tree.rebuildLeafList();
     detail::computeBounds(result.tree, cloud);

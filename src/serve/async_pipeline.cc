@@ -152,6 +152,25 @@ AsyncPipeline::execute()
             out.sampled.leaf_offsets, out.grouped, pool());
         out.partition_stats = part.stats;
         out.num_blocks = part.tree.leaves().size();
+
+        if (job->request.network != nullptr) {
+            // End-to-end inference stage: the serving pool drives the
+            // network's internals (per-stage re-partition, block ops,
+            // MLPs, pooling). Extra checkpoint first — inference is
+            // the most expensive stage, so cancels/deadlines issued
+            // during gathering are honored before it starts.
+            if (!scheduler_.checkpoint(id, &spill))
+                return;
+            nn::BackendOptions backend;
+            backend.method = options_.pipeline.method;
+            backend.threshold = options_.pipeline.threshold;
+            backend.pool = pool();
+            // Stage 0 of the network reuses the partition this
+            // request already built instead of recomputing it.
+            backend.root_partition = &part;
+            out.inference =
+                job->request.network->run(cloud, backend);
+        }
         scheduler_.complete(id, std::move(out));
     } catch (...) {
         scheduler_.fail(id, std::current_exception());

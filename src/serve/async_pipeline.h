@@ -29,7 +29,9 @@
  *
  * Each request runs the serving stage sequence of runBatch:
  * partition -> block-wise FPS -> ball query -> gather, producing the
- * same BatchResult.
+ * same BatchResult — plus an optional end-to-end inference stage
+ * (BatchRequest::network), whose pool-driven nn::Network::run also
+ * spills its internal work items under the same policy.
  */
 
 #ifndef FC_SERVE_ASYNC_PIPELINE_H

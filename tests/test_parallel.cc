@@ -11,6 +11,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/rng.h"
 #include "core/parallel.h"
 #include "core/pipeline.h"
 #include "dataset/s3dis.h"
@@ -19,6 +20,7 @@
 #include "ops/interpolate.h"
 #include "ops/knn_graph.h"
 #include "ops/neighbor.h"
+#include "partition/detail.h"
 #include "partition/partitioner.h"
 
 namespace fc {
@@ -251,7 +253,8 @@ const unsigned kThreadSweep[] = {1, 2, 8};
 /** Partition methods with a tree worth checking. */
 const part::Method kMethodSweep[] = {part::Method::Fractal,
                                      part::Method::KdTree,
-                                     part::Method::Octree};
+                                     part::Method::Octree,
+                                     part::Method::Uniform};
 
 TEST(ParallelDeterminism, PartitionTreesMatchSequential)
 {
@@ -396,6 +399,216 @@ TEST(ParallelDeterminism, PipelineEndToEndMatchesSequential)
         const ops::BlockSampleResult sampled = pipeline.sample(0.25);
         EXPECT_EQ(sampled.indices, seq_sampled.indices);
     }
+}
+
+// ------------------------------------------------- parallel splitRange
+
+/** A cloud whose x coordinates come from @p xs (y = z = 0). */
+data::PointCloud
+cloudFromX(const std::vector<float> &xs)
+{
+    data::PointCloud cloud;
+    for (const float x : xs)
+        cloud.addPoint({x, 0.0f, 0.0f});
+    return cloud;
+}
+
+/** Identity order [0, n). */
+std::vector<PointIdx>
+identityOrder(std::size_t n)
+{
+    std::vector<PointIdx> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    return order;
+}
+
+/** Reference: plain std::partition over the whole slice. */
+std::uint32_t
+referenceSplit(std::vector<PointIdx> &order,
+               const data::PointCloud &cloud, std::uint32_t begin,
+               std::uint32_t end, float value)
+{
+    auto mid = std::partition(order.begin() + begin,
+                              order.begin() + end, [&](PointIdx idx) {
+                                  return cloud[idx][0] < value;
+                              });
+    return static_cast<std::uint32_t>(mid - order.begin());
+}
+
+TEST(SplitRangeParallel, ByteIdenticalToStdPartitionOnAdversarialInputs)
+{
+    // Above the parallel cutoff, on inputs where std::partition is
+    // the identity — all-equal coordinates (the predicate is uniform)
+    // and presorted slices — the chunked algorithm must reproduce its
+    // arrangement byte for byte at every thread count.
+    const std::uint32_t n = 3 * part::detail::kSplitParallelCutoff / 2;
+    struct Case
+    {
+        const char *name;
+        std::vector<float> xs;
+        float value;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"all-equal-below", std::vector<float>(n, 1.0f),
+                     2.0f}); // everything goes left
+    cases.push_back({"all-equal-above", std::vector<float>(n, 1.0f),
+                     0.5f}); // everything goes right
+    {
+        std::vector<float> sorted(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            sorted[i] = static_cast<float>(i);
+        cases.push_back({"presorted", sorted,
+                         static_cast<float>(n / 3)});
+    }
+
+    for (const Case &c : cases) {
+        SCOPED_TRACE(c.name);
+        const data::PointCloud cloud = cloudFromX(c.xs);
+        std::vector<PointIdx> expect = identityOrder(n);
+        const std::uint32_t expect_mid =
+            referenceSplit(expect, cloud, 0, n, c.value);
+
+        for (const unsigned threads : kThreadSweep) {
+            SCOPED_TRACE("threads=" + std::to_string(threads));
+            ThreadPool pool(threads);
+            std::vector<PointIdx> order = identityOrder(n);
+            const std::uint32_t mid = part::detail::splitRange(
+                order, cloud, 0, n, 0, c.value, &pool);
+            EXPECT_EQ(mid, expect_mid);
+            EXPECT_EQ(order, expect);
+        }
+        // Null pool takes the same chunked path inline.
+        std::vector<PointIdx> order = identityOrder(n);
+        const std::uint32_t mid = part::detail::splitRange(
+            order, cloud, 0, n, 0, c.value, nullptr);
+        EXPECT_EQ(mid, expect_mid);
+        EXPECT_EQ(order, expect);
+    }
+}
+
+TEST(SplitRangeParallel, EmptyAndOnePointRanges)
+{
+    const data::PointCloud cloud =
+        cloudFromX({0.5f, -1.0f, 2.0f, 0.0f});
+    ThreadPool pool(4);
+    std::vector<PointIdx> order = identityOrder(4);
+    const std::vector<PointIdx> before = order;
+
+    // Empty range: nothing moves, mid == begin.
+    EXPECT_EQ(part::detail::splitRange(order, cloud, 2, 2, 0, 0.0f,
+                                       &pool),
+              2u);
+    EXPECT_EQ(order, before);
+
+    // One-point ranges: mid reflects the single comparison.
+    EXPECT_EQ(part::detail::splitRange(order, cloud, 1, 2, 0, 0.0f,
+                                       &pool),
+              2u); // -1.0 < 0.0: left side
+    EXPECT_EQ(part::detail::splitRange(order, cloud, 2, 3, 0, 0.0f,
+                                       &pool),
+              2u); // 2.0 >= 0.0: right side
+    EXPECT_EQ(order, before);
+}
+
+TEST(SplitRangeParallel, MatchesNullPoolOnRandomInput)
+{
+    // General inputs: the arrangement is a pure function of the slice
+    // (fixed chunking), so every thread count must agree with the
+    // null-pool inline execution — and actually partition.
+    const std::uint32_t n = 4 * part::detail::kSplitParallelCutoff;
+    Pcg32 rng(99);
+    std::vector<float> xs(n);
+    for (auto &x : xs)
+        x = rng.uniform(-1.0f, 1.0f);
+    const data::PointCloud cloud = cloudFromX(xs);
+
+    std::vector<PointIdx> baseline = identityOrder(n);
+    const std::uint32_t base_mid = part::detail::splitRange(
+        baseline, cloud, 0, n, 0, 0.25f, nullptr);
+    ASSERT_GT(base_mid, 0u);
+    ASSERT_LT(base_mid, n);
+    for (std::uint32_t pos = 0; pos < n; ++pos)
+        EXPECT_EQ(cloud[baseline[pos]][0] < 0.25f, pos < base_mid)
+            << "position " << pos;
+
+    for (const unsigned threads : kThreadSweep) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        ThreadPool pool(threads);
+        std::vector<PointIdx> order = identityOrder(n);
+        const std::uint32_t mid = part::detail::splitRange(
+            order, cloud, 0, n, 0, 0.25f, &pool);
+        EXPECT_EQ(mid, base_mid);
+        EXPECT_EQ(order, baseline);
+    }
+}
+
+TEST(SplitRangeParallel, MedianSplitDeterministicAndCorrect)
+{
+    const std::uint32_t n = 2 * part::detail::kSplitParallelCutoff + 7;
+    Pcg32 rng(7);
+    std::vector<float> xs(n);
+    for (auto &x : xs)
+        x = rng.uniform(-10.0f, 10.0f);
+    const data::PointCloud cloud = cloudFromX(xs);
+    const std::uint32_t median = n / 2;
+
+    std::vector<PointIdx> baseline = identityOrder(n);
+    part::detail::medianSplit(baseline, cloud, 0, n, 0, nullptr);
+
+    // nth_element semantics: left side <= order[median] <= right side,
+    // and the median value matches a full sort.
+    std::vector<float> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(cloud[baseline[median]][0], sorted[median]);
+    for (std::uint32_t pos = 0; pos < median; ++pos)
+        EXPECT_LE(cloud[baseline[pos]][0], cloud[baseline[median]][0]);
+    for (std::uint32_t pos = median; pos < n; ++pos)
+        EXPECT_GE(cloud[baseline[pos]][0], cloud[baseline[median]][0]);
+
+    for (const unsigned threads : kThreadSweep) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        ThreadPool pool(threads);
+        std::vector<PointIdx> order = identityOrder(n);
+        part::detail::medianSplit(order, cloud, 0, n, 0, &pool);
+        EXPECT_EQ(order, baseline);
+    }
+
+    // All-equal coordinates: the quickselect must terminate (the
+    // extrema collapse) and leave the slice untouched.
+    const data::PointCloud flat =
+        cloudFromX(std::vector<float>(n, 3.0f));
+    ThreadPool pool(4);
+    std::vector<PointIdx> order = identityOrder(n);
+    part::detail::medianSplit(order, flat, 0, n, 0, &pool);
+    EXPECT_EQ(order, identityOrder(n));
+}
+
+TEST(SplitRangeParallel, MedianSplitSurvivesHugeCoordinateRange)
+{
+    // A slice spanning more than FLT_MAX: the naive extrema midpoint
+    // minv + (maxv - minv) * 0.5f overflows to inf, which would send
+    // every element one way and hang the quickselect.
+    const std::uint32_t n = part::detail::kSplitParallelCutoff + 64;
+    Pcg32 rng(11);
+    std::vector<float> xs(n);
+    for (auto &x : xs)
+        // Scale after drawing: uniform(-3e38, 3e38) itself would
+        // overflow in its hi - lo span computation.
+        x = rng.uniform(-1.0f, 1.0f) * 3e38f;
+    const data::PointCloud cloud = cloudFromX(xs);
+    const std::uint32_t median = n / 2;
+
+    ThreadPool pool(4);
+    std::vector<PointIdx> order = identityOrder(n);
+    part::detail::medianSplit(order, cloud, 0, n, 0, &pool);
+
+    std::vector<float> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(cloud[order[median]][0], sorted[median]);
+    for (std::uint32_t pos = 0; pos < median; ++pos)
+        EXPECT_LE(cloud[order[pos]][0], cloud[order[median]][0]);
+    for (std::uint32_t pos = median; pos < n; ++pos)
+        EXPECT_GE(cloud[order[pos]][0], cloud[order[median]][0]);
 }
 
 TEST(ParallelDeterminism, RunBatchMatchesSequentialPipelines)

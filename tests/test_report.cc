@@ -14,8 +14,11 @@ RunReport
 makeReport()
 {
     RunReport r;
-    r.accelerator = "test";
-    r.model = "m";
+    // std::string temporaries (move-assigned) rather than const char*
+    // assignment: gcc 12's inliner flags the char_traits copy of a
+    // short literal with a bogus -Wrestrict, which -Werror promotes.
+    r.accelerator = std::string("test");
+    r.model = std::string("m");
     r.num_points = 10;
     r.freq_ghz = 1.0;
     r.addCycles(Phase::Sample, 1'000'000);
