@@ -10,9 +10,11 @@
  *   5. estimate latency/energy on the FractalCloud accelerator,
  *   6. process a batch of clouds over one shared thread pool,
  *   7. serve clouds asynchronously with submit/poll, deadlines, and
- *      the work-conserving scheduler, and
+ *      the work-conserving scheduler,
  *   8. run threaded end-to-end network inference, bit-identical to
- *      the sequential path.
+ *      the sequential path, and
+ *   9. reach the allocation-free steady state: warm workspace
+ *      inference that never touches the heap allocator.
  *
  * Build & run:  ./build/quickstart
  */
@@ -199,5 +201,35 @@ main()
                 static_cast<double>(threaded.total_macs) / 1e6,
                 infer_ms.count(),
                 identical ? "bit-identical" : "DIVERGED (bug!)");
+
+    // 9. The allocation-free steady state. Every FractalCloudPipeline
+    // owns a core::Workspace (one arena for transient scratch plus
+    // named slots for per-stage buffers); the out-parameter infer()
+    // overload draws every intermediate from it and rewrites `result`
+    // reusing its capacity. The first call grows the workspace to the
+    // request's shape; the second and later same-shape calls perform
+    // ZERO heap allocations on the sequential executor
+    // (tests/test_workspace.cc proves it with an operator-new hook,
+    // and bench_memory_churn reports allocs/request cold vs warm).
+    //
+    // Serving: fc::serve::AsyncPipeline keeps a free-list pool of
+    // workspaces checked out per ticket, so repeated requests of the
+    // same shape reuse warm memory. The pool never exceeds the
+    // serving thread count — size num_threads to bound steady-state
+    // memory at (threads x largest-shape footprint). Growth happens
+    // only on first-seen larger shapes; results are byte-identical
+    // warm or cold.
+    nn::InferenceResult reused;
+    pipeline.infer(network, reused); // cold: grows the workspace
+    const auto warm_start = std::chrono::steady_clock::now();
+    pipeline.infer(network, reused); // warm: zero heap allocations
+    const std::chrono::duration<double, std::milli> warm_ms =
+        std::chrono::steady_clock::now() - warm_start;
+    const bool reuse_identical =
+        reused.point_features.data() == threaded.point_features.data();
+    std::printf("workspace reuse: warm infer %.2f ms (cold %.2f ms), "
+                "results %s\n",
+                warm_ms.count(), infer_ms.count(),
+                reuse_identical ? "bit-identical" : "DIVERGED (bug!)");
     return 0;
 }

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Counting replacements for the global allocation operators.
+ *
+ * Including this header REPLACES the program's global operator
+ * new/delete family (all of it: array, sized, aligned, and nothrow
+ * forms) with malloc/posix_memalign-backed versions that bump one
+ * atomic counter, read via fc::heapAllocCount(). The workspace
+ * steady-state test (tests/test_workspace.cc) and the memory-churn
+ * bench (bench/bench_memory_churn.cc) both measure allocation deltas
+ * with it; keeping the hook in one header keeps their counting rules
+ * from drifting (e.g. an allocation moving onto the aligned path
+ * must be seen by both binaries).
+ *
+ * Include from exactly ONE translation unit per binary — the
+ * definitions are deliberately non-inline so a second inclusion
+ * fails the link instead of silently double-counting. Never include
+ * from library code.
+ */
+
+#ifndef FC_COMMON_ALLOC_HOOK_H
+#define FC_COMMON_ALLOC_HOOK_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace fc {
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_heap_allocs{0};
+} // namespace detail
+
+/** Allocations observed so far (monotonic; read deltas). */
+inline std::uint64_t
+heapAllocCount()
+{
+    return detail::g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+inline void *
+countedAlloc(std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size == 0 ? 1 : size);
+}
+
+inline void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    void *p = nullptr;
+    if (posix_memalign(&p,
+                       align < sizeof(void *) ? sizeof(void *) : align,
+                       size == 0 ? align : size) != 0)
+        return nullptr;
+    return p;
+}
+
+} // namespace detail
+} // namespace fc
+
+// The replaced operators pair malloc/posix_memalign with free by
+// construction; the compiler cannot see that pairing across the
+// replacement boundary and would flag free() on new'ed pointers.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void *
+operator new(std::size_t size)
+{
+    void *p = fc::detail::countedAlloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    void *p = fc::detail::countedAlloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return fc::detail::countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return fc::detail::countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p = fc::detail::countedAlignedAlloc(
+        size, static_cast<std::size_t>(align));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    void *p = fc::detail::countedAlignedAlloc(
+        size, static_cast<std::size_t>(align));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+#pragma GCC diagnostic pop
+
+#endif // FC_COMMON_ALLOC_HOOK_H

@@ -190,22 +190,13 @@ TaskGroup::wait()
 }
 
 void
-parallelFor(ThreadPool *pool, std::size_t begin, std::size_t end,
-            std::size_t grain,
-            const std::function<void(std::size_t, std::size_t)> &fn)
+parallelForImpl(ThreadPool *pool, std::size_t begin, std::size_t end,
+                std::size_t grain,
+                const std::function<void(std::size_t, std::size_t)> &fn)
 {
-    if (begin >= end)
-        return;
-    const std::size_t g = std::max<std::size_t>(1, grain);
-    if (pool == nullptr || pool->numThreads() <= 1 ||
-        end - begin <= g) {
-        for (std::size_t cb = begin; cb < end; cb += g)
-            fn(cb, std::min(cb + g, end));
-        return;
-    }
     TaskGroup group(pool);
-    for (std::size_t cb = begin; cb < end; cb += g) {
-        const std::size_t ce = std::min(cb + g, end);
+    for (std::size_t cb = begin; cb < end; cb += grain) {
+        const std::size_t ce = std::min(cb + grain, end);
         group.run([&fn, cb, ce] { fn(cb, ce); });
     }
     group.wait();

@@ -133,6 +133,11 @@ class TaskGroup
     std::exception_ptr exception_;
 };
 
+/** Pooled body of parallelFor (chunks become TaskGroup tasks). */
+void parallelForImpl(ThreadPool *pool, std::size_t begin,
+                     std::size_t end, std::size_t grain,
+                     const std::function<void(std::size_t, std::size_t)> &fn);
+
 /**
  * Chunked parallel loop over [begin, end).
  *
@@ -141,11 +146,27 @@ class TaskGroup
  * boundaries are a pure function of the range and grain, so writing
  * per-index or per-chunk slots yields identical memory at any thread
  * count. With a null or single-thread pool the chunks run inline in
- * ascending order — the exact sequential path.
+ * ascending order — the exact sequential path, which (being a
+ * template) also performs zero heap allocations: no std::function is
+ * materialized, so the allocation-free steady state of the workspace
+ * layer (core/workspace.h) holds through every inline loop.
  */
-void parallelFor(ThreadPool *pool, std::size_t begin, std::size_t end,
-                 std::size_t grain,
-                 const std::function<void(std::size_t, std::size_t)> &fn);
+template <typename Fn>
+void
+parallelFor(ThreadPool *pool, std::size_t begin, std::size_t end,
+            std::size_t grain, Fn &&fn)
+{
+    if (begin >= end)
+        return;
+    const std::size_t g = std::max<std::size_t>(1, grain);
+    if (pool == nullptr || pool->numThreads() <= 1 ||
+        end - begin <= g) {
+        for (std::size_t cb = begin; cb < end; cb += g)
+            fn(cb, std::min(cb + g, end));
+        return;
+    }
+    parallelForImpl(pool, begin, end, g, fn);
+}
 
 /**
  * Grain (chunk length) targeting roughly @p target_ops scalar
@@ -183,6 +204,14 @@ parallelReduce(ThreadPool *pool, std::size_t begin, std::size_t end,
     if (begin >= end)
         return init;
     const std::size_t g = std::max<std::size_t>(1, grain);
+    if (pool == nullptr || pool->numThreads() <= 1) {
+        // Sequential fast path: same chunk boundaries and fold order,
+        // but no per-chunk staging vector — the inline loops of the
+        // allocation-free steady state never touch the heap.
+        for (std::size_t cb = begin; cb < end; cb += g)
+            fold_fn(init, chunk_fn(cb, std::min(cb + g, end)));
+        return init;
+    }
     const std::size_t num_chunks = (end - begin + g - 1) / g;
     std::vector<T> partial(num_chunks);
     parallelFor(pool, begin, end, g,

@@ -75,8 +75,9 @@ FractalCloudPipeline::interpolate(
                                  pool_.get());
 }
 
-nn::InferenceResult
-FractalCloudPipeline::infer(const nn::Network &network) const
+void
+FractalCloudPipeline::infer(const nn::Network &network,
+                            nn::InferenceResult &out) const
 {
     nn::BackendOptions backend;
     backend.method = options_.method;
@@ -86,7 +87,17 @@ FractalCloudPipeline::infer(const nn::Network &network) const
     // partition built at construction is reused for SA stage 0.
     backend.pool = pool_.get();
     backend.root_partition = &partition_;
-    return network.run(cloud_, backend);
+    std::lock_guard<std::mutex> lock(infer_state_->mutex);
+    infer_state_->workspace.reset();
+    network.run(cloud_, backend, infer_state_->workspace, out);
+}
+
+nn::InferenceResult
+FractalCloudPipeline::infer(const nn::Network &network) const
+{
+    nn::InferenceResult out;
+    infer(network, out);
+    return out;
 }
 
 accel::RunReport

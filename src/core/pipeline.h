@@ -29,11 +29,13 @@
 #define FC_CORE_PIPELINE_H
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "accel/accelerator.h"
 #include "core/parallel.h"
+#include "core/workspace.h"
 #include "dataset/point_cloud.h"
 #include "nn/network.h"
 #include "ops/fps.h"
@@ -147,8 +149,25 @@ class FractalCloudPipeline
      * The pipeline's pool drives every stage of the network (see
      * nn::BackendOptions::pool); results are bit-identical at any
      * num_threads setting.
+     *
+     * Intermediates come from the pipeline-owned workspace, so
+     * repeated inference reuses warm buffers; only the returned
+     * result is freshly allocated. For the fully allocation-free
+     * steady state, use the out-parameter overload below.
      */
     nn::InferenceResult infer(const nn::Network &network) const;
+
+    /**
+     * Allocation-free steady-state inference: intermediates come
+     * from the pipeline-owned workspace and @p out is rewritten
+     * reusing its capacity. The second and later calls with the same
+     * network perform zero heap allocations when num_threads == 1
+     * (pooled dispatch allocates task closures only). Results are
+     * bit-identical to infer(network) — warm or cold, at any thread
+     * count. Thread-safe via an internal mutex (calls serialize).
+     */
+    void infer(const nn::Network &network,
+               nn::InferenceResult &out) const;
 
     /**
      * Estimate latency/energy of one inference on the FractalCloud
@@ -179,6 +198,17 @@ class FractalCloudPipeline
     PipelineOptions options_;
     std::shared_ptr<core::ThreadPool> pool_;
     part::PartitionResult partition_;
+
+    /** Inference workspace + its guard, shared by copies of the
+     *  pipeline (a shared_ptr keeps the pipeline copyable; the mutex
+     *  serializes concurrent infer() calls). */
+    struct InferState
+    {
+        std::mutex mutex;
+        core::Workspace workspace;
+    };
+    std::shared_ptr<InferState> infer_state_ =
+        std::make_shared<InferState>();
 };
 
 } // namespace fc

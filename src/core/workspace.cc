@@ -1,0 +1,94 @@
+#include "core/workspace.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace fc::core {
+
+namespace {
+
+/** First chunk size; later chunks double the total at minimum. */
+constexpr std::size_t kMinChunkBytes = 64 * 1024;
+
+std::size_t
+roundUp(std::size_t bytes, std::size_t align)
+{
+    return (bytes + align - 1) / align * align;
+}
+
+} // namespace
+
+void *
+Arena::allocate(std::size_t bytes)
+{
+    static std::byte dummy alignas(kAlignment);
+    if (bytes == 0)
+        return &dummy;
+    const std::size_t need = roundUp(bytes, kAlignment);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    used_ += need;
+    // Advance through retained chunks first (a warm request replays
+    // into the footprint its cold run established); grow only when
+    // every retained chunk is exhausted.
+    while (active_ < chunks_.size() &&
+           chunks_[active_].capacity - offset_ < need) {
+        ++active_;
+        offset_ = 0;
+    }
+    if (active_ == chunks_.size()) {
+        std::size_t reserved = 0;
+        for (const Chunk &c : chunks_)
+            reserved += c.capacity;
+        const std::size_t capacity =
+            std::max({need, reserved, kMinChunkBytes});
+        Chunk chunk;
+        chunk.storage =
+            std::make_unique<std::byte[]>(capacity + kAlignment);
+        const auto base =
+            reinterpret_cast<std::uintptr_t>(chunk.storage.get());
+        chunk.data = chunk.storage.get() +
+                     (roundUp(base, kAlignment) - base);
+        chunk.capacity = capacity;
+        chunks_.push_back(std::move(chunk));
+        offset_ = 0;
+    }
+    void *out = chunks_[active_].data + offset_;
+    offset_ += need;
+    return out;
+}
+
+void
+Arena::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_ = 0;
+    offset_ = 0;
+    used_ = 0;
+}
+
+std::size_t
+Arena::bytesReserved() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const Chunk &c : chunks_)
+        total += c.capacity;
+    return total;
+}
+
+std::size_t
+Arena::bytesUsed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return used_;
+}
+
+std::size_t
+Arena::chunkCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return chunks_.size();
+}
+
+} // namespace fc::core

@@ -50,30 +50,42 @@ PointCloud::permuted(const std::vector<PointIdx> &order) const
     return out;
 }
 
+void
+PointCloud::subsetInto(const std::vector<PointIdx> &indices,
+                       PointCloud &out) const
+{
+    fc_assert(&out != this, "subsetInto cannot run in place");
+    out.coords_.resize(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const PointIdx idx = indices[i];
+        fc_assert(idx < coords_.size(), "subset index %u out of range",
+                  idx);
+        out.coords_[i] = coords_[idx];
+    }
+    out.featureDim_ = featureDim_;
+    out.features_.resize(indices.size() * featureDim_);
+    if (featureDim_ > 0) {
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+            const float *src =
+                features_.data() + indices[i] * featureDim_;
+            std::copy(src, src + featureDim_,
+                      out.features_.data() + i * featureDim_);
+        }
+    }
+    if (!labels_.empty()) {
+        out.labels_.resize(indices.size());
+        for (std::size_t i = 0; i < indices.size(); ++i)
+            out.labels_[i] = labels_[indices[i]];
+    } else {
+        out.labels_.clear();
+    }
+}
+
 PointCloud
 PointCloud::subset(const std::vector<PointIdx> &indices) const
 {
     PointCloud out;
-    out.coords_.reserve(indices.size());
-    for (PointIdx idx : indices) {
-        fc_assert(idx < coords_.size(), "subset index %u out of range",
-                  idx);
-        out.coords_.push_back(coords_[idx]);
-    }
-    if (featureDim_ > 0) {
-        out.featureDim_ = featureDim_;
-        out.features_.reserve(indices.size() * featureDim_);
-        for (PointIdx idx : indices) {
-            const float *src = features_.data() + idx * featureDim_;
-            out.features_.insert(out.features_.end(), src,
-                                 src + featureDim_);
-        }
-    }
-    if (!labels_.empty()) {
-        out.labels_.reserve(indices.size());
-        for (PointIdx idx : indices)
-            out.labels_.push_back(labels_[idx]);
-    }
+    subsetInto(indices, out);
     return out;
 }
 

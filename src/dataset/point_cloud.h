@@ -96,6 +96,12 @@ class PointCloud
     /** Subset selection; indices may repeat. */
     PointCloud subset(const std::vector<PointIdx> &indices) const;
 
+    /** In-place subset selection: @p out is rewritten reusing its
+     *  capacity (the allocation-free steady-state path). @p out must
+     *  not alias this cloud. */
+    void subsetInto(const std::vector<PointIdx> &indices,
+                    PointCloud &out) const;
+
     /**
      * Normalize coordinates to fit the unit sphere centred at the
      * origin (standard ModelNet preprocessing).

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "core/parallel.h"
+#include "core/workspace.h"
 
 namespace fc::nn {
 
@@ -25,12 +26,14 @@ LinearRelu::LinearRelu(std::size_t in, std::size_t out,
     weights_.quantizeFp16();
 }
 
-Tensor
-LinearRelu::forward(const Tensor &x, core::ThreadPool *pool) const
+void
+LinearRelu::forward(const Tensor &x, core::ThreadPool *pool,
+                    Tensor &y) const
 {
     fc_assert(x.cols() == in_, "layer expects %zu channels, got %zu",
               in_, x.cols());
-    Tensor y(x.rows(), out_);
+    fc_assert(&x != &y, "LinearRelu::forward cannot run in place");
+    y.resize(x.rows(), out_);
     // Each row owns its output slice; the grain is a pure function of
     // the layer shape, so chunking never affects the arithmetic.
     core::parallelFor(
@@ -52,6 +55,13 @@ LinearRelu::forward(const Tensor &x, core::ThreadPool *pool) const
                 }
             }
         });
+}
+
+Tensor
+LinearRelu::forward(const Tensor &x, core::ThreadPool *pool) const
+{
+    Tensor y;
+    forward(x, pool, y);
     return y;
 }
 
@@ -71,6 +81,26 @@ Mlp::forward(const Tensor &x, core::ThreadPool *pool) const
     for (std::size_t i = 1; i < layers_.size(); ++i)
         cur = layers_[i].forward(cur, pool);
     return cur;
+}
+
+void
+Mlp::forward(const Tensor &x, core::ThreadPool *pool,
+             core::Workspace &ws, Tensor &out) const
+{
+    fc_assert(!layers_.empty(), "forward through empty MLP");
+    if (layers_.size() == 1) {
+        layers_.front().forward(x, pool, out);
+        return;
+    }
+    Tensor &ping = ws.slot<Tensor>("mlp.ping");
+    Tensor &pong = ws.slot<Tensor>("mlp.pong");
+    const Tensor *cur = &x;
+    for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+        Tensor &dst = (i % 2 == 0) ? ping : pong;
+        layers_[i].forward(*cur, pool, dst);
+        cur = &dst;
+    }
+    layers_.back().forward(*cur, pool, out);
 }
 
 std::size_t
@@ -96,16 +126,17 @@ Mlp::macs(std::uint64_t rows) const
     return total;
 }
 
-Tensor
+void
 maxPoolGroups(const Tensor &x, std::size_t group_size,
-              core::ThreadPool *pool)
+              core::ThreadPool *pool, Tensor &y)
 {
     fc_assert(group_size > 0, "group size must be positive");
     fc_assert(x.rows() % group_size == 0,
               "rows %zu not a multiple of group size %zu", x.rows(),
               group_size);
+    fc_assert(&x != &y, "maxPoolGroups cannot run in place");
     const std::size_t groups = x.rows() / group_size;
-    Tensor y(groups, x.cols());
+    y.resize(groups, x.cols());
     core::parallelFor(
         pool, 0, groups, core::costGrain(group_size * x.cols()),
         [&](std::size_t gb, std::size_t ge) {
@@ -120,14 +151,23 @@ maxPoolGroups(const Tensor &x, std::size_t group_size,
                 }
             }
         });
-    return y;
 }
 
 Tensor
-globalMaxPool(const Tensor &x)
+maxPoolGroups(const Tensor &x, std::size_t group_size,
+              core::ThreadPool *pool)
+{
+    Tensor y;
+    maxPoolGroups(x, group_size, pool, y);
+    return y;
+}
+
+void
+globalMaxPool(const Tensor &x, Tensor &y)
 {
     fc_assert(x.rows() > 0, "global pool over empty tensor");
-    Tensor y(1, x.cols());
+    fc_assert(&x != &y, "globalMaxPool cannot run in place");
+    y.resize(1, x.cols());
     auto out = y.row(0);
     for (std::size_t c = 0; c < x.cols(); ++c)
         out[c] = x.at(0, c);
@@ -136,6 +176,13 @@ globalMaxPool(const Tensor &x)
         for (std::size_t c = 0; c < x.cols(); ++c)
             out[c] = std::max(out[c], in[c]);
     }
+}
+
+Tensor
+globalMaxPool(const Tensor &x)
+{
+    Tensor y;
+    globalMaxPool(x, y);
     return y;
 }
 

@@ -20,6 +20,7 @@
 
 namespace fc::core {
 class ThreadPool;
+class Workspace;
 }
 
 namespace fc::nn {
@@ -45,6 +46,12 @@ class LinearRelu
      */
     Tensor forward(const Tensor &x,
                    core::ThreadPool *pool = nullptr) const;
+
+    /** In-place overload: @p out is reshaped reusing its capacity
+     *  (the allocation-free steady-state path). @p out must not
+     *  alias @p x. */
+    void forward(const Tensor &x, core::ThreadPool *pool,
+                 Tensor &out) const;
 
     std::size_t inDim() const { return in_; }
     std::size_t outDim() const { return out_; }
@@ -80,6 +87,17 @@ class Mlp
     Tensor forward(const Tensor &x,
                    core::ThreadPool *pool = nullptr) const;
 
+    /**
+     * In-place overload: inter-layer activations ping-pong between
+     * two tensor slots of @p ws ("mlp.ping"/"mlp.pong" — shared by
+     * every Mlp drawing from the workspace, sized to the largest
+     * layer seen), and @p out is reshaped reusing its capacity.
+     * @p x and @p out must not be those slots (network code passes
+     * its own stage slots).
+     */
+    void forward(const Tensor &x, core::ThreadPool *pool,
+                 core::Workspace &ws, Tensor &out) const;
+
     std::size_t inDim() const;
     std::size_t outDim() const;
 
@@ -101,8 +119,15 @@ class Mlp
 Tensor maxPoolGroups(const Tensor &x, std::size_t group_size,
                      core::ThreadPool *pool = nullptr);
 
+/** In-place overload of maxPoolGroups (capacity-reusing @p out). */
+void maxPoolGroups(const Tensor &x, std::size_t group_size,
+                   core::ThreadPool *pool, Tensor &out);
+
 /** Column-wise max over all rows: [n x c] -> [1 x c]. */
 Tensor globalMaxPool(const Tensor &x);
+
+/** In-place overload of globalMaxPool (capacity-reusing @p out). */
+void globalMaxPool(const Tensor &x, Tensor &out);
 
 } // namespace fc::nn
 

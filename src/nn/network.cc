@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <span>
 
 #include "common/logging.h"
 #include "core/parallel.h"
+#include "core/workspace.h"
 #include "ops/gather.h"
 #include "ops/interpolate.h"
 #include "ops/neighbor.h"
@@ -13,7 +16,11 @@ namespace fc::nn {
 
 namespace {
 
-/** Features of one abstraction level. */
+/**
+ * Features of one abstraction level. Levels live in a workspace slot
+ * and are assigned into (never reconstructed), so their cloud/tensor
+ * buffers stay warm across same-shape runs.
+ */
 struct Level
 {
     data::PointCloud cloud;                ///< coordinates at this level
@@ -21,55 +28,58 @@ struct Level
     std::vector<PointIdx> parent_indices;  ///< into the previous level
 };
 
-/** Copy a gather result into a tensor [centers*k x channels]. */
-Tensor
-gatherToTensor(const ops::GatherResult &gathered)
-{
-    Tensor t(gathered.num_centers * gathered.k, gathered.channels,
-             gathered.values);
-    return t;
-}
-
 } // namespace
 
-ops::BlockSampleResult
+void
 makeBlockSample(const part::BlockTree &tree,
-                const std::vector<PointIdx> &indices)
+                const std::vector<PointIdx> &indices,
+                core::Workspace &ws, ops::BlockSampleResult &out)
 {
-    ops::BlockSampleResult result;
+    out.stats = {};
+    core::Arena &arena = ws.arena();
 
-    std::vector<std::uint32_t> inverse(tree.order().size());
+    std::span<std::uint32_t> inverse =
+        arena.allocSpan<std::uint32_t>(tree.order().size());
     for (std::uint32_t pos = 0;
          pos < static_cast<std::uint32_t>(tree.order().size()); ++pos)
         inverse[tree.order()[pos]] = pos;
 
     // Sort samples by DFT position: leaves are contiguous ranges, so
     // the sorted list is automatically grouped by leaf.
-    std::vector<std::uint32_t> positions;
-    positions.reserve(indices.size());
-    for (const PointIdx idx : indices)
-        positions.push_back(inverse[idx]);
+    std::span<std::uint32_t> positions =
+        arena.allocSpan<std::uint32_t>(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        positions[i] = inverse[indices[i]];
     std::sort(positions.begin(), positions.end());
 
-    result.positions = positions;
-    result.indices.reserve(positions.size());
-    for (const std::uint32_t pos : positions)
-        result.indices.push_back(tree.order()[pos]);
+    out.positions.assign(positions.begin(), positions.end());
+    out.indices.resize(positions.size());
+    for (std::size_t i = 0; i < positions.size(); ++i)
+        out.indices[i] = tree.order()[positions[i]];
 
     // Leaf offsets via a scan over leaves.
     const auto &leaves = tree.leaves();
-    result.leaf_offsets.reserve(leaves.size() + 1);
+    out.leaf_offsets.clear();
+    out.leaf_offsets.reserve(leaves.size() + 1);
     std::size_t cursor = 0;
-    result.leaf_offsets.push_back(0);
+    out.leaf_offsets.push_back(0);
     for (const part::NodeIdx leaf : leaves) {
         const part::BlockNode &node = tree.node(leaf);
         while (cursor < positions.size() &&
                positions[cursor] < node.end)
             ++cursor;
-        result.leaf_offsets.push_back(
-            static_cast<std::uint32_t>(cursor));
+        out.leaf_offsets.push_back(static_cast<std::uint32_t>(cursor));
     }
-    return result;
+}
+
+ops::BlockSampleResult
+makeBlockSample(const part::BlockTree &tree,
+                const std::vector<PointIdx> &indices)
+{
+    core::Workspace ws;
+    ops::BlockSampleResult out;
+    makeBlockSample(tree, indices, ws, out);
+    return out;
 }
 
 Network::Network(ModelConfig config, std::uint64_t seed)
@@ -131,27 +141,34 @@ Network::outputDim() const
     return config_.sa.back().mlp.back();
 }
 
-InferenceResult
+void
 Network::run(const data::PointCloud &cloud,
-             const BackendOptions &backend) const
+             const BackendOptions &backend, core::Workspace &ws,
+             InferenceResult &out) const
 {
     fc_assert(!cloud.empty(), "inference over empty cloud");
-    InferenceResult result;
+    out.op_stats = {};
+    out.partition_stats = {};
+    out.total_macs = 0;
 
     core::ThreadPool *pool = backend.pool;
     const bool use_blocks = backend.anyBlockOp();
-    std::unique_ptr<part::Partitioner> partitioner;
-    if (use_blocks)
-        partitioner = part::makePartitioner(backend.method);
+    part::PartitionerCache &pcache =
+        ws.slot<part::PartitionerCache>("nn.pcache");
     part::PartitionConfig pconfig;
     pconfig.threshold = backend.threshold;
 
     // ---- Abstraction stages -------------------------------------------
-    std::vector<Level> levels;
+    // Levels and per-level partitions persist in workspace slots and
+    // are assigned into: a same-shape run resizes within warm
+    // capacity and never allocates.
+    std::vector<Level> &levels = ws.slot<std::vector<Level>>("nn.levels");
+    levels.resize(config_.sa.size() + 1);
     {
-        Level base;
+        Level &base = levels[0];
         base.cloud = cloud;
-        base.features = Tensor(cloud.size(), 3 + config_.input_channels);
+        base.features.resize(cloud.size(), 3 + config_.input_channels);
+        base.parent_indices.clear();
         core::parallelFor(
             pool, 0, cloud.size(),
             core::costGrain(3 + config_.input_channels),
@@ -166,16 +183,31 @@ Network::run(const data::PointCloud &cloud,
                         row[3 + c] = cloud.featureRow(i)[c];
                 }
             });
-        base.features.quantizeFp16();
-        levels.push_back(std::move(base));
+        base.features.quantizeFp16(pool);
     }
 
     // Per-level partitions, kept for the propagation pass.
-    std::vector<part::PartitionResult> partitions(config_.sa.size());
+    std::vector<part::PartitionResult> &partitions =
+        ws.slot<std::vector<part::PartitionResult>>("nn.parts");
+    partitions.resize(config_.sa.size());
+
+    ops::BlockSampleResult &block_sampled =
+        ws.slot<ops::BlockSampleResult>("nn.bs");
+    std::vector<PointIdx> &sampled =
+        ws.slot<std::vector<PointIdx>>("nn.sampled");
+    ops::SampleResult &global_sampled =
+        ws.slot<ops::SampleResult>("nn.gs");
+    ops::NeighborResult &neighbors =
+        ws.slot<ops::NeighborResult>("nn.nbr");
+    data::PointCloud &feat_cloud =
+        ws.slot<data::PointCloud>("nn.fcloud");
+    ops::GatherResult &gathered = ws.slot<ops::GatherResult>("nn.gath");
+    Tensor &grouped = ws.slot<Tensor>("nn.grouped");
+    Tensor &transformed = ws.slot<Tensor>("nn.trans");
 
     for (std::size_t si = 0; si < config_.sa.size(); ++si) {
         const SaStageConfig &stage = config_.sa[si];
-        Level &cur = levels.back();
+        Level &cur = levels[si];
         const std::size_t n = cur.cloud.size();
         const std::size_t num_samples = std::max<std::size_t>(
             1, static_cast<std::size_t>(
@@ -198,127 +230,140 @@ Network::run(const data::PointCloud &cloud,
                 precomputed->tree.order().size() == n) {
                 partitions[si] = *precomputed;
             } else {
-                partitions[si] =
-                    partitioner->partition(cur.cloud, pconfig, pool);
+                pcache.get(backend.method)
+                    .partitionInto(cur.cloud, pconfig, pool, ws,
+                                   partitions[si]);
             }
-            result.partition_stats.elements_traversed +=
+            out.partition_stats.elements_traversed +=
                 partitions[si].stats.elements_traversed;
-            result.partition_stats.num_sorts +=
+            out.partition_stats.num_sorts +=
                 partitions[si].stats.num_sorts;
-            result.partition_stats.sort_compares +=
+            out.partition_stats.sort_compares +=
                 partitions[si].stats.sort_compares;
-            result.partition_stats.traversal_passes +=
+            out.partition_stats.traversal_passes +=
                 partitions[si].stats.traversal_passes;
-            result.partition_stats.num_splits +=
+            out.partition_stats.num_splits +=
                 partitions[si].stats.num_splits;
         }
 
         // --- Sampling ---------------------------------------------------
-        std::vector<PointIdx> sampled;
-        ops::BlockSampleResult block_sampled;
+        bool have_block_sampled = false;
         if (use_blocks && backend.block_sampling) {
             ops::FpsOptions fps;
             fps.fixed_count_per_block =
                 backend.fixed_count_sampling ||
                 backend.method == part::Method::Uniform;
-            block_sampled = ops::blockFarthestPointSample(
-                cur.cloud, partitions[si].tree, stage.sample_rate,
-                fps, pool);
+            ops::blockFarthestPointSample(cur.cloud,
+                                          partitions[si].tree,
+                                          stage.sample_rate, fps, pool,
+                                          ws, block_sampled);
+            have_block_sampled = true;
             sampled = block_sampled.indices;
-            result.op_stats += block_sampled.stats;
+            out.op_stats += block_sampled.stats;
         } else {
-            ops::SampleResult s =
-                ops::farthestPointSample(cur.cloud, num_samples);
-            sampled = std::move(s.indices);
-            result.op_stats += s.stats;
+            ops::farthestPointSample(cur.cloud, num_samples, {}, pool,
+                                     ws, global_sampled);
+            sampled = global_sampled.indices;
+            out.op_stats += global_sampled.stats;
             if (use_blocks && backend.block_grouping) {
-                block_sampled =
-                    makeBlockSample(partitions[si].tree, sampled);
+                makeBlockSample(partitions[si].tree, sampled, ws,
+                                block_sampled);
+                have_block_sampled = true;
                 sampled = block_sampled.indices;
             }
         }
 
         // --- Grouping (ball query) ---------------------------------------
-        ops::NeighborResult neighbors;
         if (use_blocks && backend.block_grouping) {
-            if (block_sampled.indices.empty())
-                block_sampled =
-                    makeBlockSample(partitions[si].tree, sampled);
-            neighbors = ops::blockBallQuery(
-                cur.cloud, partitions[si].tree, block_sampled,
-                stage.radius, stage.k, pool);
+            if (!have_block_sampled || block_sampled.indices.empty())
+                makeBlockSample(partitions[si].tree, sampled, ws,
+                                block_sampled);
+            ops::blockBallQuery(cur.cloud, partitions[si].tree,
+                                block_sampled, stage.radius, stage.k,
+                                pool, ws, neighbors);
         } else {
-            neighbors = ops::ballQuery(cur.cloud, sampled, stage.radius,
-                                       stage.k);
+            ops::ballQuery(cur.cloud, sampled, stage.radius, stage.k,
+                           pool, ws, neighbors);
         }
-        result.op_stats += neighbors.stats;
+        out.op_stats += neighbors.stats;
 
         // --- Gathering ----------------------------------------------------
         // Attach current features to the cloud for gathering.
-        data::PointCloud feat_cloud = cur.cloud;
+        feat_cloud = cur.cloud;
         feat_cloud.allocateFeatures(cur.features.cols());
         std::copy(cur.features.data().begin(),
                   cur.features.data().end(),
                   feat_cloud.features().begin());
 
-        ops::GatherResult gathered;
         if (use_blocks && backend.block_grouping) {
-            gathered = ops::blockGatherNeighborhoods(
+            ops::blockGatherNeighborhoods(
                 feat_cloud, partitions[si].tree, sampled,
-                block_sampled.leaf_offsets, neighbors, pool);
+                block_sampled.leaf_offsets, neighbors, pool, ws,
+                gathered);
         } else {
-            gathered =
-                ops::gatherNeighborhoods(feat_cloud, sampled, neighbors);
+            ops::gatherNeighborhoods(feat_cloud, sampled, neighbors,
+                                     ws, gathered);
         }
-        result.op_stats += gathered.stats;
+        out.op_stats += gathered.stats;
 
         // --- Feature computation: MLP + max pool -------------------------
-        Tensor grouped = gatherToTensor(gathered);
-        grouped.quantizeFp16();
-        Tensor transformed = saMlps_[si].forward(grouped, pool);
-        result.total_macs += saMlps_[si].macs(grouped.rows());
-        Tensor pooled = maxPoolGroups(transformed, stage.k, pool);
+        grouped.resize(gathered.num_centers * gathered.k,
+                       gathered.channels);
+        std::copy(gathered.values.begin(), gathered.values.end(),
+                  grouped.data().begin());
+        grouped.quantizeFp16(pool);
+        saMlps_[si].forward(grouped, pool, ws, transformed);
+        out.total_macs += saMlps_[si].macs(grouped.rows());
 
-        Level next;
-        next.cloud = cur.cloud.subset(sampled);
-        next.features = std::move(pooled);
-        next.parent_indices = std::move(sampled);
-        levels.push_back(std::move(next));
+        Level &next = levels[si + 1];
+        maxPoolGroups(transformed, stage.k, pool, next.features);
+        cur.cloud.subsetInto(sampled, next.cloud);
+        next.parent_indices = sampled;
     }
 
     // ---- Readout -------------------------------------------------------
     if (!config_.isSegmentation()) {
-        Tensor pooled = globalMaxPool(levels.back().features);
+        Tensor &pooled = ws.slot<Tensor>("nn.pooled");
+        globalMaxPool(levels.back().features, pooled);
         if (!config_.head.empty()) {
-            result.embedding = headMlp_.forward(pooled, pool);
-            result.total_macs += headMlp_.macs(1);
+            headMlp_.forward(pooled, pool, ws, out.embedding);
+            out.total_macs += headMlp_.macs(1);
         } else {
-            result.embedding = std::move(pooled);
+            out.embedding = pooled;
         }
-        return result;
+        out.point_features.resize(0, 0);
+        return;
     }
 
     // ---- Propagation stages ---------------------------------------------
-    Tensor coarse = levels.back().features;
+    Tensor &coarse = ws.slot<Tensor>("nn.coarse");
+    coarse = levels.back().features;
+    ops::BlockSampleResult &known =
+        ws.slot<ops::BlockSampleResult>("nn.known");
+    std::vector<float> &known_feats =
+        ws.slot<std::vector<float>>("nn.kfeat");
+    ops::InterpolateResult &interp =
+        ws.slot<ops::InterpolateResult>("nn.interp");
+    Tensor &merged = ws.slot<Tensor>("nn.merged");
+
     for (std::size_t fi = 0; fi < config_.fp.size(); ++fi) {
         const std::size_t level_idx = config_.sa.size() - fi; // coarse
         const Level &coarse_level = levels[level_idx];
         const Level &fine_level = levels[level_idx - 1];
 
         // Interpolate coarse features onto the fine points.
-        ops::InterpolateResult interp;
         if (use_blocks && backend.block_interpolation) {
             const part::BlockTree &tree =
                 partitions[level_idx - 1].tree;
-            ops::BlockSampleResult known =
-                makeBlockSample(tree, coarse_level.parent_indices);
+            makeBlockSample(tree, coarse_level.parent_indices, ws,
+                            known);
             // Reorder the coarse feature rows to match the reordered
             // sample list.
-            std::vector<float> known_feats(known.indices.size() *
-                                           coarse.cols());
-            // Map parent index -> coarse feature row.
-            std::vector<std::int64_t> row_of(
-                fine_level.cloud.size(), -1);
+            known_feats.resize(known.indices.size() * coarse.cols());
+            // Map parent index -> coarse feature row (arena table).
+            std::span<std::int64_t> row_of =
+                ws.arena().allocSpan<std::int64_t>(
+                    fine_level.cloud.size(), std::int64_t{-1});
             for (std::size_t r = 0;
                  r < coarse_level.parent_indices.size(); ++r)
                 row_of[coarse_level.parent_indices[r]] =
@@ -340,50 +385,60 @@ Network::run(const data::PointCloud &cloud,
                             known_feats.begin() + i * coarse.cols());
                     }
                 });
-            interp = ops::blockInterpolate(fine_level.cloud, tree,
-                                           known, known_feats,
-                                           coarse.cols(), 3, pool);
+            ops::blockInterpolate(fine_level.cloud, tree, known,
+                                  known_feats, coarse.cols(), 3, pool,
+                                  ws, interp);
         } else {
-            interp = ops::globalInterpolate(
-                fine_level.cloud, coarse.data(), coarse.cols(),
-                coarse_level.parent_indices);
+            ops::globalInterpolate(fine_level.cloud, coarse.data(),
+                                   coarse.cols(),
+                                   coarse_level.parent_indices, 3, ws,
+                                   interp);
         }
-        result.op_stats += interp.stats;
+        out.op_stats += interp.stats;
 
         // Concat with the fine level's skip features and apply MLP.
         const std::size_t fine_c = fine_level.features.cols();
-        Tensor merged(fine_level.cloud.size(),
+        merged.resize(fine_level.cloud.size(),
                       coarse.cols() + fine_c);
         core::parallelFor(
             pool, 0, fine_level.cloud.size(),
             core::costGrain(coarse.cols() + fine_c),
             [&](std::size_t rb, std::size_t re) {
                 for (std::size_t i = rb; i < re; ++i) {
-                    auto out = merged.row(i);
+                    auto mrow = merged.row(i);
                     const float *src =
                         interp.values.data() + i * coarse.cols();
                     for (std::size_t c = 0; c < coarse.cols(); ++c)
-                        out[c] = src[c];
+                        mrow[c] = src[c];
                     const auto skip = fine_level.features.row(i);
                     for (std::size_t c = 0; c < fine_c; ++c)
-                        out[coarse.cols() + c] = skip[c];
+                        mrow[coarse.cols() + c] = skip[c];
                 }
             });
-        merged.quantizeFp16();
-        coarse = fpMlps_[fi].forward(merged, pool);
-        result.total_macs += fpMlps_[fi].macs(merged.rows());
+        merged.quantizeFp16(pool);
+        fpMlps_[fi].forward(merged, pool, ws, coarse);
+        out.total_macs += fpMlps_[fi].macs(merged.rows());
     }
 
     if (!config_.head.empty()) {
-        result.point_features = headMlp_.forward(coarse, pool);
-        result.total_macs += headMlp_.macs(coarse.rows());
+        headMlp_.forward(coarse, pool, ws, out.point_features);
+        out.total_macs += headMlp_.macs(coarse.rows());
     } else {
-        result.point_features = std::move(coarse);
+        out.point_features = coarse;
     }
     // Segmentation embedding: global pool of the point features (used
     // by scene-level diagnostics).
-    result.embedding = globalMaxPool(result.point_features);
-    return result;
+    globalMaxPool(out.point_features, out.embedding);
+}
+
+InferenceResult
+Network::run(const data::PointCloud &cloud,
+             const BackendOptions &backend) const
+{
+    core::Workspace ws;
+    InferenceResult out;
+    run(cloud, backend, ws, out);
+    return out;
 }
 
 } // namespace fc::nn

@@ -35,6 +35,7 @@
 
 namespace fc::core {
 class ThreadPool;
+class Workspace;
 }
 
 namespace fc::nn {
@@ -133,6 +134,23 @@ class Network
     InferenceResult run(const data::PointCloud &cloud,
                         const BackendOptions &backend = {}) const;
 
+    /**
+     * Workspace overload — the allocation-free steady-state path.
+     * Every intermediate (per-stage partitions, level clouds and
+     * feature tensors, gathered/grouped buffers, FP merge and
+     * reorder scratch, MLP ping-pong rows) lives in named slots of
+     * @p ws, and @p out is rewritten reusing its capacity. The
+     * second and later calls with a same-shape cloud perform zero
+     * heap allocations when running sequentially (pooled dispatch
+     * still allocates its task closures). Results are bit-identical
+     * to the value-returning form — which wraps this one — at any
+     * thread count and any warm/cold state. @p ws is used
+     * single-owner; call ws.reset() between requests.
+     */
+    void run(const data::PointCloud &cloud,
+             const BackendOptions &backend, core::Workspace &ws,
+             InferenceResult &out) const;
+
     const ModelConfig &config() const { return config_; }
 
     /** Output feature dimension of the embedding / point features. */
@@ -156,6 +174,13 @@ class Network
 ops::BlockSampleResult
 makeBlockSample(const part::BlockTree &tree,
                 const std::vector<PointIdx> &indices);
+
+/** Workspace overload: the inverse-permutation scratch comes from
+ *  @p ws's arena and @p out reuses its capacity. */
+void makeBlockSample(const part::BlockTree &tree,
+                     const std::vector<PointIdx> &indices,
+                     core::Workspace &ws,
+                     ops::BlockSampleResult &out);
 
 } // namespace fc::nn
 

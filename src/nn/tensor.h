@@ -16,6 +16,7 @@
 
 #include "common/fp16.h"
 #include "common/logging.h"
+#include "core/parallel.h"
 
 namespace fc::nn {
 
@@ -68,12 +69,37 @@ class Tensor
     const std::vector<float> &data() const { return data_; }
     std::vector<float> &data() { return data_; }
 
-    /** Round every element through binary16. */
+    /**
+     * Reshape in place to [rows x cols]. Capacity is reused (a
+     * same-or-smaller reshape never allocates), which is what lets
+     * workspace tensor slots serve repeated same-shape requests
+     * without touching the heap. Retained elements keep their old
+     * values (growth is zero-filled): every producer writes the full
+     * buffer, so a clearing pass would be one wasted serial sweep
+     * per stage on the steady-state path.
+     */
     void
-    quantizeFp16()
+    resize(std::size_t rows, std::size_t cols)
     {
-        for (float &v : data_)
-            v = fp16Round(v);
+        rows_ = rows;
+        cols_ = cols;
+        data_.resize(rows * cols);
+    }
+
+    /**
+     * Round every element through binary16. Elementwise, so the
+     * chunks dispatch over @p pool with bit-identical results at any
+     * thread count (null = the serial loop this always was).
+     */
+    void
+    quantizeFp16(core::ThreadPool *pool = nullptr)
+    {
+        float *values = data_.data();
+        core::parallelFor(pool, 0, data_.size(), core::costGrain(2),
+                          [values](std::size_t cb, std::size_t ce) {
+                              for (std::size_t i = cb; i < ce; ++i)
+                                  values[i] = fp16Round(values[i]);
+                          });
     }
 
   private:

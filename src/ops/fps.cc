@@ -3,71 +3,124 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <numeric>
+#include <span>
 
 #include "common/logging.h"
 #include "core/parallel.h"
+#include "core/workspace.h"
 
 namespace fc::ops {
 
 namespace {
 
+/** View index: an empty order span means the identity view. */
+inline PointIdx
+viewIdx(std::span<const PointIdx> order, std::uint32_t pos)
+{
+    return order.empty() ? pos : order[pos];
+}
+
+/** Chunk-local argmax candidate of one FPS sweep. */
+struct FpsBest
+{
+    float dist = -1.0f;
+    std::uint32_t pos = 0;
+    std::uint64_t visited = 0;  ///< candidate reads
+    std::uint64_t computed = 0; ///< distance evaluations
+    std::uint64_t skipped = 0;  ///< window-check filtered
+};
+
 /**
- * FPS over an index view. @p view maps dense positions [0, view_size)
- * to original point indices. Writes exactly min(num_samples, n)
- * original indices to @p out — callers size their output ranges from
- * the same formula, so disjoint leaves can write one shared buffer.
+ * FPS over an index view. @p order maps dense positions to original
+ * point indices (empty = identity). Writes exactly
+ * min(num_samples, n) original indices to @p out — callers size their
+ * output ranges from the same formula, so disjoint leaves can write
+ * one shared buffer. Scratch (distance table + sampled flags) comes
+ * from @p arena; the per-iteration sweep dispatches over @p pool
+ * (block-wise callers pass null — their parallelism is per leaf).
+ *
+ * The parallel sweep is bit-identical to the serial one: chunk
+ * boundaries depend only on (n, grain), each chunk tracks its best
+ * with the serial loop's strictly-greater comparison, and chunks fold
+ * in ascending order, so the earliest maximal position always wins —
+ * exactly the serial tie-break.
  */
 void
 fpsOverView(const data::PointCloud &cloud,
-            const std::vector<PointIdx> &order, std::uint32_t begin,
+            std::span<const PointIdx> order, std::uint32_t begin,
             std::uint32_t end, std::size_t num_samples,
             std::uint32_t start_offset, bool window_check,
-            PointIdx *out, OpStats &stats)
+            PointIdx *out, OpStats &stats, core::ThreadPool *pool,
+            core::Arena &arena)
 {
     const std::uint32_t n = end - begin;
     if (n == 0 || num_samples == 0)
         return;
     num_samples = std::min<std::size_t>(num_samples, n);
 
-    std::vector<float> min_dist(n, std::numeric_limits<float>::max());
-    std::vector<bool> sampled(n, false);
+    std::span<float> min_dist =
+        arena.allocSpan<float>(n, std::numeric_limits<float>::max());
+    std::span<std::uint8_t> sampled =
+        arena.allocSpan<std::uint8_t>(n, std::uint8_t{0});
 
     std::uint32_t current = std::min(start_offset, n - 1);
-    sampled[current] = true;
-    *out++ = order[begin + current];
+    sampled[current] = 1;
+    *out++ = viewIdx(order, begin + current);
 
+    const std::size_t grain = core::costGrain(8);
     for (std::size_t s = 1; s < num_samples; ++s) {
         ++stats.iterations;
-        const Vec3 &cur_pt = cloud[order[begin + current]];
-        float best = -1.0f;
-        std::uint32_t best_pos = 0;
-        for (std::uint32_t i = 0; i < n; ++i) {
-            if (sampled[i]) {
-                // The window-check module (paper Fig. 11(c)) filters
-                // sampled points out of the candidate stream entirely;
-                // without it the hardware still reads and re-compares
-                // them.
-                if (window_check)
-                    ++stats.skipped;
-                else
-                    ++stats.points_visited;
-                continue;
-            }
-            ++stats.points_visited;
-            ++stats.distance_computations;
-            const float d =
-                distance2(cur_pt, cloud[order[begin + i]]);
-            if (d < min_dist[i])
-                min_dist[i] = d;
-            if (min_dist[i] > best) {
-                best = min_dist[i];
-                best_pos = i;
-            }
-        }
-        current = best_pos;
-        sampled[current] = true;
-        *out++ = order[begin + current];
+        const Vec3 &cur_pt = cloud[viewIdx(order, begin + current)];
+        const FpsBest best = core::parallelReduce(
+            pool, 0, n, grain, FpsBest{},
+            [&](std::size_t cb, std::size_t ce) {
+                FpsBest local;
+                for (std::size_t i = cb; i < ce; ++i) {
+                    if (sampled[i]) {
+                        // The window-check module (paper Fig. 11(c))
+                        // filters sampled points out of the candidate
+                        // stream entirely; without it the hardware
+                        // still reads and re-compares them.
+                        if (window_check)
+                            ++local.skipped;
+                        else
+                            ++local.visited;
+                        continue;
+                    }
+                    ++local.visited;
+                    ++local.computed;
+                    const float d = distance2(
+                        cur_pt,
+                        cloud[viewIdx(
+                            order,
+                            begin + static_cast<std::uint32_t>(i))]);
+                    if (d < min_dist[i])
+                        min_dist[i] = d;
+                    if (min_dist[i] > local.dist) {
+                        local.dist = min_dist[i];
+                        local.pos = static_cast<std::uint32_t>(i);
+                    }
+                }
+                return local;
+            },
+            [](FpsBest &acc, FpsBest &&chunk) {
+                // Strictly greater: the earliest chunk (and within a
+                // chunk the earliest index) wins ties, matching the
+                // serial sweep.
+                if (chunk.dist > acc.dist) {
+                    acc.dist = chunk.dist;
+                    acc.pos = chunk.pos;
+                }
+                acc.visited += chunk.visited;
+                acc.computed += chunk.computed;
+                acc.skipped += chunk.skipped;
+            });
+        stats.points_visited += best.visited;
+        stats.distance_computations += best.computed;
+        stats.skipped += best.skipped;
+        current = best.pos;
+        sampled[current] = 1;
+        *out++ = viewIdx(order, begin + current);
     }
     // Final iteration bookkeeping: the first sample costs one setup
     // iteration as well.
@@ -76,40 +129,51 @@ fpsOverView(const data::PointCloud &cloud,
 
 } // namespace
 
-SampleResult
+void
 farthestPointSample(const data::PointCloud &cloud,
-                    std::size_t num_samples, const FpsOptions &options)
+                    std::size_t num_samples, const FpsOptions &options,
+                    core::ThreadPool *pool, core::Workspace &ws,
+                    SampleResult &out)
 {
-    SampleResult result;
-    if (cloud.empty() || num_samples == 0)
-        return result;
-
-    // Identity view over the whole cloud. Per-call scratch: an O(n)
-    // fill is noise next to the O(n^2) sampling loop, and unlike a
-    // thread_local cache it holds no memory past the call and no
-    // stale state on pool threads.
-    std::vector<PointIdx> identity(cloud.size());
-    std::iota(identity.begin(), identity.end(), PointIdx{0});
-    result.indices.resize(std::min(num_samples, cloud.size()));
-    fpsOverView(cloud, identity, 0,
-                static_cast<std::uint32_t>(cloud.size()), num_samples,
-                options.start_index, options.window_check,
-                result.indices.data(), result.stats);
-    return result;
+    out.stats = {};
+    if (cloud.empty() || num_samples == 0) {
+        out.indices.clear();
+        return;
+    }
+    out.indices.resize(std::min(num_samples, cloud.size()));
+    // The identity view is implicit (empty order span): no O(n) index
+    // fill, no per-call buffer.
+    fpsOverView(cloud, {}, 0, static_cast<std::uint32_t>(cloud.size()),
+                num_samples, options.start_index, options.window_check,
+                out.indices.data(), out.stats, pool, ws.arena());
 }
 
-BlockSampleResult
+SampleResult
+farthestPointSample(const data::PointCloud &cloud,
+                    std::size_t num_samples, const FpsOptions &options,
+                    core::ThreadPool *pool)
+{
+    core::Workspace ws;
+    SampleResult out;
+    farthestPointSample(cloud, num_samples, options, pool, ws, out);
+    return out;
+}
+
+void
 blockFarthestPointSample(const data::PointCloud &cloud,
                          const part::BlockTree &tree, double rate,
                          const FpsOptions &options,
-                         core::ThreadPool *pool)
+                         core::ThreadPool *pool, core::Workspace &ws,
+                         BlockSampleResult &out)
 {
     fc_assert(rate > 0.0 && rate <= 1.0,
               "sampling rate %f outside (0, 1]", rate);
-    BlockSampleResult result;
+    out.stats = {};
+    core::Arena &arena = ws.arena();
     const auto &leaves = tree.leaves();
-    result.leaf_offsets.reserve(leaves.size() + 1);
-    result.leaf_offsets.push_back(0);
+    out.leaf_offsets.clear();
+    out.leaf_offsets.reserve(leaves.size() + 1);
+    out.leaf_offsets.push_back(0);
 
     // Fixed-count mode: split the total budget evenly over non-empty
     // leaves (PNNPU-style, see FpsOptions).
@@ -126,8 +190,9 @@ blockFarthestPointSample(const data::PointCloud &cloud,
     // options, so the per-leaf output ranges are known before any
     // sampling runs: prefix-summing the quotas yields leaf_offsets up
     // front, and each leaf then writes its disjoint slice of
-    // result.indices directly — no per-leaf buffers, no merge copy.
-    std::vector<std::size_t> quotas(leaves.size());
+    // out.indices directly — no per-leaf buffers, no merge copy.
+    std::span<std::size_t> quotas =
+        arena.allocSpan<std::size_t>(leaves.size());
     for (std::size_t li = 0; li < leaves.size(); ++li) {
         const std::uint32_t size = tree.node(leaves[li]).size();
         if (size == 0) {
@@ -142,13 +207,14 @@ blockFarthestPointSample(const data::PointCloud &cloud,
                         : rate * static_cast<double>(size)));
             quotas[li] = std::clamp<std::size_t>(quota, 1, size);
         }
-        result.leaf_offsets.push_back(
-            result.leaf_offsets[li] +
+        out.leaf_offsets.push_back(
+            out.leaf_offsets[li] +
             static_cast<std::uint32_t>(quotas[li]));
     }
-    result.indices.resize(result.leaf_offsets.back());
+    out.indices.resize(out.leaf_offsets.back());
 
-    std::vector<OpStats> leaf_stats(leaves.size());
+    std::span<OpStats> leaf_stats =
+        arena.allocSpan<OpStats>(leaves.size(), OpStats{});
     core::parallelFor(
         pool, 0, leaves.size(), 1,
         [&](std::size_t lb, std::size_t le) {
@@ -159,27 +225,37 @@ blockFarthestPointSample(const data::PointCloud &cloud,
                 fpsOverView(cloud, tree.order(), node.begin, node.end,
                             quotas[li], options.start_index,
                             options.window_check,
-                            result.indices.data() +
-                                result.leaf_offsets[li],
-                            leaf_stats[li]);
+                            out.indices.data() + out.leaf_offsets[li],
+                            leaf_stats[li], nullptr, arena);
             }
         });
     for (std::size_t li = 0; li < leaves.size(); ++li)
-        result.stats += leaf_stats[li];
+        out.stats += leaf_stats[li];
 
     // Recover DFT positions with one inverse-permutation pass.
-    std::vector<std::uint32_t> inverse(tree.order().size());
+    std::span<std::uint32_t> inverse =
+        arena.allocSpan<std::uint32_t>(tree.order().size());
     core::parallelFor(pool, 0, tree.order().size(), 65536,
                       [&](std::size_t cb, std::size_t ce) {
                           for (std::size_t pos = cb; pos < ce; ++pos)
                               inverse[tree.order()[pos]] =
                                   static_cast<std::uint32_t>(pos);
                       });
-    result.positions.resize(result.indices.size());
-    for (std::size_t i = 0; i < result.indices.size(); ++i)
-        result.positions[i] = inverse[result.indices[i]];
+    out.positions.resize(out.indices.size());
+    for (std::size_t i = 0; i < out.indices.size(); ++i)
+        out.positions[i] = inverse[out.indices[i]];
+}
 
-    return result;
+BlockSampleResult
+blockFarthestPointSample(const data::PointCloud &cloud,
+                         const part::BlockTree &tree, double rate,
+                         const FpsOptions &options,
+                         core::ThreadPool *pool)
+{
+    core::Workspace ws;
+    BlockSampleResult out;
+    blockFarthestPointSample(cloud, tree, rate, options, pool, ws, out);
+    return out;
 }
 
 } // namespace fc::ops

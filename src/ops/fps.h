@@ -27,6 +27,7 @@
 
 namespace fc::core {
 class ThreadPool;
+class Workspace;
 }
 
 namespace fc::ops {
@@ -84,12 +85,32 @@ struct FpsOptions
 /**
  * Global farthest point sampling over the whole cloud.
  *
+ * The per-iteration distance-update/argmax sweep dispatches in chunks
+ * over @p pool; chunk-local maxima fold in chunk order with the same
+ * strictly-greater comparison as the serial loop, so the sampled set
+ * is bit-identical at any thread count.
+ *
  * @param cloud       input points
  * @param num_samples sampled-set size (clamped to cloud size)
+ * @param pool        optional thread pool; null = sequential
  */
 SampleResult farthestPointSample(const data::PointCloud &cloud,
                                  std::size_t num_samples,
-                                 const FpsOptions &options = {});
+                                 const FpsOptions &options = {},
+                                 core::ThreadPool *pool = nullptr);
+
+/**
+ * Workspace overload: writes into @p out (reusing its capacity) and
+ * draws the distance/flag scratch from @p ws's arena — the
+ * allocation-free steady-state path (zero heap allocations on warm
+ * same-shape calls with a null pool). Identical output to the
+ * value-returning form, which wraps this one.
+ */
+void farthestPointSample(const data::PointCloud &cloud,
+                         std::size_t num_samples,
+                         const FpsOptions &options,
+                         core::ThreadPool *pool, core::Workspace &ws,
+                         SampleResult &out);
 
 /**
  * Block-wise FPS: per-leaf independent FPS at one fixed rate.
@@ -108,6 +129,14 @@ BlockSampleResult blockFarthestPointSample(const data::PointCloud &cloud,
                                            double rate,
                                            const FpsOptions &options = {},
                                            core::ThreadPool *pool = nullptr);
+
+/** Workspace overload of block-wise FPS (see farthestPointSample). */
+void blockFarthestPointSample(const data::PointCloud &cloud,
+                              const part::BlockTree &tree, double rate,
+                              const FpsOptions &options,
+                              core::ThreadPool *pool,
+                              core::Workspace &ws,
+                              BlockSampleResult &out);
 
 } // namespace fc::ops
 

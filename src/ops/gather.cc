@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "core/parallel.h"
+#include "core/workspace.h"
 
 namespace fc::ops {
 
@@ -37,40 +38,51 @@ gatherRow(const data::PointCloud &cloud, PointIdx center_idx,
 
 } // namespace
 
+void
+gatherNeighborhoods(const data::PointCloud &cloud,
+                    const std::vector<PointIdx> &centers,
+                    const NeighborResult &neighbors, core::Workspace &,
+                    GatherResult &out)
+{
+    fc_assert(centers.size() == neighbors.num_centers,
+              "centers (%zu) and neighbor rows (%zu) disagree",
+              centers.size(), neighbors.num_centers);
+    out.stats = {};
+    out.num_centers = neighbors.num_centers;
+    out.k = neighbors.k;
+    out.channels = 3 + cloud.featureDim();
+    out.values.resize(out.num_centers * out.k * out.channels);
+
+    const std::size_t bytes_per_row =
+        out.k * (cloud.featureDim() * 2 + 8); // fp16 features + coords
+    for (std::size_t row = 0; row < out.num_centers; ++row) {
+        gatherRow(cloud, centers[row], neighbors, row, out.channels,
+                  out.values);
+        // Global gather: every neighbor row is a random access into
+        // the full feature space.
+        out.stats.points_visited += out.k;
+        out.stats.bytes_gathered += bytes_per_row;
+    }
+}
+
 GatherResult
 gatherNeighborhoods(const data::PointCloud &cloud,
                     const std::vector<PointIdx> &centers,
                     const NeighborResult &neighbors)
 {
-    fc_assert(centers.size() == neighbors.num_centers,
-              "centers (%zu) and neighbor rows (%zu) disagree",
-              centers.size(), neighbors.num_centers);
-    GatherResult result;
-    result.num_centers = neighbors.num_centers;
-    result.k = neighbors.k;
-    result.channels = 3 + cloud.featureDim();
-    result.values.resize(result.num_centers * result.k *
-                         result.channels);
-
-    const std::size_t bytes_per_row =
-        result.k * (cloud.featureDim() * 2 + 8); // fp16 features + coords
-    for (std::size_t row = 0; row < result.num_centers; ++row) {
-        gatherRow(cloud, centers[row], neighbors, row, result.channels,
-                  result.values);
-        // Global gather: every neighbor row is a random access into
-        // the full feature space.
-        result.stats.points_visited += result.k;
-        result.stats.bytes_gathered += bytes_per_row;
-    }
-    return result;
+    core::Workspace ws;
+    GatherResult out;
+    gatherNeighborhoods(cloud, centers, neighbors, ws, out);
+    return out;
 }
 
-GatherResult
+void
 blockGatherNeighborhoods(
     const data::PointCloud &cloud, const part::BlockTree &tree,
     const std::vector<PointIdx> &centers,
     const std::vector<std::uint32_t> &center_leaf_offsets,
-    const NeighborResult &neighbors, core::ThreadPool *pool)
+    const NeighborResult &neighbors, core::ThreadPool *pool,
+    core::Workspace &, GatherResult &out)
 {
     fc_assert(centers.size() == neighbors.num_centers,
               "centers (%zu) and neighbor rows (%zu) disagree",
@@ -79,19 +91,18 @@ blockGatherNeighborhoods(
     fc_assert(center_leaf_offsets.size() == leaves.size() + 1,
               "leaf offsets do not match tree");
 
-    GatherResult result;
-    result.num_centers = neighbors.num_centers;
-    result.k = neighbors.k;
-    result.channels = 3 + cloud.featureDim();
-    result.values.resize(result.num_centers * result.k *
-                         result.channels);
+    out.stats = {};
+    out.num_centers = neighbors.num_centers;
+    out.k = neighbors.k;
+    out.channels = 3 + cloud.featureDim();
+    out.values.resize(out.num_centers * out.k * out.channels);
 
     // Values are identical to the global gather; what changes is the
     // access pattern: per leaf, the search-space blocks are streamed
     // once into SRAM and every center of the leaf reads from there.
     // Per-leaf work items write disjoint value rows; per-chunk stats
     // fold in chunk order.
-    result.stats += core::parallelReduce(
+    out.stats += core::parallelReduce(
         pool, 0, leaves.size(), 1, OpStats{},
         [&](std::size_t lb, std::size_t le) {
             OpStats stats;
@@ -112,14 +123,27 @@ blockGatherNeighborhoods(
                     (cloud.featureDim() * 2 + 8);
                 for (std::uint32_t row = first; row < last; ++row) {
                     gatherRow(cloud, centers[row], neighbors, row,
-                              result.channels, result.values);
-                    stats.points_visited += result.k;
+                              out.channels, out.values);
+                    stats.points_visited += out.k;
                 }
             }
             return stats;
         },
         [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
-    return result;
+}
+
+GatherResult
+blockGatherNeighborhoods(
+    const data::PointCloud &cloud, const part::BlockTree &tree,
+    const std::vector<PointIdx> &centers,
+    const std::vector<std::uint32_t> &center_leaf_offsets,
+    const NeighborResult &neighbors, core::ThreadPool *pool)
+{
+    core::Workspace ws;
+    GatherResult out;
+    blockGatherNeighborhoods(cloud, tree, centers, center_leaf_offsets,
+                             neighbors, pool, ws, out);
+    return out;
 }
 
 } // namespace fc::ops

@@ -25,6 +25,7 @@
 
 namespace fc::core {
 class ThreadPool;
+class Workspace;
 }
 
 namespace fc::ops {
@@ -64,6 +65,13 @@ GatherResult gatherNeighborhoods(const data::PointCloud &cloud,
                                  const std::vector<PointIdx> &centers,
                                  const NeighborResult &neighbors);
 
+/** Workspace overload: writes into @p out reusing its capacity (the
+ *  allocation-free steady-state path; see core/workspace.h). */
+void gatherNeighborhoods(const data::PointCloud &cloud,
+                         const std::vector<PointIdx> &centers,
+                         const NeighborResult &neighbors,
+                         core::Workspace &ws, GatherResult &out);
+
 /**
  * Same values as gatherNeighborhoods but with block-wise memory
  * accounting: accesses are counted per block as streamed reads (the
@@ -76,6 +84,15 @@ GatherResult blockGatherNeighborhoods(
     const std::vector<PointIdx> &centers,
     const std::vector<std::uint32_t> &center_leaf_offsets,
     const NeighborResult &neighbors, core::ThreadPool *pool = nullptr);
+
+/** Workspace overload of blockGatherNeighborhoods (capacity-reusing
+ *  @p out). */
+void blockGatherNeighborhoods(
+    const data::PointCloud &cloud, const part::BlockTree &tree,
+    const std::vector<PointIdx> &centers,
+    const std::vector<std::uint32_t> &center_leaf_offsets,
+    const NeighborResult &neighbors, core::ThreadPool *pool,
+    core::Workspace &ws, GatherResult &out);
 
 } // namespace fc::ops
 

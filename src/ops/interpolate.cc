@@ -1,9 +1,11 @@
 #include "ops/interpolate.h"
 
-#include <unordered_map>
+#include <cstdint>
+#include <span>
 
 #include "common/logging.h"
 #include "core/parallel.h"
+#include "core/workspace.h"
 
 namespace fc::ops {
 
@@ -15,11 +17,14 @@ constexpr std::size_t kBlendGrain = 1024;
 /**
  * Weighted blend of neighbor feature rows into the result for rows
  * [row_begin, row_end). Writes only those value rows and @p stats.
+ * @p known_row maps a cloud index to its row in known_features
+ * (-1 = not a known point) — a dense arena table, replacing the
+ * per-call hash map so warm calls never touch the heap.
  */
 void
 blendRows(const data::PointCloud &cloud,
           const std::vector<float> &known_features, std::size_t channels,
-          const std::unordered_map<PointIdx, std::size_t> &known_row,
+          std::span<const std::int64_t> known_row,
           const NeighborResult &neighbors, std::size_t row_begin,
           std::size_t row_end, InterpolateResult &result,
           OpStats &stats)
@@ -48,11 +53,11 @@ blendRows(const data::PointCloud &cloud,
             if (weights[j] <= 0.0f)
                 continue;
             const PointIdx nb = neighbors.neighbor(row, j);
-            const auto it = known_row.find(nb);
-            fc_assert(it != known_row.end(),
-                      "neighbor %u is not a known point", nb);
+            const std::int64_t r = known_row[nb];
+            fc_assert(r >= 0, "neighbor %u is not a known point", nb);
             const float *src =
-                known_features.data() + it->second * channels;
+                known_features.data() +
+                static_cast<std::size_t>(r) * channels;
             const float w = weights[j] * inv;
             for (std::size_t c = 0; c < channels; ++c)
                 out[c] += w * src[c];
@@ -62,17 +67,49 @@ blendRows(const data::PointCloud &cloud,
     }
 }
 
-std::unordered_map<PointIdx, std::size_t>
-buildKnownRowMap(const std::vector<PointIdx> &known_indices)
-{
-    std::unordered_map<PointIdx, std::size_t> map;
-    map.reserve(known_indices.size());
-    for (std::size_t i = 0; i < known_indices.size(); ++i)
-        map.emplace(known_indices[i], i);
-    return map;
-}
-
 } // namespace
+
+void
+interpolateFeatures(const data::PointCloud &cloud,
+                    const std::vector<float> &known_features,
+                    std::size_t channels,
+                    const std::vector<PointIdx> &known_indices,
+                    const NeighborResult &neighbors,
+                    core::ThreadPool *pool, core::Workspace &ws,
+                    InterpolateResult &out)
+{
+    fc_assert(known_features.size() == known_indices.size() * channels,
+              "known feature matrix shape mismatch");
+    fc_assert(neighbors.num_centers == cloud.size(),
+              "neighbor table rows (%zu) != cloud size (%zu)",
+              neighbors.num_centers, cloud.size());
+
+    out.stats = {};
+    out.num_points = cloud.size();
+    out.channels = channels;
+    out.values.assign(out.num_points * channels, 0.0f);
+    out.stats += neighbors.stats;
+
+    // Dense cloud-index -> known-row table (arena scratch). Same
+    // lookups as the historical hash map, none of its per-node heap
+    // churn.
+    std::span<std::int64_t> known_row = ws.arena().allocSpan<std::int64_t>(
+        cloud.size(), std::int64_t{-1});
+    for (std::size_t i = 0; i < known_indices.size(); ++i)
+        known_row[known_indices[i]] = static_cast<std::int64_t>(i);
+
+    // Row chunks write disjoint value rows; per-chunk stats fold in
+    // chunk order.
+    out.stats += core::parallelReduce(
+        pool, 0, neighbors.num_centers, kBlendGrain, OpStats{},
+        [&](std::size_t cb, std::size_t ce) {
+            OpStats stats;
+            blendRows(cloud, known_features, channels, known_row,
+                      neighbors, cb, ce, out, stats);
+            return stats;
+        },
+        [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
+}
 
 InterpolateResult
 interpolateFeatures(const data::PointCloud &cloud,
@@ -82,31 +119,26 @@ interpolateFeatures(const data::PointCloud &cloud,
                     const NeighborResult &neighbors,
                     core::ThreadPool *pool)
 {
-    fc_assert(known_features.size() == known_indices.size() * channels,
-              "known feature matrix shape mismatch");
-    fc_assert(neighbors.num_centers == cloud.size(),
-              "neighbor table rows (%zu) != cloud size (%zu)",
-              neighbors.num_centers, cloud.size());
+    core::Workspace ws;
+    InterpolateResult out;
+    interpolateFeatures(cloud, known_features, channels, known_indices,
+                        neighbors, pool, ws, out);
+    return out;
+}
 
-    InterpolateResult result;
-    result.num_points = cloud.size();
-    result.channels = channels;
-    result.values.assign(result.num_points * channels, 0.0f);
-    result.stats += neighbors.stats;
-
-    // Row chunks write disjoint value rows; per-chunk stats fold in
-    // chunk order.
-    const auto known_row = buildKnownRowMap(known_indices);
-    result.stats += core::parallelReduce(
-        pool, 0, neighbors.num_centers, kBlendGrain, OpStats{},
-        [&](std::size_t cb, std::size_t ce) {
-            OpStats stats;
-            blendRows(cloud, known_features, channels, known_row,
-                      neighbors, cb, ce, result, stats);
-            return stats;
-        },
-        [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
-    return result;
+void
+globalInterpolate(const data::PointCloud &cloud,
+                  const std::vector<float> &known_features,
+                  std::size_t channels,
+                  const std::vector<PointIdx> &known_indices,
+                  std::size_t k, core::Workspace &ws,
+                  InterpolateResult &out)
+{
+    NeighborResult &neighbors =
+        ws.slot<NeighborResult>("ops.gi.nbr");
+    knnSearch(cloud, known_indices, cloud.coords(), k, ws, neighbors);
+    interpolateFeatures(cloud, known_features, channels, known_indices,
+                        neighbors, nullptr, ws, out);
 }
 
 InterpolateResult
@@ -116,11 +148,27 @@ globalInterpolate(const data::PointCloud &cloud,
                   const std::vector<PointIdx> &known_indices,
                   std::size_t k)
 {
-    std::vector<Vec3> queries = cloud.coords();
-    const NeighborResult neighbors =
-        knnSearch(cloud, known_indices, queries, k);
-    return interpolateFeatures(cloud, known_features, channels,
-                               known_indices, neighbors);
+    core::Workspace ws;
+    InterpolateResult out;
+    globalInterpolate(cloud, known_features, channels, known_indices, k,
+                      ws, out);
+    return out;
+}
+
+void
+blockInterpolate(const data::PointCloud &cloud,
+                 const part::BlockTree &tree,
+                 const BlockSampleResult &sampled,
+                 const std::vector<float> &known_features,
+                 std::size_t channels, std::size_t k,
+                 core::ThreadPool *pool, core::Workspace &ws,
+                 InterpolateResult &out)
+{
+    NeighborResult &neighbors =
+        ws.slot<NeighborResult>("ops.bi.nbr");
+    blockKnnToSamples(cloud, tree, sampled, k, pool, ws, neighbors);
+    interpolateFeatures(cloud, known_features, channels,
+                        sampled.indices, neighbors, pool, ws, out);
 }
 
 InterpolateResult
@@ -131,10 +179,11 @@ blockInterpolate(const data::PointCloud &cloud,
                  std::size_t channels, std::size_t k,
                  core::ThreadPool *pool)
 {
-    const NeighborResult neighbors =
-        blockKnnToSamples(cloud, tree, sampled, k, pool);
-    return interpolateFeatures(cloud, known_features, channels,
-                               sampled.indices, neighbors, pool);
+    core::Workspace ws;
+    InterpolateResult out;
+    blockInterpolate(cloud, tree, sampled, known_features, channels, k,
+                     pool, ws, out);
+    return out;
 }
 
 } // namespace fc::ops

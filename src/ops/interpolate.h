@@ -22,6 +22,7 @@
 
 namespace fc::core {
 class ThreadPool;
+class Workspace;
 }
 
 namespace fc::ops {
@@ -57,6 +58,17 @@ interpolateFeatures(const data::PointCloud &cloud,
                     const NeighborResult &neighbors,
                     core::ThreadPool *pool = nullptr);
 
+/** Workspace overload: the known-point lookup table comes from
+ *  @p ws's arena and @p out reuses its capacity (the allocation-free
+ *  steady-state path; see core/workspace.h). */
+void interpolateFeatures(const data::PointCloud &cloud,
+                         const std::vector<float> &known_features,
+                         std::size_t channels,
+                         const std::vector<PointIdx> &known_indices,
+                         const NeighborResult &neighbors,
+                         core::ThreadPool *pool, core::Workspace &ws,
+                         InterpolateResult &out);
+
 /**
  * Convenience wrapper: global 3-NN then interpolation.
  */
@@ -66,6 +78,15 @@ globalInterpolate(const data::PointCloud &cloud,
                   std::size_t channels,
                   const std::vector<PointIdx> &known_indices,
                   std::size_t k = 3);
+
+/** Workspace overload of globalInterpolate (the KNN table lives in a
+ *  workspace slot; @p out reuses capacity). */
+void globalInterpolate(const data::PointCloud &cloud,
+                       const std::vector<float> &known_features,
+                       std::size_t channels,
+                       const std::vector<PointIdx> &known_indices,
+                       std::size_t k, core::Workspace &ws,
+                       InterpolateResult &out);
 
 /**
  * Block-wise interpolation: 3-NN restricted to each leaf's search
@@ -80,6 +101,16 @@ blockInterpolate(const data::PointCloud &cloud,
                  const std::vector<float> &known_features,
                  std::size_t channels, std::size_t k = 3,
                  core::ThreadPool *pool = nullptr);
+
+/** Workspace overload of blockInterpolate (the KNN table lives in a
+ *  workspace slot; @p out reuses capacity). */
+void blockInterpolate(const data::PointCloud &cloud,
+                      const part::BlockTree &tree,
+                      const BlockSampleResult &sampled,
+                      const std::vector<float> &known_features,
+                      std::size_t channels, std::size_t k,
+                      core::ThreadPool *pool, core::Workspace &ws,
+                      InterpolateResult &out);
 
 } // namespace fc::ops
 

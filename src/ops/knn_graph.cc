@@ -4,62 +4,29 @@
 
 #include "common/logging.h"
 #include "core/parallel.h"
+#include "core/workspace.h"
+#include "ops/topk.h"
 
 namespace fc::ops {
 
 namespace {
-
-/** Insertion top-k of (distance, id), ascending, excluding self. */
-struct TopK
-{
-    std::size_t k;
-    std::vector<std::pair<float, PointIdx>> best;
-
-    explicit TopK(std::size_t kk) : k(kk) { best.reserve(kk + 1); }
-
-    void
-    offer(float dist, PointIdx idx)
-    {
-        if (best.size() == k && dist >= best.back().first)
-            return;
-        auto it = std::lower_bound(
-            best.begin(), best.end(), dist,
-            [](const auto &a, float d) { return a.first < d; });
-        best.insert(it, {dist, idx});
-        if (best.size() > k)
-            best.pop_back();
-    }
-};
-
-/** Write one vertex's edge row (padded) at @p row. */
-void
-emitRow(const TopK &top, std::size_t k, PointIdx *row)
-{
-    std::size_t col = 0;
-    for (const auto &[dist, idx] : top.best)
-        row[col++] = idx;
-    const PointIdx pad =
-        top.best.empty() ? kInvalidPoint : top.best[0].second;
-    for (; col < k; ++col)
-        row[col] = pad;
-}
 
 /** Vertices per parallel chunk of the exact builder. */
 constexpr std::size_t kGraphGrain = 256;
 
 } // namespace
 
-KnnGraph
+void
 buildKnnGraph(const data::PointCloud &cloud, std::size_t k,
-              core::ThreadPool *pool)
+              core::ThreadPool *pool, core::Workspace &, KnnGraph &out)
 {
     fc_assert(k > 0, "graph needs k > 0");
-    KnnGraph graph;
-    graph.num_vertices = cloud.size();
-    graph.k = k;
-    graph.edges.resize(cloud.size() * k);
+    out.stats = {};
+    out.num_vertices = cloud.size();
+    out.k = k;
+    out.edges.resize(cloud.size() * k);
 
-    graph.stats += core::parallelReduce(
+    out.stats += core::parallelReduce(
         pool, 0, cloud.size(), kGraphGrain, ops::OpStats{},
         [&](std::size_t cb, std::size_t ce) {
             OpStats stats;
@@ -73,33 +40,43 @@ buildKnnGraph(const data::PointCloud &cloud, std::size_t k,
                     top.offer(distance2(cloud[i], cloud[j]),
                               static_cast<PointIdx>(j));
                 }
-                emitRow(top, k, graph.edges.data() + i * k);
+                top.emitRow(out.edges.data() + i * k);
                 ++stats.iterations;
             }
             return stats;
         },
         [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
-    return graph;
 }
 
 KnnGraph
+buildKnnGraph(const data::PointCloud &cloud, std::size_t k,
+              core::ThreadPool *pool)
+{
+    core::Workspace ws;
+    KnnGraph out;
+    buildKnnGraph(cloud, k, pool, ws, out);
+    return out;
+}
+
+void
 buildBlockKnnGraph(const data::PointCloud &cloud,
                    const part::BlockTree &tree, std::size_t k,
-                   core::ThreadPool *pool)
+                   core::ThreadPool *pool, core::Workspace &,
+                   KnnGraph &out)
 {
     fc_assert(k > 0, "graph needs k > 0");
     fc_assert(tree.numPoints() == cloud.size(),
               "tree (%u points) does not match cloud (%zu)",
               tree.numPoints(), cloud.size());
-    KnnGraph graph;
-    graph.num_vertices = cloud.size();
-    graph.k = k;
-    graph.edges.assign(cloud.size() * k, kInvalidPoint);
+    out.stats = {};
+    out.num_vertices = cloud.size();
+    out.k = k;
+    out.edges.assign(cloud.size() * k, kInvalidPoint);
 
     // Per-leaf work items; every vertex owns the edge row of its
     // original id, so leaves write disjoint rows.
     const auto &leaves = tree.leaves();
-    graph.stats += core::parallelReduce(
+    out.stats += core::parallelReduce(
         pool, 0, leaves.size(), 1, ops::OpStats{},
         [&](std::size_t lb, std::size_t le) {
             OpStats stats;
@@ -123,14 +100,24 @@ buildBlockKnnGraph(const data::PointCloud &cloud,
                     }
                     // Rows are written at the vertex's original id so
                     // the graph layout matches the exact builder.
-                    emitRow(top, k, graph.edges.data() + self * k);
+                    top.emitRow(out.edges.data() + self * k);
                     ++stats.iterations;
                 }
             }
             return stats;
         },
         [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
-    return graph;
+}
+
+KnnGraph
+buildBlockKnnGraph(const data::PointCloud &cloud,
+                   const part::BlockTree &tree, std::size_t k,
+                   core::ThreadPool *pool)
+{
+    core::Workspace ws;
+    KnnGraph out;
+    buildBlockKnnGraph(cloud, tree, k, pool, ws, out);
+    return out;
 }
 
 double

@@ -20,6 +20,7 @@
 
 namespace fc::core {
 class ThreadPool;
+class Workspace;
 }
 
 namespace fc::ops {
@@ -50,6 +51,12 @@ struct KnnGraph
 KnnGraph buildKnnGraph(const data::PointCloud &cloud, std::size_t k,
                        core::ThreadPool *pool = nullptr);
 
+/** Workspace overload: writes into @p out reusing its capacity (the
+ *  allocation-free steady-state path; see core/workspace.h). */
+void buildKnnGraph(const data::PointCloud &cloud, std::size_t k,
+                   core::ThreadPool *pool, core::Workspace &ws,
+                   KnnGraph &out);
+
 /**
  * Block-wise k-NN graph: every vertex searches only its leaf's
  * search-space node (parent block). O(n * search_space) work. Edge
@@ -61,6 +68,13 @@ KnnGraph buildKnnGraph(const data::PointCloud &cloud, std::size_t k,
 KnnGraph buildBlockKnnGraph(const data::PointCloud &cloud,
                             const part::BlockTree &tree, std::size_t k,
                             core::ThreadPool *pool = nullptr);
+
+/** Workspace overload of buildBlockKnnGraph (capacity-reusing
+ *  @p out). */
+void buildBlockKnnGraph(const data::PointCloud &cloud,
+                        const part::BlockTree &tree, std::size_t k,
+                        core::ThreadPool *pool, core::Workspace &ws,
+                        KnnGraph &out);
 
 /** Fraction of exact-graph edges present in the test graph. */
 double graphEdgeRecall(const KnnGraph &exact, const KnnGraph &test);

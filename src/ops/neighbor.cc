@@ -2,29 +2,30 @@
 
 #include <algorithm>
 #include <limits>
-#include <numeric>
 
 #include "common/logging.h"
 #include "core/parallel.h"
+#include "core/workspace.h"
+#include "ops/topk.h"
 
 namespace fc::ops {
 
 namespace {
 
 /**
- * Ball query for one center over a view of candidate positions.
- * Writes exactly k entries (padded) into @p row; returns the number
- * of real neighbors found.
+ * Ball query for one center over a view of candidate positions (an
+ * empty order span is the identity view). Writes exactly k entries
+ * (padded) into @p row; returns the number of real neighbors found.
  */
 std::uint32_t
 ballQueryRow(const data::PointCloud &cloud, const Vec3 &center_pt,
-             const std::vector<PointIdx> &order, std::uint32_t begin,
+             std::span<const PointIdx> order, std::uint32_t begin,
              std::uint32_t end, float radius2, std::size_t k,
              PointIdx *row, OpStats &stats)
 {
     std::uint32_t found = 0;
     for (std::uint32_t pos = begin; pos < end && found < k; ++pos) {
-        const PointIdx idx = order[pos];
+        const PointIdx idx = order.empty() ? pos : order[pos];
         ++stats.points_visited;
         ++stats.distance_computations;
         if (distance2(center_pt, cloud[idx]) <= radius2)
@@ -39,35 +40,14 @@ ballQueryRow(const data::PointCloud &cloud, const Vec3 &center_pt,
     return found;
 }
 
-/** Insertion-based top-k (k is small: 3..64), ascending distance. */
-struct TopK
-{
-    std::size_t k;
-    std::vector<std::pair<float, PointIdx>> heap; // sorted ascending
-
-    explicit TopK(std::size_t kk) : k(kk) { heap.reserve(kk + 1); }
-
-    void
-    offer(float dist, PointIdx idx)
-    {
-        if (heap.size() == k && dist >= heap.back().first)
-            return;
-        auto it = std::lower_bound(
-            heap.begin(), heap.end(), dist,
-            [](const auto &a, float d) { return a.first < d; });
-        heap.insert(it, {dist, idx});
-        if (heap.size() > k)
-            heap.pop_back();
-    }
-};
-
 /**
  * KNN for one query over an explicit candidate list. Writes exactly k
  * entries (padded) into @p row; returns the real neighbor count.
+ * Top-k selection is inline (ops/topk.h) — no per-row heap use.
  */
 std::uint32_t
 knnRow(const data::PointCloud &cloud, const Vec3 &query,
-       const std::vector<PointIdx> &candidates, std::size_t k,
+       std::span<const PointIdx> candidates, std::size_t k,
        PointIdx *row, OpStats &stats)
 {
     TopK top(k);
@@ -76,78 +56,99 @@ knnRow(const data::PointCloud &cloud, const Vec3 &query,
         ++stats.distance_computations;
         top.offer(distance2(query, cloud[idx]), idx);
     }
-    const std::uint32_t found =
-        static_cast<std::uint32_t>(top.heap.size());
-    std::size_t j = 0;
-    for (const auto &[dist, idx] : top.heap)
-        row[j++] = idx;
-    const PointIdx pad = found > 0 ? top.heap[0].second : kInvalidPoint;
-    for (; j < k; ++j)
-        row[j] = pad;
-    return found;
+    top.emitRow(row);
+    return static_cast<std::uint32_t>(top.count());
 }
 
 } // namespace
 
+void
+ballQuery(const data::PointCloud &cloud,
+          const std::vector<PointIdx> &centers, float radius,
+          std::size_t k, core::ThreadPool *pool, core::Workspace &,
+          NeighborResult &out)
+{
+    fc_assert(k > 0, "ball query needs k > 0");
+    out.stats = {};
+    out.num_centers = centers.size();
+    out.k = k;
+    out.indices.resize(centers.size() * k);
+    out.counts.resize(centers.size());
+
+    const float r2 = radius * radius;
+    // Center rows are disjoint k-wide slots; per-chunk stats fold in
+    // chunk order. The candidate view is the identity (whole cloud).
+    out.stats += core::parallelReduce(
+        pool, 0, centers.size(),
+        core::costGrain(std::max<std::size_t>(1, cloud.size()) * 6),
+        OpStats{},
+        [&](std::size_t cb, std::size_t ce) {
+            OpStats stats;
+            for (std::size_t ci = cb; ci < ce; ++ci) {
+                out.counts[ci] = ballQueryRow(
+                    cloud, cloud[centers[ci]], {}, 0,
+                    static_cast<std::uint32_t>(cloud.size()), r2, k,
+                    out.indices.data() + ci * k, stats);
+                ++stats.iterations;
+            }
+            return stats;
+        },
+        [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
+}
+
 NeighborResult
 ballQuery(const data::PointCloud &cloud,
           const std::vector<PointIdx> &centers, float radius,
-          std::size_t k)
+          std::size_t k, core::ThreadPool *pool)
 {
-    fc_assert(k > 0, "ball query needs k > 0");
-    NeighborResult result;
-    result.num_centers = centers.size();
-    result.k = k;
-    result.indices.resize(centers.size() * k);
-    result.counts.resize(centers.size());
+    core::Workspace ws;
+    NeighborResult out;
+    ballQuery(cloud, centers, radius, k, pool, ws, out);
+    return out;
+}
 
-    // Identity view over the whole cloud (per-call scratch; no cached
-    // thread-local state).
-    std::vector<PointIdx> identity(cloud.size());
-    std::iota(identity.begin(), identity.end(), PointIdx{0});
-
-    const float r2 = radius * radius;
-    for (std::size_t ci = 0; ci < centers.size(); ++ci) {
-        result.counts[ci] = ballQueryRow(
-            cloud, cloud[centers[ci]], identity, 0,
-            static_cast<std::uint32_t>(cloud.size()), r2, k,
-            result.indices.data() + ci * k, result.stats);
-        ++result.stats.iterations;
+void
+knnSearch(const data::PointCloud &cloud,
+          const std::vector<PointIdx> &candidates,
+          std::span<const Vec3> queries, std::size_t k,
+          core::Workspace &, NeighborResult &out)
+{
+    fc_assert(k > 0, "knn needs k > 0");
+    out.stats = {};
+    out.num_centers = queries.size();
+    out.k = k;
+    out.indices.resize(queries.size() * k);
+    out.counts.resize(queries.size());
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        out.counts[qi] = knnRow(cloud, queries[qi], candidates, k,
+                                out.indices.data() + qi * k, out.stats);
+        ++out.stats.iterations;
     }
-    return result;
 }
 
 NeighborResult
 knnSearch(const data::PointCloud &cloud,
           const std::vector<PointIdx> &candidates,
-          const std::vector<Vec3> &queries, std::size_t k)
+          std::span<const Vec3> queries, std::size_t k)
 {
-    fc_assert(k > 0, "knn needs k > 0");
-    NeighborResult result;
-    result.num_centers = queries.size();
-    result.k = k;
-    result.indices.resize(queries.size() * k);
-    result.counts.resize(queries.size());
-    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
-        result.counts[qi] =
-            knnRow(cloud, queries[qi], candidates, k,
-                   result.indices.data() + qi * k, result.stats);
-        ++result.stats.iterations;
-    }
-    return result;
+    core::Workspace ws;
+    NeighborResult out;
+    knnSearch(cloud, candidates, queries, k, ws, out);
+    return out;
 }
 
-NeighborResult
+void
 blockBallQuery(const data::PointCloud &cloud, const part::BlockTree &tree,
                const BlockSampleResult &centers, float radius,
-               std::size_t k, core::ThreadPool *pool)
+               std::size_t k, core::ThreadPool *pool, core::Workspace &,
+               NeighborResult &out)
 {
     fc_assert(k > 0, "ball query needs k > 0");
-    NeighborResult result;
-    result.num_centers = centers.indices.size();
-    result.k = k;
-    result.indices.resize(result.num_centers * k);
-    result.counts.resize(result.num_centers);
+    out.stats = {};
+    out.num_centers = centers.indices.size();
+    out.k = k;
+    out.indices.resize(out.num_centers * k);
+    out.counts.resize(out.num_centers);
     const float r2 = radius * radius;
 
     const auto &leaves = tree.leaves();
@@ -159,7 +160,7 @@ blockBallQuery(const data::PointCloud &cloud, const part::BlockTree &tree,
     // Per-leaf work items. Every center owns one fixed k-wide row of
     // indices, so leaves write disjoint slots; per-chunk stats fold
     // in chunk order.
-    result.stats += core::parallelReduce(
+    out.stats += core::parallelReduce(
         pool, 0, leaves.size(), 1, OpStats{},
         [&](std::size_t lb, std::size_t le) {
             OpStats stats;
@@ -170,10 +171,10 @@ blockBallQuery(const data::PointCloud &cloud, const part::BlockTree &tree,
                      ci < centers.leaf_offsets[li + 1]; ++ci) {
                     const Vec3 &center_pt =
                         cloud[centers.indices[ci]];
-                    result.counts[ci] = ballQueryRow(
+                    out.counts[ci] = ballQueryRow(
                         cloud, center_pt, tree.order(), space.begin,
                         space.end, r2, k,
-                        result.indices.data() +
+                        out.indices.data() +
                             static_cast<std::size_t>(ci) * k,
                         stats);
                     ++stats.iterations;
@@ -182,41 +183,55 @@ blockBallQuery(const data::PointCloud &cloud, const part::BlockTree &tree,
             return stats;
         },
         [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
-    return result;
 }
 
 NeighborResult
+blockBallQuery(const data::PointCloud &cloud, const part::BlockTree &tree,
+               const BlockSampleResult &centers, float radius,
+               std::size_t k, core::ThreadPool *pool)
+{
+    core::Workspace ws;
+    NeighborResult out;
+    blockBallQuery(cloud, tree, centers, radius, k, pool, ws, out);
+    return out;
+}
+
+void
 blockKnnToSamples(const data::PointCloud &cloud,
                   const part::BlockTree &tree,
                   const BlockSampleResult &sampled, std::size_t k,
-                  core::ThreadPool *pool)
+                  core::ThreadPool *pool, core::Workspace &ws,
+                  NeighborResult &out)
 {
     fc_assert(k > 0, "knn needs k > 0");
-    NeighborResult result;
-    result.num_centers = cloud.size();
-    result.k = k;
-    result.indices.resize(cloud.size() * k);
-    result.counts.resize(cloud.size());
+    out.stats = {};
+    out.num_centers = cloud.size();
+    out.k = k;
+    out.indices.resize(cloud.size() * k);
+    out.counts.resize(cloud.size());
 
     // Sorted copy of sampled DFT positions for range extraction
-    // (shared, read-only during the parallel phase).
-    std::vector<std::uint32_t> sorted_pos = sampled.positions;
+    // (arena scratch, shared read-only during the parallel phase).
+    core::Arena &arena = ws.arena();
+    std::span<std::uint32_t> sorted_pos =
+        arena.allocSpan<std::uint32_t>(sampled.positions.size());
+    std::copy(sampled.positions.begin(), sampled.positions.end(),
+              sorted_pos.begin());
     std::sort(sorted_pos.begin(), sorted_pos.end());
-    std::vector<PointIdx> sorted_idx(sorted_pos.size());
+    std::span<PointIdx> sorted_idx =
+        arena.allocSpan<PointIdx>(sorted_pos.size());
     for (std::size_t i = 0; i < sorted_pos.size(); ++i)
         sorted_idx[i] = tree.order()[sorted_pos[i]];
 
     // Per-leaf work items; every query writes the row of its original
-    // point id, so rows come out in original order directly (the
-    // sequential version's final permutation pass is no longer
-    // needed). The candidate list is per-chunk scratch; per-chunk
-    // stats fold in chunk order.
+    // point id, so rows come out in original order directly. Each
+    // leaf's candidate list is a contiguous subrange of sorted_idx —
+    // a span, not a copy — so the per-chunk loop never allocates.
     const auto &leaves = tree.leaves();
-    result.stats += core::parallelReduce(
+    out.stats += core::parallelReduce(
         pool, 0, leaves.size(), 1, OpStats{},
         [&](std::size_t lb, std::size_t le) {
             OpStats stats;
-            std::vector<PointIdx> local_candidates;
             for (std::size_t li = lb; li < le; ++li) {
                 const part::NodeIdx leaf_idx = leaves[li];
                 const part::BlockNode &leaf = tree.node(leaf_idx);
@@ -225,29 +240,27 @@ blockKnnToSamples(const data::PointCloud &cloud,
 
                 // Sampled points whose DFT position falls inside the
                 // search space range.
-                local_candidates.clear();
                 const auto lo =
                     std::lower_bound(sorted_pos.begin(),
                                      sorted_pos.end(), space.begin);
                 const auto hi =
                     std::lower_bound(sorted_pos.begin(),
                                      sorted_pos.end(), space.end);
-                for (auto it = lo; it != hi; ++it)
-                    local_candidates.push_back(
-                        sorted_idx[static_cast<std::size_t>(
-                            it - sorted_pos.begin())]);
-                if (local_candidates.empty() && !sorted_idx.empty()) {
+                std::span<const PointIdx> candidates = sorted_idx.subspan(
+                    static_cast<std::size_t>(lo - sorted_pos.begin()),
+                    static_cast<std::size_t>(hi - lo));
+                if (candidates.empty() && !sorted_idx.empty()) {
                     // Degenerate foreign tree: fall back to all
                     // samples.
-                    local_candidates = sorted_idx;
+                    candidates = sorted_idx;
                 }
 
                 for (std::uint32_t pos = leaf.begin; pos < leaf.end;
                      ++pos) {
                     const PointIdx query_idx = tree.order()[pos];
-                    result.counts[query_idx] = knnRow(
-                        cloud, cloud[query_idx], local_candidates, k,
-                        result.indices.data() +
+                    out.counts[query_idx] = knnRow(
+                        cloud, cloud[query_idx], candidates, k,
+                        out.indices.data() +
                             static_cast<std::size_t>(query_idx) * k,
                         stats);
                     ++stats.iterations;
@@ -256,7 +269,18 @@ blockKnnToSamples(const data::PointCloud &cloud,
             return stats;
         },
         [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
-    return result;
+}
+
+NeighborResult
+blockKnnToSamples(const data::PointCloud &cloud,
+                  const part::BlockTree &tree,
+                  const BlockSampleResult &sampled, std::size_t k,
+                  core::ThreadPool *pool)
+{
+    core::Workspace ws;
+    NeighborResult out;
+    blockKnnToSamples(cloud, tree, sampled, k, pool, ws, out);
+    return out;
 }
 
 } // namespace fc::ops

@@ -23,6 +23,7 @@
 #define FC_OPS_NEIGHBOR_H
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dataset/point_cloud.h"
@@ -32,6 +33,7 @@
 
 namespace fc::core {
 class ThreadPool;
+class Workspace;
 }
 
 namespace fc::ops {
@@ -60,14 +62,27 @@ struct NeighborResult
 /**
  * Global ball query: candidates are the whole cloud.
  *
+ * Center rows are independent and dispatch in chunks over @p pool;
+ * every center owns a fixed k-wide output row, so the table is
+ * bit-identical to the sequential path at any thread count.
+ *
  * @param cloud   candidate points
  * @param centers center indices into @p cloud
  * @param radius  search radius R
  * @param k       maximum neighbors per center
+ * @param pool    optional thread pool; null = sequential
  */
 NeighborResult ballQuery(const data::PointCloud &cloud,
                          const std::vector<PointIdx> &centers,
-                         float radius, std::size_t k);
+                         float radius, std::size_t k,
+                         core::ThreadPool *pool = nullptr);
+
+/** Workspace overload: writes into @p out reusing its capacity (the
+ *  allocation-free steady-state path; see core/workspace.h). */
+void ballQuery(const data::PointCloud &cloud,
+               const std::vector<PointIdx> &centers, float radius,
+               std::size_t k, core::ThreadPool *pool,
+               core::Workspace &ws, NeighborResult &out);
 
 /**
  * Global KNN: the k nearest candidates for each query coordinate.
@@ -79,7 +94,13 @@ NeighborResult ballQuery(const data::PointCloud &cloud,
  */
 NeighborResult knnSearch(const data::PointCloud &cloud,
                          const std::vector<PointIdx> &candidates,
-                         const std::vector<Vec3> &queries, std::size_t k);
+                         std::span<const Vec3> queries, std::size_t k);
+
+/** Workspace overload of knnSearch (capacity-reusing @p out). */
+void knnSearch(const data::PointCloud &cloud,
+               const std::vector<PointIdx> &candidates,
+               std::span<const Vec3> queries, std::size_t k,
+               core::Workspace &ws, NeighborResult &out);
 
 /**
  * Block-wise ball query. Centers come from block-wise sampling; the
@@ -90,6 +111,13 @@ NeighborResult blockBallQuery(const data::PointCloud &cloud,
                               const BlockSampleResult &centers,
                               float radius, std::size_t k,
                               core::ThreadPool *pool = nullptr);
+
+/** Workspace overload of blockBallQuery (capacity-reusing @p out). */
+void blockBallQuery(const data::PointCloud &cloud,
+                    const part::BlockTree &tree,
+                    const BlockSampleResult &centers, float radius,
+                    std::size_t k, core::ThreadPool *pool,
+                    core::Workspace &ws, NeighborResult &out);
 
 /**
  * Block-wise KNN used by interpolation: for every point of every leaf
@@ -106,6 +134,14 @@ NeighborResult blockKnnToSamples(const data::PointCloud &cloud,
                                  const BlockSampleResult &sampled,
                                  std::size_t k,
                                  core::ThreadPool *pool = nullptr);
+
+/** Workspace overload of blockKnnToSamples: sorted-candidate scratch
+ *  comes from @p ws's arena, @p out reuses capacity. */
+void blockKnnToSamples(const data::PointCloud &cloud,
+                       const part::BlockTree &tree,
+                       const BlockSampleResult &sampled, std::size_t k,
+                       core::ThreadPool *pool, core::Workspace &ws,
+                       NeighborResult &out);
 
 } // namespace fc::ops
 

@@ -10,6 +10,14 @@ namespace fc::part {
 
 BlockTree::BlockTree(std::uint32_t num_points)
 {
+    reset(num_points);
+}
+
+void
+BlockTree::reset(std::uint32_t num_points)
+{
+    nodes_.clear();
+    leaves_.clear();
     order_.resize(num_points);
     std::iota(order_.begin(), order_.end(), 0u);
 }
@@ -27,21 +35,24 @@ BlockTree::rebuildLeafList()
     leaves_.clear();
     if (nodes_.empty())
         return;
-    // Iterative pre-order walk; right child pushed first so left is
-    // visited first (DFT memory order).
-    std::vector<NodeIdx> stack{0};
-    while (!stack.empty()) {
-        const NodeIdx idx = stack.back();
-        stack.pop_back();
-        const BlockNode &n = nodes_[idx];
-        if (n.isLeaf()) {
-            leaves_.push_back(idx);
-        } else {
-            if (n.right != kNoNode)
-                stack.push_back(n.right);
-            if (n.left != kNoNode)
-                stack.push_back(n.left);
+    // Stackless pre-order walk via parent links (left before right —
+    // DFT memory order): descend leftmost, then climb until a right
+    // sibling remains unvisited. No auxiliary stack means the warm
+    // partitionInto path stays heap-free.
+    NodeIdx cur = 0;
+    for (;;) {
+        while (!nodes_[cur].isLeaf())
+            cur = nodes_[cur].left;
+        leaves_.push_back(cur);
+        NodeIdx parent = nodes_[cur].parent;
+        while (parent != kNoNode && (nodes_[parent].right == cur ||
+                                     nodes_[parent].right == kNoNode)) {
+            cur = parent;
+            parent = nodes_[cur].parent;
         }
+        if (parent == kNoNode)
+            return;
+        cur = nodes_[parent].right;
     }
 }
 

@@ -66,6 +66,14 @@ class BlockTree
     /** Start a tree over @p num_points points (identity order). */
     explicit BlockTree(std::uint32_t num_points);
 
+    /**
+     * Rebuild in place over @p num_points points (identity order):
+     * nodes and leaves are cleared, every buffer keeps its capacity.
+     * The in-place partitionInto path uses this so a warm re-partition
+     * of a same-shape cloud performs zero heap allocations.
+     */
+    void reset(std::uint32_t num_points);
+
     /** Append a node; returns its index. */
     NodeIdx addNode(const BlockNode &node);
 

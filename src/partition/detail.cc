@@ -39,8 +39,8 @@ replaySplits(BlockTree &tree, NodeIdx node_idx, const SplitRec *rec,
     parent.splitDim = rec->dim;
     parent.splitValue = rec->value;
 
-    replaySplits(tree, left_idx, rec->left.get(), stats);
-    replaySplits(tree, right_idx, rec->right.get(), stats);
+    replaySplits(tree, left_idx, rec->left, stats);
+    replaySplits(tree, right_idx, rec->right, stats);
 }
 
 void

@@ -8,10 +8,10 @@
 #define FC_PARTITION_DETAIL_H
 
 #include <cstdint>
-#include <memory>
 #include <utility>
 
 #include "core/parallel.h"
+#include "core/workspace.h"
 #include "dataset/point_cloud.h"
 #include "partition/block_tree.h"
 #include "partition/partitioner.h"
@@ -60,6 +60,13 @@ forkJoin(core::ThreadPool *pool, std::uint32_t size, LeftFn &&left,
  * record tree in exactly the order the sequential builder allocates
  * nodes — so the resulting BlockTree is bit-identical at any thread
  * count.
+ *
+ * Records live in a core::Arena (the partition scratch of the
+ * workspace layer): children are raw pointers, the whole record tree
+ * is reclaimed wholesale by Arena::reset, and a warm same-shape
+ * rebuild replays into the cold run's footprint without touching the
+ * heap. Arena::allocate is thread-safe, so concurrent subtree tasks
+ * may record splits directly.
  */
 struct SplitRec
 {
@@ -73,8 +80,8 @@ struct SplitRec
     /** Stat deltas attributable to this node's split attempts. */
     PartitionStats local;
 
-    std::unique_ptr<SplitRec> left;
-    std::unique_ptr<SplitRec> right;
+    SplitRec *left = nullptr;
+    SplitRec *right = nullptr;
 };
 
 /**

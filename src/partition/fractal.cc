@@ -1,10 +1,10 @@
 #include "partition/fractal.h"
 
 #include <algorithm>
-#include <memory>
 
 #include "common/logging.h"
 #include "core/parallel.h"
+#include "core/workspace.h"
 #include "partition/detail.h"
 
 namespace fc::part {
@@ -19,6 +19,7 @@ struct Builder
     const PartitionConfig &config;
     std::vector<PointIdx> &order;
     core::ThreadPool *pool;
+    core::Arena &arena; ///< split records; reclaimed by Arena::reset
 
     /**
      * Recursively split the order slice [begin, end), mutating only
@@ -26,7 +27,7 @@ struct Builder
      * (see detail::SplitRec). @p dim_counter is the paper's cycling
      * dimension index d. Returns null when the slice stays a leaf.
      */
-    std::unique_ptr<SplitRec>
+    SplitRec *
     build(std::uint32_t begin, std::uint32_t end, std::uint16_t depth,
           int dim_counter)
     {
@@ -34,7 +35,7 @@ struct Builder
         if (size <= config.threshold || depth >= config.max_depth)
             return nullptr; // Leaf.
 
-        auto rec = std::make_unique<SplitRec>();
+        SplitRec *rec = arena.create<SplitRec>();
         // Try the cycling axis first, then the other two for
         // degenerate (non-splittable) layouts.
         for (int attempt = 0; attempt < 3; ++attempt) {
@@ -64,10 +65,10 @@ struct Builder
             // Disjoint slices: fork left, build right on this thread.
             detail::forkJoin(
                 pool, size,
-                [this, begin, split, child_depth, next, &rec] {
+                [this, begin, split, child_depth, next, rec] {
                     rec->left = build(begin, split, child_depth, next);
                 },
-                [this, split, end, child_depth, next, &rec] {
+                [this, split, end, child_depth, next, rec] {
                     rec->right = build(split, end, child_depth, next);
                 });
             return rec;
@@ -81,45 +82,46 @@ struct Builder
 
 } // namespace
 
-PartitionResult
-FractalPartitioner::partition(const data::PointCloud &cloud,
-                              const PartitionConfig &config,
-                              core::ThreadPool *pool) const
+void
+FractalPartitioner::partitionInto(const data::PointCloud &cloud,
+                                  const PartitionConfig &config,
+                                  core::ThreadPool *pool,
+                                  core::Workspace &ws,
+                                  PartitionResult &out) const
 {
     fc_assert(config.threshold > 0, "threshold must be positive");
-    PartitionResult result;
-    result.method = Method::Fractal;
-    result.config = config;
-    result.tree = BlockTree(static_cast<std::uint32_t>(cloud.size()));
+    out.method = Method::Fractal;
+    out.config = config;
+    out.stats = {};
+    out.tree.reset(static_cast<std::uint32_t>(cloud.size()));
 
     BlockNode root;
     root.begin = 0;
     root.end = static_cast<std::uint32_t>(cloud.size());
-    result.tree.addNode(root);
+    out.tree.addNode(root);
 
     // Phase 1 (parallel): reorder the DFT permutation and record the
     // split structure. Phase 2 (sequential, cheap): replay the records
     // into nodes, preserving the sequential allocation order.
-    Builder builder{cloud, config, result.tree.order(), pool};
-    const std::unique_ptr<SplitRec> root_rec =
+    Builder builder{cloud, config, out.tree.order(), pool, ws.arena()};
+    const SplitRec *root_rec =
         builder.build(0, static_cast<std::uint32_t>(cloud.size()), 0,
                       config.first_dim);
-    detail::replaySplits(result.tree, 0, root_rec.get(), result.stats);
+    detail::replaySplits(out.tree, 0, root_rec, out.stats);
 
-    result.tree.rebuildLeafList();
-    detail::computeBounds(result.tree, cloud);
+    out.tree.rebuildLeafList();
+    detail::computeBounds(out.tree, cloud);
 
     // One level-parallel traversal pass per split level: the hardware
     // processes every node of a level concurrently (Fig. 5 right).
     std::uint16_t internal_depth = 0;
-    for (std::size_t i = 0; i < result.tree.numNodes(); ++i) {
-        const BlockNode &n = result.tree.node(static_cast<NodeIdx>(i));
+    for (std::size_t i = 0; i < out.tree.numNodes(); ++i) {
+        const BlockNode &n = out.tree.node(static_cast<NodeIdx>(i));
         if (!n.isLeaf())
             internal_depth = std::max<std::uint16_t>(
                 internal_depth, static_cast<std::uint16_t>(n.depth + 1));
     }
-    result.stats.traversal_passes = internal_depth;
-    return result;
+    out.stats.traversal_passes = internal_depth;
 }
 
 } // namespace fc::part

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
 
 #include "common/logging.h"
 #include "core/parallel.h"
+#include "core/workspace.h"
 #include "partition/detail.h"
 
 namespace fc::part {
@@ -35,8 +35,9 @@ struct Builder
     const PartitionConfig &config;
     std::vector<PointIdx> &order;
     core::ThreadPool *pool;
+    core::Arena &arena; ///< split records; reclaimed by Arena::reset
 
-    std::unique_ptr<SplitRec>
+    SplitRec *
     build(std::uint32_t begin, std::uint32_t end, std::uint16_t depth,
           int dim_counter)
     {
@@ -46,7 +47,7 @@ struct Builder
             return nullptr;
         }
 
-        auto rec = std::make_unique<SplitRec>();
+        SplitRec *rec = arena.create<SplitRec>();
         const int dim = dim_counter % 3;
         // Median split: the hardware performs a full merge sort per
         // node (PointAcc-style sorter, reused by Crescent); we realize
@@ -71,11 +72,11 @@ struct Builder
             static_cast<std::uint16_t>(depth + 1);
         detail::forkJoin(
             pool, size,
-            [this, begin, median, child_depth, dim_counter, &rec] {
+            [this, begin, median, child_depth, dim_counter, rec] {
                 rec->left =
                     build(begin, median, child_depth, dim_counter + 1);
             },
-            [this, median, end, child_depth, dim_counter, &rec] {
+            [this, median, end, child_depth, dim_counter, rec] {
                 rec->right =
                     build(median, end, child_depth, dim_counter + 1);
             });
@@ -85,37 +86,38 @@ struct Builder
 
 } // namespace
 
-PartitionResult
-KdTreePartitioner::partition(const data::PointCloud &cloud,
-                             const PartitionConfig &config,
-                             core::ThreadPool *pool) const
+void
+KdTreePartitioner::partitionInto(const data::PointCloud &cloud,
+                                 const PartitionConfig &config,
+                                 core::ThreadPool *pool,
+                                 core::Workspace &ws,
+                                 PartitionResult &out) const
 {
     fc_assert(config.threshold > 0, "threshold must be positive");
-    PartitionResult result;
-    result.method = Method::KdTree;
-    result.config = config;
-    result.tree = BlockTree(static_cast<std::uint32_t>(cloud.size()));
+    out.method = Method::KdTree;
+    out.config = config;
+    out.stats = {};
+    out.tree.reset(static_cast<std::uint32_t>(cloud.size()));
 
     BlockNode root;
     root.begin = 0;
     root.end = static_cast<std::uint32_t>(cloud.size());
-    result.tree.addNode(root);
+    out.tree.addNode(root);
 
-    Builder builder{cloud, config, result.tree.order(), pool};
-    const std::unique_ptr<SplitRec> root_rec =
+    Builder builder{cloud, config, out.tree.order(), pool, ws.arena()};
+    const SplitRec *root_rec =
         builder.build(0, static_cast<std::uint32_t>(cloud.size()), 0,
                       config.first_dim);
-    detail::replaySplits(result.tree, 0, root_rec.get(), result.stats);
+    detail::replaySplits(out.tree, 0, root_rec, out.stats);
 
-    result.tree.rebuildLeafList();
-    detail::computeBounds(result.tree, cloud);
+    out.tree.rebuildLeafList();
+    detail::computeBounds(out.tree, cloud);
 
     // KD-tree sorts are exclusive and serial: every internal node is
     // its own pass (Fig. 5 left). traversal_passes therefore equals
     // the number of sorts.
-    result.stats.traversal_passes =
-        static_cast<std::uint32_t>(result.stats.num_sorts);
-    return result;
+    out.stats.traversal_passes =
+        static_cast<std::uint32_t>(out.stats.num_sorts);
 }
 
 } // namespace fc::part

@@ -1,10 +1,10 @@
 #include "partition/octree.h"
 
 #include <algorithm>
-#include <memory>
 
 #include "common/logging.h"
 #include "core/parallel.h"
+#include "core/workspace.h"
 #include "partition/detail.h"
 
 namespace fc::part {
@@ -19,6 +19,7 @@ struct Builder
     const PartitionConfig &config;
     std::vector<PointIdx> &order;
     core::ThreadPool *pool;
+    core::Arena &arena; ///< split records; reclaimed by Arena::reset
 
     /**
      * Recursively split the order slice [begin, end) at the space
@@ -26,7 +27,7 @@ struct Builder
      * split structure for the replay. Returns null when the slice
      * stays a leaf.
      */
-    std::unique_ptr<SplitRec>
+    SplitRec *
     build(std::uint32_t begin, std::uint32_t end, std::uint16_t depth,
           int dim_counter, Aabb cell)
     {
@@ -36,7 +37,7 @@ struct Builder
 
         const int dim = dim_counter % 3;
         const float extent = cell.hi[dim] - cell.lo[dim];
-        auto rec = std::make_unique<SplitRec>();
+        SplitRec *rec = arena.create<SplitRec>();
         if (!(extent > 0.0f)) {
             // Degenerate cell (coincident points): give up. The
             // record (dim = -1) carries the retry count only.
@@ -62,12 +63,12 @@ struct Builder
         detail::forkJoin(
             pool, size,
             [this, begin, split, child_depth, dim_counter, left_cell,
-             &rec] {
+             rec] {
                 rec->left = build(begin, split, child_depth,
                                   dim_counter + 1, left_cell);
             },
             [this, split, end, child_depth, dim_counter, right_cell,
-             &rec] {
+             rec] {
                 rec->right = build(split, end, child_depth,
                                    dim_counter + 1, right_cell);
             });
@@ -77,40 +78,42 @@ struct Builder
 
 } // namespace
 
-PartitionResult
-OctreePartitioner::partition(const data::PointCloud &cloud,
-                             const PartitionConfig &config,
-                             core::ThreadPool *pool) const
+void
+OctreePartitioner::partitionInto(const data::PointCloud &cloud,
+                                 const PartitionConfig &config,
+                                 core::ThreadPool *pool,
+                                 core::Workspace &ws,
+                                 PartitionResult &out) const
 {
     fc_assert(config.threshold > 0, "threshold must be positive");
-    PartitionResult result;
-    result.method = Method::Octree;
-    result.config = config;
-    result.tree = BlockTree(static_cast<std::uint32_t>(cloud.size()));
+    out.method = Method::Octree;
+    out.config = config;
+    out.stats = {};
+    out.tree.reset(static_cast<std::uint32_t>(cloud.size()));
 
     BlockNode root;
     root.begin = 0;
     root.end = static_cast<std::uint32_t>(cloud.size());
-    result.tree.addNode(root);
+    out.tree.addNode(root);
 
     // Phase 1 (parallel): reorder the DFT permutation and record the
     // split structure — subtree tasks below the first splits, and the
     // chunked splitRange above them. Phase 2 (sequential, cheap):
     // replay the records into nodes in sequential allocation order.
-    Builder builder{cloud, config, result.tree.order(), pool};
-    std::unique_ptr<SplitRec> root_rec;
+    Builder builder{cloud, config, out.tree.order(), pool, ws.arena()};
+    SplitRec *root_rec = nullptr;
     if (cloud.size() > 0)
         root_rec =
             builder.build(0, static_cast<std::uint32_t>(cloud.size()),
                           0, config.first_dim, cloud.bounds());
-    detail::replaySplits(result.tree, 0, root_rec.get(), result.stats);
+    detail::replaySplits(out.tree, 0, root_rec, out.stats);
 
-    result.tree.rebuildLeafList();
-    detail::computeBounds(result.tree, cloud);
+    out.tree.rebuildLeafList();
+    detail::computeBounds(out.tree, cloud);
 
     std::uint16_t internal_depth = 0;
-    for (std::size_t i = 0; i < result.tree.numNodes(); ++i) {
-        const BlockNode &n = result.tree.node(static_cast<NodeIdx>(i));
+    for (std::size_t i = 0; i < out.tree.numNodes(); ++i) {
+        const BlockNode &n = out.tree.node(static_cast<NodeIdx>(i));
         if (!n.isLeaf())
             internal_depth = std::max<std::uint16_t>(
                 internal_depth, static_cast<std::uint16_t>(n.depth + 1));
@@ -118,8 +121,7 @@ OctreePartitioner::partition(const data::PointCloud &cloud,
     // Octree needs level-order passes plus per-level occupancy
     // bookkeeping; the dynamic subdivision control adds a constant
     // factor modelled in the fractal-engine hardware model.
-    result.stats.traversal_passes = internal_depth;
-    return result;
+    out.stats.traversal_passes = internal_depth;
 }
 
 } // namespace fc::part

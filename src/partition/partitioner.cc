@@ -1,6 +1,7 @@
 #include "partition/partitioner.h"
 
 #include "common/logging.h"
+#include "core/workspace.h"
 #include "partition/detail.h"
 #include "partition/fractal.h"
 #include "partition/kdtree.h"
@@ -15,28 +16,38 @@ namespace {
 class NonePartitioner : public Partitioner
 {
   public:
-    PartitionResult
-    partition(const data::PointCloud &cloud,
-              const PartitionConfig &config,
-              core::ThreadPool * = nullptr) const override
+    void
+    partitionInto(const data::PointCloud &cloud,
+                  const PartitionConfig &config, core::ThreadPool *,
+                  core::Workspace &, PartitionResult &out) const override
     {
-        PartitionResult result;
-        result.method = Method::None;
-        result.config = config;
-        result.tree = BlockTree(static_cast<std::uint32_t>(cloud.size()));
+        out.method = Method::None;
+        out.config = config;
+        out.stats = {};
+        out.tree.reset(static_cast<std::uint32_t>(cloud.size()));
         BlockNode root;
         root.begin = 0;
         root.end = static_cast<std::uint32_t>(cloud.size());
-        result.tree.addNode(root);
-        result.tree.rebuildLeafList();
-        detail::computeBounds(result.tree, cloud);
-        return result;
+        out.tree.addNode(root);
+        out.tree.rebuildLeafList();
+        detail::computeBounds(out.tree, cloud);
     }
 
     Method method() const override { return Method::None; }
 };
 
 } // namespace
+
+PartitionResult
+Partitioner::partition(const data::PointCloud &cloud,
+                       const PartitionConfig &config,
+                       core::ThreadPool *pool) const
+{
+    core::Workspace ws;
+    PartitionResult out;
+    partitionInto(cloud, config, pool, ws, out);
+    return out;
+}
 
 std::string
 methodName(Method method)

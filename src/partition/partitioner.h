@@ -21,6 +21,7 @@
 
 namespace fc::core {
 class ThreadPool;
+class Workspace;
 }
 
 namespace fc::part {
@@ -115,11 +116,27 @@ class Partitioner
      * tree — node order, ranges, split planes, and stats — is
      * bit-identical to the sequential (null-pool) build. Strategies
      * without a parallel builder ignore the pool.
+     *
+     * Thin wrapper over partitionInto with a private workspace; see
+     * below for the allocation-free steady-state variant.
      */
-    virtual PartitionResult
-    partition(const data::PointCloud &cloud,
-              const PartitionConfig &config,
-              core::ThreadPool *pool = nullptr) const = 0;
+    PartitionResult partition(const data::PointCloud &cloud,
+                              const PartitionConfig &config,
+                              core::ThreadPool *pool = nullptr) const;
+
+    /**
+     * Partition in place: @p out is rebuilt (tree reset, stats
+     * zeroed) reusing its buffer capacity, and all construction
+     * scratch — split records, per-chunk staging — is drawn from
+     * @p ws's arena. A warm same-shape rebuild performs zero heap
+     * allocations on the sequential path. Identical output to
+     * partition() at any thread count.
+     */
+    virtual void partitionInto(const data::PointCloud &cloud,
+                               const PartitionConfig &config,
+                               core::ThreadPool *pool,
+                               core::Workspace &ws,
+                               PartitionResult &out) const = 0;
 
     virtual Method method() const = 0;
 
@@ -128,6 +145,31 @@ class Partitioner
 
 /** Factory covering every strategy. */
 std::unique_ptr<Partitioner> makePartitioner(Method method);
+
+/**
+ * Lazily-built, method-keyed partitioner reuse: get() constructs on
+ * first use (or method change) and returns the cached strategy
+ * otherwise, so steady-state re-partitioning (every network stage,
+ * every serve request) skips the factory's heap allocation. Lives in
+ * a workspace slot; single-owner like the rest of the workspace.
+ */
+class PartitionerCache
+{
+  public:
+    const Partitioner &
+    get(Method method)
+    {
+        if (partitioner_ == nullptr || method_ != method) {
+            partitioner_ = makePartitioner(method);
+            method_ = method;
+        }
+        return *partitioner_;
+    }
+
+  private:
+    Method method_ = Method::None;
+    std::unique_ptr<Partitioner> partitioner_;
+};
 
 } // namespace fc::part
 

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
 
 #include "common/logging.h"
 #include "core/parallel.h"
+#include "core/workspace.h"
 #include "partition/detail.h"
 
 namespace fc::part {
@@ -19,6 +19,7 @@ struct Builder
     const data::PointCloud &cloud;
     std::vector<PointIdx> &order;
     core::ThreadPool *pool;
+    core::Arena &arena; ///< split records; reclaimed by Arena::reset
     std::uint16_t target_depth;
 
     /**
@@ -27,14 +28,14 @@ struct Builder
      * Mutates only the order slice [begin, end) and records the split
      * structure for the replay. Returns null at the target depth.
      */
-    std::unique_ptr<SplitRec>
+    SplitRec *
     build(std::uint32_t begin, std::uint32_t end, std::uint16_t depth,
           int dim_counter, Aabb cell)
     {
         if (depth >= target_depth)
             return nullptr; // Leaf (possibly empty).
 
-        auto rec = std::make_unique<SplitRec>();
+        SplitRec *rec = arena.create<SplitRec>();
         const int dim = dim_counter % 3;
         const float mid = cell.midpoint(dim);
         const std::uint32_t split = detail::splitRange(
@@ -55,12 +56,12 @@ struct Builder
         detail::forkJoin(
             pool, end - begin,
             [this, begin, split, child_depth, dim_counter, left_cell,
-             &rec] {
+             rec] {
                 rec->left = build(begin, split, child_depth,
                                   dim_counter + 1, left_cell);
             },
             [this, split, end, child_depth, dim_counter, right_cell,
-             &rec] {
+             rec] {
                 rec->right = build(split, end, child_depth,
                                    dim_counter + 1, right_cell);
             });
@@ -70,21 +71,23 @@ struct Builder
 
 } // namespace
 
-PartitionResult
-UniformPartitioner::partition(const data::PointCloud &cloud,
-                              const PartitionConfig &config,
-                              core::ThreadPool *pool) const
+void
+UniformPartitioner::partitionInto(const data::PointCloud &cloud,
+                                  const PartitionConfig &config,
+                                  core::ThreadPool *pool,
+                                  core::Workspace &ws,
+                                  PartitionResult &out) const
 {
     fc_assert(config.threshold > 0, "threshold must be positive");
-    PartitionResult result;
-    result.method = Method::Uniform;
-    result.config = config;
-    result.tree = BlockTree(static_cast<std::uint32_t>(cloud.size()));
+    out.method = Method::Uniform;
+    out.config = config;
+    out.stats = {};
+    out.tree.reset(static_cast<std::uint32_t>(cloud.size()));
 
     BlockNode root;
     root.begin = 0;
     root.end = static_cast<std::uint32_t>(cloud.size());
-    result.tree.addNode(root);
+    out.tree.addNode(root);
 
     // Fixed depth: enough levels that a uniform cloud would satisfy
     // the threshold.
@@ -100,20 +103,19 @@ UniformPartitioner::partition(const data::PointCloud &cloud,
     // Phase 1 (parallel): reorder the DFT permutation and record the
     // split structure. Phase 2 (sequential, cheap): replay the records
     // into nodes in sequential allocation order.
-    Builder builder{cloud, result.tree.order(), pool, depth};
-    std::unique_ptr<SplitRec> root_rec;
+    Builder builder{cloud, out.tree.order(), pool, ws.arena(), depth};
+    SplitRec *root_rec = nullptr;
     if (cloud.size() > 0)
         root_rec =
             builder.build(0, static_cast<std::uint32_t>(cloud.size()),
                           0, config.first_dim, cloud.bounds());
-    detail::replaySplits(result.tree, 0, root_rec.get(), result.stats);
+    detail::replaySplits(out.tree, 0, root_rec, out.stats);
 
-    result.tree.rebuildLeafList();
-    detail::computeBounds(result.tree, cloud);
+    out.tree.rebuildLeafList();
+    detail::computeBounds(out.tree, cloud);
     // Space-uniform partitioning needs one streaming pass per level
     // (split planes are known a priori; no extrema traversals).
-    result.stats.traversal_passes = depth;
-    return result;
+    out.stats.traversal_passes = depth;
 }
 
 } // namespace fc::part

@@ -21,10 +21,10 @@ namespace fc::part {
 class UniformPartitioner : public Partitioner
 {
   public:
-    PartitionResult
-    partition(const data::PointCloud &cloud,
-              const PartitionConfig &config,
-              core::ThreadPool *pool = nullptr) const override;
+    void partitionInto(const data::PointCloud &cloud,
+                       const PartitionConfig &config,
+                       core::ThreadPool *pool, core::Workspace &ws,
+                       PartitionResult &out) const override;
 
     Method method() const override { return Method::Uniform; }
 };

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "core/workspace.h"
 #include "ops/fps.h"
 #include "ops/gather.h"
 #include "ops/neighbor.h"
@@ -95,6 +96,40 @@ AsyncPipeline::notifyObserver(std::uint64_t id, Stage stage)
         options_.stage_observer(Ticket{id}, stage);
 }
 
+std::unique_ptr<core::Workspace>
+AsyncPipeline::checkoutWorkspace()
+{
+    {
+        std::lock_guard<std::mutex> lock(ws_mutex_);
+        if (!ws_free_.empty()) {
+            std::unique_ptr<core::Workspace> ws =
+                std::move(ws_free_.back());
+            ws_free_.pop_back();
+            ws->reset();
+            return ws;
+        }
+        ++ws_created_;
+    }
+    // Cold path: first request at this concurrency level. The pool
+    // can never exceed the executor count, which the ThreadPool
+    // bounds at its thread count.
+    return std::make_unique<core::Workspace>();
+}
+
+void
+AsyncPipeline::checkinWorkspace(std::unique_ptr<core::Workspace> ws)
+{
+    std::lock_guard<std::mutex> lock(ws_mutex_);
+    ws_free_.push_back(std::move(ws));
+}
+
+std::size_t
+AsyncPipeline::workspacesCreated() const
+{
+    std::lock_guard<std::mutex> lock(ws_mutex_);
+    return ws_created_;
+}
+
 void
 AsyncPipeline::execute()
 {
@@ -115,49 +150,72 @@ AsyncPipeline::execute()
     const std::uint64_t id = job->id;
     const data::PointCloud &cloud = *job->cloud;
 
+    // One warm workspace per ticket: intermediates (the partition,
+    // op scratch, the inference stage's level buffers) reuse memory
+    // grown by earlier requests; result payloads (BatchResult) stay
+    // freshly owned because they outlive the workspace's checkout.
+    // The lease scope closes *before* the terminal complete()/fail()
+    // transition: the moment a waiter observes the outcome, the
+    // workspace is already back on the free list, so back-to-back
+    // sequential requests reuse one workspace deterministically.
+    struct WorkspaceLease
+    {
+        AsyncPipeline *owner;
+        std::unique_ptr<core::Workspace> ws;
+        ~WorkspaceLease() { owner->checkinWorkspace(std::move(ws)); }
+    };
+
+    BatchResult out;
     try {
+        WorkspaceLease lease{this, checkoutWorkspace()};
+        core::Workspace &ws = *lease.ws;
+
         notifyObserver(id, Stage::Started);
         if (!scheduler_.checkpoint(id, &spill))
             return;
 
         part::PartitionConfig config;
         config.threshold = options_.pipeline.threshold;
-        const auto partitioner =
-            part::makePartitioner(options_.pipeline.method);
-        const part::PartitionResult part =
-            partitioner->partition(cloud, config, pool());
+        part::PartitionerCache &pcache =
+            ws.slot<part::PartitionerCache>("srv.pcache");
+        part::PartitionResult &part =
+            ws.slot<part::PartitionResult>("srv.part");
+        pcache.get(options_.pipeline.method)
+            .partitionInto(cloud, config, pool(), ws, part);
         notifyObserver(id, Stage::Partitioned);
         if (!scheduler_.checkpoint(id, &spill))
             return;
 
-        BatchResult out;
         ops::FpsOptions fps;
         fps.window_check = options_.pipeline.window_check;
-        out.sampled = ops::blockFarthestPointSample(
-            cloud, part.tree, job->request.sample_rate, fps, pool());
+        ops::blockFarthestPointSample(cloud, part.tree,
+                                      job->request.sample_rate, fps,
+                                      pool(), ws, out.sampled);
         notifyObserver(id, Stage::Sampled);
         if (!scheduler_.checkpoint(id, &spill))
             return;
 
-        out.grouped =
-            ops::blockBallQuery(cloud, part.tree, out.sampled,
-                                job->request.radius,
-                                job->request.neighbors, pool());
+        ops::blockBallQuery(cloud, part.tree, out.sampled,
+                            job->request.radius,
+                            job->request.neighbors, pool(), ws,
+                            out.grouped);
         notifyObserver(id, Stage::Grouped);
         if (!scheduler_.checkpoint(id, &spill))
             return;
 
-        out.gathered = ops::blockGatherNeighborhoods(
+        ops::blockGatherNeighborhoods(
             cloud, part.tree, out.sampled.indices,
-            out.sampled.leaf_offsets, out.grouped, pool());
+            out.sampled.leaf_offsets, out.grouped, pool(), ws,
+            out.gathered);
         out.partition_stats = part.stats;
         out.num_blocks = part.tree.leaves().size();
 
         if (job->request.network != nullptr) {
             // End-to-end inference stage: the serving pool drives the
             // network's internals (per-stage re-partition, block ops,
-            // MLPs, pooling). Extra checkpoint first — inference is
-            // the most expensive stage, so cancels/deadlines issued
+            // MLPs, pooling), all drawing from this ticket's warm
+            // workspace. Extra checkpoint first — inference is the
+            // most expensive stage, so cancels/deadlines issued
             // during gathering are honored before it starts.
             if (!scheduler_.checkpoint(id, &spill))
                 return;
@@ -168,13 +226,17 @@ AsyncPipeline::execute()
             // Stage 0 of the network reuses the partition this
             // request already built instead of recomputing it.
             backend.root_partition = &part;
-            out.inference =
-                job->request.network->run(cloud, backend);
+            out.inference.emplace();
+            job->request.network->run(cloud, backend, ws,
+                                      *out.inference);
         }
-        scheduler_.complete(id, std::move(out));
+        // Lease scope ends here: the workspace is checked in before
+        // the request becomes observable as Done.
     } catch (...) {
         scheduler_.fail(id, std::current_exception());
+        return;
     }
+    scheduler_.complete(id, std::move(out));
 }
 
 } // namespace fc::serve

@@ -21,7 +21,15 @@
  *     fewer than pool threads; otherwise requests run one-per-thread.
  *     The decision is re-evaluated at every stage boundary, so the
  *     last big request of a batch starts spilling once its peers
- *     finish.
+ *     finish, and
+ *   - a free-list pool of core::Workspace instances, one checked out
+ *     per ticket: every request's intermediates (partition trees,
+ *     op scratch, the inference stage's per-level buffers) draw from
+ *     a workspace warmed by earlier requests, so repeated same-shape
+ *     requests stop allocating intermediates entirely — the heap is
+ *     touched only for the result payload handed to the client.
+ *     The pool never exceeds the executor count (= pool threads), so
+ *     steady-state memory is bounded by the largest shapes seen.
  *
  * Results are byte-identical to the blocking path at any thread
  * count: every stage is deterministic with respect to its pool, so
@@ -39,10 +47,13 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <vector>
 
 #include "core/parallel.h"
 #include "core/pipeline.h"
+#include "core/workspace.h"
 #include "serve/scheduler.h"
 
 namespace fc::serve {
@@ -171,6 +182,13 @@ class AsyncPipeline
         return scheduler_.runningCount();
     }
 
+    /**
+     * Workspaces created so far (telemetry): stops growing once every
+     * concurrent executor has one — sequential same-shape traffic
+     * reports 1, proving warm reuse.
+     */
+    std::size_t workspacesCreated() const;
+
     /** Records held (pending + terminal-but-uncollected). */
     std::size_t liveRecordCount() const
     {
@@ -183,7 +201,23 @@ class AsyncPipeline
 
     void notifyObserver(std::uint64_t id, Stage stage);
 
+    /** Pop a warm workspace (reset) or create one (first-seen
+     *  concurrency); checkinWorkspace returns it to the free list. */
+    std::unique_ptr<core::Workspace> checkoutWorkspace();
+    void checkinWorkspace(std::unique_ptr<core::Workspace> ws);
+
     ServeOptions options_;
+
+    /** Declared before pool_ deliberately: an executor task returns
+     *  its workspace lease as its very last action, which can race
+     *  destruction — ~AsyncPipeline retires all requests, then
+     *  ~ThreadPool joins the workers, and only after that join may
+     *  the free list die. Reverse member order would free the list
+     *  under a still-running check-in. */
+    mutable std::mutex ws_mutex_;
+    std::vector<std::unique_ptr<core::Workspace>> ws_free_;
+    std::size_t ws_created_ = 0;
+
     core::ThreadPool pool_;
     Scheduler scheduler_;
 };
