@@ -12,6 +12,10 @@
  *   - workspace cold: first call on a fresh workspace (growth),
  *   - workspace warm: steady state — the headline row, which must
  *     report 0 allocations per request on the sequential executor,
+ *   - pooled warm: the same steady state on a 2-thread pool — also
+ *     0 allocations now that chunk tasks use the pool's inline task
+ *     slots (no std::function closures) and parallelReduce stages
+ *     per-chunk values on the stack,
  *   - serve warm: AsyncPipeline steady state, where only the result
  *     payload allocates (intermediates come from pooled workspaces).
  *
@@ -124,6 +128,29 @@ churnTable()
     table.addRow({"infer-ws-warm", std::to_string(warm.allocs),
                   fc::Table::num(warm.ms), std::to_string(kReps)});
 
+    // Pooled warm: the same steady state on a multi-thread pool.
+    // Chunk closures ride the ThreadPool's inline task slots and
+    // parallelReduce stages on the stack, so pooled dispatch no
+    // longer allocates task closures — allocs/req must be 0 here
+    // too (the ROADMAP's "pooled dispatch still allocates" item).
+    fc::PipelineOptions pooled_options = options;
+    pooled_options.num_threads = 2;
+    const fc::FractalCloudPipeline pooled(scene, pooled_options);
+    fc::nn::InferenceResult pooled_out;
+    pooled.infer(network, pooled_out);
+    pooled.infer(network, pooled_out);
+    const Sample pooled_warm = measure(
+        [&] {
+            pooled.infer(network, pooled_out);
+            benchmark::DoNotOptimize(
+                pooled_out.embedding.data().data());
+        },
+        kReps);
+    table.addRow({"infer-ws-warm-pooled",
+                  std::to_string(pooled_warm.allocs),
+                  fc::Table::num(pooled_warm.ms),
+                  std::to_string(kReps)});
+
     // Serve warm: pooled workspaces; only the result payload (and the
     // ticket bookkeeping) allocates per request.
     fc::serve::ServeOptions serve_options;
@@ -151,12 +178,17 @@ churnTable()
     fcb::emit(table, "bench_memory_churn",
               "Heap allocations per request, cold vs warm workspaces "
               "(" + std::to_string(kPoints) + " points, seg model, " +
-                  "sequential executor)");
+                  "sequential + 2-thread executors)");
 
     if (warm.allocs != 0)
         std::printf("WARNING: warm workspace path performed %llu "
                     "allocations per request (expected 0)\n",
                     static_cast<unsigned long long>(warm.allocs));
+    if (pooled_warm.allocs != 0)
+        std::printf("WARNING: pooled warm workspace path performed "
+                    "%llu allocations per request (expected 0)\n",
+                    static_cast<unsigned long long>(
+                        pooled_warm.allocs));
 }
 
 /** Micro kernel: warm steady-state infer under the benchmark timer. */

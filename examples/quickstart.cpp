@@ -12,9 +12,12 @@
  *   7. serve clouds asynchronously with submit/poll, deadlines, and
  *      the work-conserving scheduler,
  *   8. run threaded end-to-end network inference, bit-identical to
- *      the sequential path, and
+ *      the sequential path,
  *   9. reach the allocation-free steady state: warm workspace
- *      inference that never touches the heap allocator.
+ *      inference that never touches the heap allocator, and
+ *  10. scale the serving runtime out: executor shards with
+ *      consistent-hash placement, priority classes with weighted
+ *      aging, and bounded waits.
  *
  * Build & run:  ./build/quickstart
  */
@@ -231,5 +234,77 @@ main()
                 "results %s\n",
                 warm_ms.count(), infer_ms.count(),
                 reuse_identical ? "bit-identical" : "DIVERGED (bug!)");
+
+    // 10. The sharded, priority-aware serving runtime. Three knobs
+    // turn the single-pool frontend of section 7 into a multi-tenant
+    // service core:
+    //
+    //   - num_shards: the executor becomes N independent ThreadPool
+    //     shards (one per socket is the natural unit). Requests are
+    //     placed by consistent hashing — by ticket id by default
+    //     (uniform spread), or by the submit call's placement_key,
+    //     which guarantees equal keys land on equal shards: a session
+    //     that always sends key=42 keeps hitting the same shard's
+    //     warm workspaces. Growing N moves only ~1/(N+1) of keys.
+    //   - Priority (Interactive / Batch / Background): backlogged
+    //     classes share each shard 8:4:1 under weighted aging. Bulk
+    //     traffic cannot starve background work, and in admission
+    //     order an Interactive request is never overtaken by more
+    //     than the aged lower-class share. (Granularity caveat: a
+    //     lower-class request already *running* — or spilling its
+    //     block chunks onto an idle shard — finishes its current
+    //     stage before yielding; preemption happens at stage
+    //     boundaries, and idle-only borrowing keeps spilled chunks
+    //     off shards with queued work.)
+    //   - waitFor: a bounded wait() that does NOT cancel on timeout —
+    //     poll loops with latency budgets keep the ticket live.
+    //
+    // Placement guarantee: shard choice and priority order change
+    // WHEN a request runs, never WHAT it computes — results stay
+    // byte-identical at any shard count (the sharded determinism
+    // tests compare shards {1,2,4} x threads {1,2,8} bit for bit).
+    // The work-conserving scheduler also spills cross-shard: a busy
+    // shard borrows an idle neighbor's cores for its block items.
+    //
+    // bench_shard_scaling prints p50/p99 per (shard count, class):
+    // read the interactive rows for the protected tail, the
+    // background rows for the cost of not being starved, and the
+    // shard sweep for how the tail tightens with added shards.
+    serve::ServeOptions sharded_options;
+    sharded_options.pipeline = options;
+    sharded_options.num_shards = 2;
+    sharded_options.queue_capacity = 16;
+    serve::AsyncPipeline sharded(sharded_options);
+    std::printf("sharded serving: %u shards x %u threads\n",
+                sharded.numShards(), sharded.numThreads());
+
+    constexpr std::uint64_t kSessionKey = 42; // placement affinity
+    const serve::Ticket fg = sharded.submit(
+        batch[0], request, std::chrono::seconds(10),
+        serve::Priority::Interactive, kSessionKey);
+    const serve::Ticket bg = sharded.submit(
+        batch[1], request, std::chrono::seconds(10),
+        serve::Priority::Background, kSessionKey);
+
+    // Bounded wait: give the background ticket a 1 ms budget first —
+    // usually not done yet (the interactive request leads), and the
+    // timeout leaves it queued/running rather than cancelling it.
+    if (auto early =
+            sharded.waitFor(bg, std::chrono::milliseconds(1))) {
+        std::printf("background done within 1 ms (%s)\n",
+                    serve::stateName(early->state));
+        (void)early;
+    } else {
+        std::printf("background not done after 1 ms -> still %s\n",
+                    serve::stateName(sharded.state(bg)));
+        const serve::RequestOutcome late = sharded.wait(bg);
+        std::printf("background finished %s on shard %u (%s)\n",
+                    serve::stateName(late.state), late.shard,
+                    serve::priorityName(late.priority));
+    }
+    const serve::RequestOutcome fg_outcome = sharded.wait(fg);
+    std::printf("interactive finished %s on shard %u — same shard, "
+                "same session key\n",
+                serve::stateName(fg_outcome.state), fg_outcome.shard);
     return 0;
 }

@@ -63,10 +63,21 @@ ThreadPool::submitDetached(std::function<void()> task)
 }
 
 void
+ThreadPool::enqueueForkJoin(InlineTask task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push(std::move(task));
+    }
+    work_cv_.notify_one();
+}
+
+void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> task;
+        InlineTask chunk;
+        std::function<void()> detached;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_cv_.wait(lock, [this] {
@@ -75,16 +86,18 @@ ThreadPool::workerLoop()
             // Fork/join chunks first: they unblock waiters and keep
             // spilled requests moving; detached requests follow.
             if (!queue_.empty()) {
-                task = std::move(queue_.front());
-                queue_.pop_front();
+                chunk = queue_.pop();
             } else if (!detached_.empty()) {
-                task = std::move(detached_.front());
+                detached = std::move(detached_.front());
                 detached_.pop_front();
             } else {
                 return; // stop_ set and nothing left to run
             }
         }
-        task();
+        if (chunk)
+            chunk();
+        else
+            detached();
     }
 }
 
@@ -115,43 +128,15 @@ TaskGroup::record(std::exception_ptr e)
 }
 
 void
-TaskGroup::run(std::function<void()> fn)
+TaskGroup::finish(ThreadPool *pool)
 {
-    if (pool_ == nullptr) {
-        // Sequential path: run now, on this thread, in submission
-        // order. Exceptions are recorded and rethrown at wait() so
-        // both paths observe identical semantics.
-        try {
-            fn();
-        } catch (...) {
-            record(std::current_exception());
-        }
-        return;
-    }
-    pending_.fetch_add(1, std::memory_order_acq_rel);
-    // The group lives on the waiter's stack and may be destroyed the
-    // instant pending_ reaches zero; the final notification must go
-    // through a by-value pool pointer, not through `this`.
-    auto task = [this, pool = pool_, fn = std::move(fn)] {
-        try {
-            fn();
-        } catch (...) {
-            record(std::current_exception());
-        }
-        {
-            // Decrement under the pool mutex so a waiter holding it
-            // cannot miss the final notification. Last access to
-            // `this`.
-            std::lock_guard<std::mutex> lock(pool->mutex_);
-            pending_.fetch_sub(1, std::memory_order_acq_rel);
-        }
-        pool->work_cv_.notify_all();
-    };
     {
-        std::lock_guard<std::mutex> lock(pool_->mutex_);
-        pool_->queue_.emplace_back(std::move(task));
+        // Decrement under the pool mutex so a waiter holding it
+        // cannot miss the final notification. Last access to `this`.
+        std::lock_guard<std::mutex> lock(pool->mutex_);
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
     }
-    pool_->work_cv_.notify_one();
+    pool->work_cv_.notify_all();
 }
 
 void
@@ -165,8 +150,7 @@ TaskGroup::wait()
                 // task may belong to another group — draining any
                 // work keeps the whole pool making progress and makes
                 // nested fork/join deadlock-free.
-                auto task = std::move(pool_->queue_.front());
-                pool_->queue_.pop_front();
+                InlineTask task = pool_->queue_.pop();
                 lock.unlock();
                 task();
                 lock.lock();
@@ -191,13 +175,12 @@ TaskGroup::wait()
 
 void
 parallelForImpl(ThreadPool *pool, std::size_t begin, std::size_t end,
-                std::size_t grain,
-                const std::function<void(std::size_t, std::size_t)> &fn)
+                std::size_t grain, detail::ChunkRef fn)
 {
     TaskGroup group(pool);
     for (std::size_t cb = begin; cb < end; cb += grain) {
         const std::size_t ce = std::min(cb + grain, end);
-        group.run([&fn, cb, ce] { fn(cb, ce); });
+        group.run([fn, cb, ce] { fn.call(fn.ctx, cb, ce); });
     }
     group.wait();
 }

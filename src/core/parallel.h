@@ -25,17 +25,203 @@
 #define FC_CORE_PARALLEL_H
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <new>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace fc::core {
+
+/**
+ * Fixed-capacity small-buffer callable: the task slot of the pooled
+ * dispatch path.
+ *
+ * Chunk tasks used to be std::function, whose capture blocks exceed
+ * its small-buffer optimization and heap-allocate one closure per
+ * chunk — the last allocation on the pooled steady-state path.
+ * InlineTask stores callables up to kStorageBytes directly in the
+ * slot (every chunk closure the runtime produces fits); oversized or
+ * throwing-move callables fall back to a heap box, preserving
+ * correctness for arbitrary user tasks.
+ *
+ * Move-only. A task is invoked at most once; destruction (not
+ * invocation) releases the callable.
+ */
+class InlineTask
+{
+  public:
+    /** Sized for the largest runtime closure (a partition builder's
+     *  fork: this + slice bounds + an Aabb cell + a record pointer,
+     *  plus the TaskGroup wrapper's bookkeeping). */
+    static constexpr std::size_t kStorageBytes = 96;
+
+    InlineTask() = default;
+
+    template <typename Fn,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<Fn>, InlineTask>>>
+    explicit InlineTask(Fn &&fn)
+    {
+        using Decayed = std::decay_t<Fn>;
+        if constexpr (sizeof(Decayed) <= kStorageBytes &&
+                      alignof(Decayed) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Decayed>) {
+            ::new (static_cast<void *>(storage_))
+                Decayed(std::forward<Fn>(fn));
+            vtable_ = &inlineVTable<Decayed>;
+        } else {
+            // Heap fallback: the slot holds one owning pointer.
+            ::new (static_cast<void *>(storage_)) Decayed *(
+                new Decayed(std::forward<Fn>(fn)));
+            vtable_ = &heapVTable<Decayed>;
+        }
+    }
+
+    InlineTask(InlineTask &&other) noexcept { moveFrom(other); }
+
+    InlineTask &
+    operator=(InlineTask &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineTask(const InlineTask &) = delete;
+    InlineTask &operator=(const InlineTask &) = delete;
+
+    ~InlineTask() { reset(); }
+
+    explicit operator bool() const { return vtable_ != nullptr; }
+
+    void
+    operator()()
+    {
+        vtable_->invoke(storage_);
+    }
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void *);
+        /** Move-construct into @p dst from @p src, destroying src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Decayed>
+    static constexpr VTable inlineVTable = {
+        [](void *p) { (*std::launder(reinterpret_cast<Decayed *>(p)))(); },
+        [](void *dst, void *src) {
+            Decayed *from = std::launder(reinterpret_cast<Decayed *>(src));
+            ::new (dst) Decayed(std::move(*from));
+            from->~Decayed();
+        },
+        [](void *p) {
+            std::launder(reinterpret_cast<Decayed *>(p))->~Decayed();
+        },
+    };
+
+    template <typename Decayed>
+    static constexpr VTable heapVTable = {
+        [](void *p) {
+            (**std::launder(reinterpret_cast<Decayed **>(p)))();
+        },
+        [](void *dst, void *src) {
+            ::new (dst) Decayed *(
+                *std::launder(reinterpret_cast<Decayed **>(src)));
+        },
+        [](void *p) {
+            delete *std::launder(reinterpret_cast<Decayed **>(p));
+        },
+    };
+
+    void
+    moveFrom(InlineTask &other) noexcept
+    {
+        vtable_ = other.vtable_;
+        if (vtable_ != nullptr) {
+            vtable_->relocate(storage_, other.storage_);
+            other.vtable_ = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (vtable_ != nullptr) {
+            vtable_->destroy(storage_);
+            vtable_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kStorageBytes];
+    const VTable *vtable_ = nullptr;
+};
+
+/**
+ * Growable ring of InlineTask slots — the fork/join lane's queue.
+ *
+ * Capacity doubles on overflow and is never returned, so a pool that
+ * has seen its peak chunk backlog enqueues and dequeues without
+ * touching the heap: the allocation-free steady state of the
+ * workspace layer (core/workspace.h) extends to pooled dispatch.
+ */
+class TaskRing
+{
+  public:
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    void
+    push(InlineTask &&task)
+    {
+        if (size_ == slots_.size())
+            grow();
+        slots_[(head_ + size_) & mask_] = std::move(task);
+        ++size_;
+    }
+
+    InlineTask
+    pop()
+    {
+        InlineTask task = std::move(slots_[head_]);
+        head_ = (head_ + 1) & mask_;
+        --size_;
+        return task;
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t capacity =
+            std::max<std::size_t>(64, slots_.size() * 2);
+        std::vector<InlineTask> next(capacity);
+        for (std::size_t i = 0; i < size_; ++i)
+            next[i] = std::move(slots_[(head_ + i) & mask_]);
+        slots_ = std::move(next);
+        mask_ = capacity - 1;
+        head_ = 0;
+    }
+
+    std::vector<InlineTask> slots_; ///< power-of-two capacity
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
 
 /**
  * Fixed-size thread pool with two FIFO lanes:
@@ -90,11 +276,16 @@ class ThreadPool
   private:
     friend class TaskGroup;
 
+    /** Push one chunk task onto the fork/join lane and wake a
+     *  worker. The InlineTask slot keeps the push allocation-free
+     *  once the ring has grown to its peak backlog. */
+    void enqueueForkJoin(InlineTask task);
+
     void workerLoop();
 
     unsigned num_threads_;
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;    ///< fork/join lane
+    TaskRing queue_;                             ///< fork/join lane
     std::deque<std::function<void()>> detached_; ///< detached lane
     std::mutex mutex_;
     std::condition_variable work_cv_;
@@ -118,8 +309,42 @@ class TaskGroup
     TaskGroup(const TaskGroup &) = delete;
     TaskGroup &operator=(const TaskGroup &) = delete;
 
-    /** Fork one task. The callable must stay valid until wait(). */
-    void run(std::function<void()> fn);
+    /**
+     * Fork one task. Small callables ride the pool's inline task
+     * slots without touching the heap (see InlineTask); the template
+     * also keeps the sequential path free of any std::function
+     * materialization.
+     */
+    template <typename Fn>
+    void
+    run(Fn &&fn)
+    {
+        if (pool_ == nullptr) {
+            // Sequential path: run now, on this thread, in submission
+            // order. Exceptions are recorded and rethrown at wait() so
+            // both paths observe identical semantics.
+            try {
+                fn();
+            } catch (...) {
+                record(std::current_exception());
+            }
+            return;
+        }
+        pending_.fetch_add(1, std::memory_order_acq_rel);
+        // The group lives on the waiter's stack and may be destroyed
+        // the instant pending_ reaches zero; the final notification
+        // must go through a by-value pool pointer, not through
+        // `this`.
+        pool_->enqueueForkJoin(InlineTask(
+            [this, pool = pool_, fn = std::forward<Fn>(fn)]() mutable {
+                try {
+                    fn();
+                } catch (...) {
+                    record(std::current_exception());
+                }
+                finish(pool);
+            }));
+    }
 
     /** Join all forked tasks; rethrows the first recorded exception. */
     void wait();
@@ -127,16 +352,36 @@ class TaskGroup
   private:
     void record(std::exception_ptr e);
 
+    /** Decrement pending_ under the pool mutex (so a waiter holding
+     *  it cannot miss the final notification) and wake waiters. Last
+     *  access to `this`. */
+    void finish(ThreadPool *pool);
+
     ThreadPool *pool_; ///< null = inline execution
     std::atomic<std::size_t> pending_{0};
     std::mutex exception_mutex_;
     std::exception_ptr exception_;
 };
 
+namespace detail {
+
+/** Non-owning callable reference: parallelFor hands its body to the
+ *  out-of-line chunk dispatcher through one of these, so no
+ *  std::function (and no closure allocation) ever materializes on the
+ *  pooled path. The referent must outlive the dispatch — parallelFor
+ *  keeps it alive on the caller's stack through the join. */
+struct ChunkRef
+{
+    void *ctx;
+    void (*call)(void *, std::size_t, std::size_t);
+};
+
+} // namespace detail
+
 /** Pooled body of parallelFor (chunks become TaskGroup tasks). */
 void parallelForImpl(ThreadPool *pool, std::size_t begin,
                      std::size_t end, std::size_t grain,
-                     const std::function<void(std::size_t, std::size_t)> &fn);
+                     detail::ChunkRef fn);
 
 /**
  * Chunked parallel loop over [begin, end).
@@ -165,7 +410,15 @@ parallelFor(ThreadPool *pool, std::size_t begin, std::size_t end,
             fn(cb, std::min(cb + g, end));
         return;
     }
-    parallelForImpl(pool, begin, end, g, fn);
+    parallelForImpl(
+        pool, begin, end, g,
+        detail::ChunkRef{
+            const_cast<void *>(
+                static_cast<const void *>(std::addressof(fn))),
+            [](void *ctx, std::size_t cb, std::size_t ce) {
+                (*static_cast<std::remove_reference_t<Fn> *>(ctx))(cb,
+                                                                   ce);
+            }});
 }
 
 /**
@@ -195,6 +448,13 @@ costGrain(std::size_t ops_per_item, std::size_t target_ops = 1 << 15)
  * on the thread count, so even non-commutative merges (e.g. appending
  * per-leaf sample lists) are bit-identical to sequential execution.
  */
+/** Pooled parallelReduce stages up to this many per-chunk values on
+ *  the caller's stack; larger chunk counts fall back to one heap
+ *  vector. Sized so the hot serving/inference shapes (per-leaf
+ *  reduces at a few dozen leaves, extrema scans at kSplitGrain) stay
+ *  allocation-free warm. */
+inline constexpr std::size_t kReduceInlineChunks = 64;
+
 template <typename T, typename ChunkFn, typename FoldFn>
 T
 parallelReduce(ThreadPool *pool, std::size_t begin, std::size_t end,
@@ -206,20 +466,30 @@ parallelReduce(ThreadPool *pool, std::size_t begin, std::size_t end,
     const std::size_t g = std::max<std::size_t>(1, grain);
     if (pool == nullptr || pool->numThreads() <= 1) {
         // Sequential fast path: same chunk boundaries and fold order,
-        // but no per-chunk staging vector — the inline loops of the
+        // but no per-chunk staging at all — the inline loops of the
         // allocation-free steady state never touch the heap.
         for (std::size_t cb = begin; cb < end; cb += g)
             fold_fn(init, chunk_fn(cb, std::min(cb + g, end)));
         return init;
     }
     const std::size_t num_chunks = (end - begin + g - 1) / g;
-    std::vector<T> partial(num_chunks);
-    parallelFor(pool, begin, end, g,
-                [&](std::size_t cb, std::size_t ce) {
-                    partial[(cb - begin) / g] = chunk_fn(cb, ce);
-                });
-    for (std::size_t c = 0; c < num_chunks; ++c)
-        fold_fn(init, std::move(partial[c]));
+    const auto reduce_into = [&](T *partial) {
+        parallelFor(pool, begin, end, g,
+                    [&](std::size_t cb, std::size_t ce) {
+                        partial[(cb - begin) / g] = chunk_fn(cb, ce);
+                    });
+        for (std::size_t c = 0; c < num_chunks; ++c)
+            fold_fn(init, std::move(partial[c]));
+    };
+    if (num_chunks <= kReduceInlineChunks) {
+        // Stack staging: the pooled reduce performs zero heap
+        // allocations, matching the inline-task dispatch underneath.
+        std::array<T, kReduceInlineChunks> partial{};
+        reduce_into(partial.data());
+    } else {
+        std::vector<T> partial(num_chunks);
+        reduce_into(partial.data());
+    }
     return init;
 }
 

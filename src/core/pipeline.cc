@@ -1,9 +1,12 @@
 #include "core/pipeline.h"
 
-#include <exception>
-
 #include "common/logging.h"
-#include "serve/async_pipeline.h"
+
+// Layering note: this file must not reach up into serve/ — the core
+// library is a standalone CMake target the serving layer links
+// against, never the reverse. The blocking runBatch wrapper (which
+// rides the async serving path) therefore lives in
+// serve/run_batch.cc, inside the fc_serve target.
 
 namespace fc {
 
@@ -110,58 +113,6 @@ FractalCloudPipeline::estimate(const nn::ModelConfig &model) const
     const accel::BlockSummary blocks =
         accel::summarizeBlocks(partition_);
     return accel.runShape(shape, blocks);
-}
-
-std::vector<BatchResult>
-FractalCloudPipeline::runBatch(const std::vector<data::PointCloud> &clouds,
-                               const PipelineOptions &options,
-                               const BatchRequest &request)
-{
-    fc_assert(request.neighbors > 0, "batch needs neighbors > 0");
-    std::vector<BatchResult> results(clouds.size());
-    if (clouds.empty())
-        return results;
-
-    // Re-expressed over the async serving path: one ticket per cloud,
-    // FIFO dispatch over a standalone pool, and the work-conserving
-    // scheduler spilling intra-cloud block items into idle slots when
-    // the batch tail leaves threads unoccupied. Every per-cloud
-    // result stays bit-identical to a sequential pipeline run of that
-    // cloud. Deliberate tradeoff: even num_threads = 1 now spawns
-    // one short-lived worker (the pre-async path ran inline); the
-    // ~0.1 ms of thread setup is noise against per-cloud processing,
-    // and one code path keeps blocking === async by construction.
-    serve::ServeOptions serve_options;
-    serve_options.pipeline = options;
-    serve_options.queue_capacity = clouds.size();
-    serve::AsyncPipeline server(serve_options);
-
-    std::vector<serve::Ticket> tickets;
-    tickets.reserve(clouds.size());
-    for (std::size_t i = 0; i < clouds.size(); ++i) {
-        fc_assert(!clouds[i].empty(),
-                  "runBatch requires non-empty clouds (cloud %zu is "
-                  "empty)",
-                  i);
-        // Aliasing handle: the caller's vector outlives the server,
-        // which drains fully before this function returns.
-        tickets.push_back(server.submitShared(
-            std::shared_ptr<const data::PointCloud>(
-                std::shared_ptr<const data::PointCloud>(), &clouds[i]),
-            request));
-    }
-    for (std::size_t i = 0; i < clouds.size(); ++i) {
-        serve::RequestOutcome outcome = server.wait(tickets[i]);
-        // Blocking semantics: a stage exception propagates to the
-        // caller exactly as the pre-async runBatch rethrew it.
-        if (outcome.state == serve::RequestState::Failed)
-            std::rethrow_exception(outcome.exception);
-        fc_assert(outcome.state == serve::RequestState::Done,
-                  "batch cloud %zu ended %s", i,
-                  serve::stateName(outcome.state));
-        results[i] = std::move(outcome.result);
-    }
-    return results;
 }
 
 } // namespace fc

@@ -185,8 +185,14 @@ class FractalCloudPipeline
      * number fewer than threads (e.g. the tail of a batch). Output
      * order matches input order and every per-cloud result is
      * bit-identical to constructing a sequential pipeline for that
-     * cloud. For non-blocking submit/poll with deadlines and
-     * cancellation, use serve::AsyncPipeline directly.
+     * cloud. For non-blocking submit/poll with deadlines,
+     * cancellation, shards, and priority classes, use
+     * serve::AsyncPipeline directly.
+     *
+     * Layering: declared here because batching belongs to the core
+     * API surface, but DEFINED in the fc_serve library
+     * (serve/run_batch.cc) — the wrapper rides the async serving
+     * path, and core never links upward. Link fc_serve to use it.
      */
     static std::vector<BatchResult>
     runBatch(const std::vector<data::PointCloud> &clouds,

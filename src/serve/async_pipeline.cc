@@ -30,9 +30,10 @@ stageName(Stage stage)
 
 AsyncPipeline::AsyncPipeline(const ServeOptions &options)
     : options_(options),
-      pool_(options.pipeline.num_threads, /*standalone=*/true),
-      scheduler_(options.queue_capacity, pool_.numThreads(),
-                 options.work_conserving)
+      executor_(std::max(1u, options.num_shards),
+                options.pipeline.num_threads, /*standalone=*/true),
+      scheduler_(options.queue_capacity, executor_.threadsPerShard(),
+                 options.work_conserving, executor_.numShards())
 {
 }
 
@@ -48,45 +49,59 @@ std::optional<Ticket>
 AsyncPipeline::trySubmitShared(
     std::shared_ptr<const data::PointCloud> cloud,
     const BatchRequest &request,
-    std::optional<Clock::duration> deadline)
+    std::optional<Clock::duration> deadline, Priority priority,
+    std::uint64_t placement_key)
 {
+    // One executor task per request, on the shard the scheduler
+    // placed it on (returned by the admission call itself — no
+    // second lock to read it back).
+    unsigned shard = 0;
     std::optional<Ticket> ticket =
-        scheduler_.trySubmit(std::move(cloud), request, deadline);
+        scheduler_.trySubmit(std::move(cloud), request, deadline,
+                             priority, placement_key, &shard);
     if (ticket)
-        pool_.submitDetached([this] { execute(); });
+        executor_.shard(shard).submitDetached(
+            [this, shard] { execute(shard); });
     return ticket;
 }
 
 Ticket
 AsyncPipeline::submitShared(std::shared_ptr<const data::PointCloud> cloud,
                             const BatchRequest &request,
-                            std::optional<Clock::duration> deadline)
+                            std::optional<Clock::duration> deadline,
+                            Priority priority,
+                            std::uint64_t placement_key)
 {
+    unsigned shard = 0;
     std::optional<Ticket> ticket =
-        scheduler_.submitBlocking(std::move(cloud), request, deadline);
+        scheduler_.submitBlocking(std::move(cloud), request, deadline,
+                                  priority, placement_key, &shard);
     fc_assert(ticket.has_value(),
               "submit on a shutting-down AsyncPipeline");
-    pool_.submitDetached([this] { execute(); });
+    executor_.shard(shard).submitDetached(
+        [this, shard] { execute(shard); });
     return *ticket;
 }
 
 std::optional<Ticket>
 AsyncPipeline::trySubmit(data::PointCloud cloud,
                          const BatchRequest &request,
-                         std::optional<Clock::duration> deadline)
+                         std::optional<Clock::duration> deadline,
+                         Priority priority, std::uint64_t placement_key)
 {
     return trySubmitShared(
         std::make_shared<const data::PointCloud>(std::move(cloud)),
-        request, deadline);
+        request, deadline, priority, placement_key);
 }
 
 Ticket
 AsyncPipeline::submit(data::PointCloud cloud, const BatchRequest &request,
-                      std::optional<Clock::duration> deadline)
+                      std::optional<Clock::duration> deadline,
+                      Priority priority, std::uint64_t placement_key)
 {
     return submitShared(
         std::make_shared<const data::PointCloud>(std::move(cloud)),
-        request, deadline);
+        request, deadline, priority, placement_key);
 }
 
 void
@@ -131,21 +146,32 @@ AsyncPipeline::workspacesCreated() const
 }
 
 void
-AsyncPipeline::execute()
+AsyncPipeline::execute(unsigned shard)
 {
-    std::optional<Scheduler::Job> job = scheduler_.acquire();
+    std::optional<Scheduler::Job> job = scheduler_.acquire(shard);
     if (!job)
-        return; // the head was retired (cancelled/expired) unrun
+        return; // the popped request was retired (cancelled/expired)
 
-    // Spill: hand the shared pool to a stage so its per-block work
-    // items fill idle slots; otherwise the stage runs inline on this
-    // worker (one cloud per thread). The decision is refreshed at
-    // every checkpoint — a request acquired at saturation starts
-    // spilling once the pool drains. Identical results either way;
-    // only the schedule differs.
+    // Spill: hand a shard's pool to a stage so the request's
+    // per-block work items fill idle slots — its own shard's when
+    // whole requests can't saturate it, a fully idle neighbor's when
+    // its own is busy; otherwise the stage runs inline on this
+    // worker (one cloud per thread). The decision is re-evaluated at
+    // every checkpoint (all chunks have joined there): a request
+    // acquired at saturation starts spilling once capacity frees
+    // anywhere, and a borrowed neighbor is released one stage after
+    // it receives its own work. Identical results either way; only
+    // the schedule differs. (A one-thread spill target degenerates
+    // to inline: its TaskGroup would run chunks on this waiter
+    // anyway.)
     bool spill = job->spill;
+    int spill_shard = job->spill_shard;
     const auto pool = [&]() -> core::ThreadPool * {
-        return spill && pool_.numThreads() > 1 ? &pool_ : nullptr;
+        if (!spill || spill_shard < 0)
+            return nullptr;
+        core::ThreadPool &target =
+            executor_.shard(static_cast<unsigned>(spill_shard));
+        return target.numThreads() > 1 ? &target : nullptr;
     };
     const std::uint64_t id = job->id;
     const data::PointCloud &cloud = *job->cloud;
@@ -171,7 +197,7 @@ AsyncPipeline::execute()
         core::Workspace &ws = *lease.ws;
 
         notifyObserver(id, Stage::Started);
-        if (!scheduler_.checkpoint(id, &spill))
+        if (!scheduler_.checkpoint(id, &spill, &spill_shard))
             return;
 
         part::PartitionConfig config;
@@ -183,7 +209,7 @@ AsyncPipeline::execute()
         pcache.get(options_.pipeline.method)
             .partitionInto(cloud, config, pool(), ws, part);
         notifyObserver(id, Stage::Partitioned);
-        if (!scheduler_.checkpoint(id, &spill))
+        if (!scheduler_.checkpoint(id, &spill, &spill_shard))
             return;
 
         ops::FpsOptions fps;
@@ -192,7 +218,7 @@ AsyncPipeline::execute()
                                       job->request.sample_rate, fps,
                                       pool(), ws, out.sampled);
         notifyObserver(id, Stage::Sampled);
-        if (!scheduler_.checkpoint(id, &spill))
+        if (!scheduler_.checkpoint(id, &spill, &spill_shard))
             return;
 
         ops::blockBallQuery(cloud, part.tree, out.sampled,
@@ -200,7 +226,7 @@ AsyncPipeline::execute()
                             job->request.neighbors, pool(), ws,
                             out.grouped);
         notifyObserver(id, Stage::Grouped);
-        if (!scheduler_.checkpoint(id, &spill))
+        if (!scheduler_.checkpoint(id, &spill, &spill_shard))
             return;
 
         ops::blockGatherNeighborhoods(
@@ -217,7 +243,7 @@ AsyncPipeline::execute()
             // workspace. Extra checkpoint first — inference is the
             // most expensive stage, so cancels/deadlines issued
             // during gathering are honored before it starts.
-            if (!scheduler_.checkpoint(id, &spill))
+            if (!scheduler_.checkpoint(id, &spill, &spill_shard))
                 return;
             nn::BackendOptions backend;
             backend.method = options_.pipeline.method;

@@ -5,11 +5,18 @@
  * FractalCloudPipeline::runBatch is a blocking call. This layer turns
  * the library into a service skeleton:
  *
- *   - submit()/trySubmit() admit one cloud each into a bounded FIFO
- *     admission queue and return a Ticket immediately; trySubmit
- *     rejects (nullopt) when the queue is full,
- *   - poll()/state()/wait() observe a ticket; wait() blocks for and
- *     consumes the terminal RequestOutcome,
+ *   - submit()/trySubmit() admit one cloud each into a bounded,
+ *     priority-classed admission queue and return a Ticket
+ *     immediately; trySubmit rejects (nullopt) when the queue is
+ *     full. Each request lands on one executor shard by consistent
+ *     hashing (ticket id, or a caller placement key for session
+ *     affinity) and in one of three priority classes (Interactive /
+ *     Batch / Background) that share each shard 8:4:1 under weighted
+ *     aging — bulk traffic cannot starve, interactive traffic keeps
+ *     its tail,
+ *   - poll()/state()/wait()/waitFor() observe a ticket; wait()
+ *     blocks for and consumes the terminal RequestOutcome, waitFor()
+ *     bounds the block without cancelling,
  *   - per-request deadlines retire late work as Expired the moment a
  *     worker would otherwise start — or, between stages, continue —
  *     it,
@@ -17,19 +24,21 @@
  *     running work at its next stage boundary, and
  *   - the work-conserving Scheduler spills a request's intra-cloud
  *     block items (partition subtrees, block-wise FPS / neighbor /
- *     gather) into idle pool slots whenever in-flight requests number
- *     fewer than pool threads; otherwise requests run one-per-thread.
- *     The decision is re-evaluated at every stage boundary, so the
- *     last big request of a batch starts spilling once its peers
- *     finish, and
+ *     gather) into idle pool slots — its own shard's when in-flight
+ *     requests there number fewer than the shard's threads, else a
+ *     drained neighbor shard's; otherwise requests run
+ *     one-per-thread. The decision is re-evaluated at every stage
+ *     boundary, so the last big request of a batch starts spilling
+ *     once its peers finish, and
  *   - a free-list pool of core::Workspace instances, one checked out
  *     per ticket: every request's intermediates (partition trees,
  *     op scratch, the inference stage's per-level buffers) draw from
  *     a workspace warmed by earlier requests, so repeated same-shape
  *     requests stop allocating intermediates entirely — the heap is
  *     touched only for the result payload handed to the client.
- *     The pool never exceeds the executor count (= pool threads), so
- *     steady-state memory is bounded by the largest shapes seen.
+ *     The pool never exceeds the executor count (= shards x threads
+ *     per shard), so steady-state memory is bounded by the largest
+ *     shapes seen.
  *
  * Results are byte-identical to the blocking path at any thread
  * count: every stage is deterministic with respect to its pool, so
@@ -53,6 +62,7 @@
 
 #include "core/parallel.h"
 #include "core/pipeline.h"
+#include "core/sharded_executor.h"
 #include "core/workspace.h"
 #include "serve/scheduler.h"
 
@@ -71,14 +81,27 @@ const char *stageName(Stage stage);
 /** Configuration of an AsyncPipeline. */
 struct ServeOptions
 {
-    /** Partition method/threshold plus num_threads, which sizes the
-     *  serving pool (0 = hardware). Unlike the blocking pipeline,
-     *  num_threads = 1 still spawns one background worker — requests
-     *  are processed asynchronously but strictly FIFO, with results
+    /** Partition method/threshold plus num_threads, which sizes each
+     *  executor shard's pool (0 = hardware). Unlike the blocking
+     *  pipeline, num_threads = 1 still spawns one background worker
+     *  per shard — requests are processed asynchronously but, within
+     *  a shard and a priority class, strictly FIFO, with results
      *  identical to the sequential path. */
     PipelineOptions pipeline;
 
-    /** Admission-queue bound: max requests waiting to start. */
+    /**
+     * Executor shards. 1 (the default) is the single-pool runtime of
+     * PR 2-4, unchanged. With N > 1, requests are placed onto shards
+     * by consistent hashing (ticket id, or the submit call's
+     * placement key for session affinity); each shard has its own
+     * num_threads-sized pool and queues, and the work-conserving
+     * policy may borrow an idle neighbor shard for a busy request's
+     * block items. Results are byte-identical at any shard count.
+     */
+    unsigned num_shards = 1;
+
+    /** Admission-queue bound: max requests waiting to start, summed
+     *  over all shards and priority classes. */
     std::size_t queue_capacity = 64;
 
     /** Enable the work-conserving spill policy. false = always
@@ -96,8 +119,10 @@ struct ServeOptions
 };
 
 /**
- * Asynchronous submit/poll/wait serving frontend over one standalone
- * ThreadPool.
+ * Asynchronous submit/poll/wait serving frontend over a
+ * core::ShardedExecutor of standalone ThreadPool shards
+ * (ServeOptions::num_shards = 1 collapses to the single-pool
+ * frontend of PR 2-4, unchanged).
  *
  * Thread-safe: any thread may submit, poll, cancel, or wait. The
  * destructor rejects new work, cancels everything still queued, and
@@ -119,6 +144,14 @@ class AsyncPipeline
      * relative to now; late work is retired as Expired instead of
      * running.
      *
+     * @p priority picks the admission class (see serve::Priority):
+     * backlogged classes share each shard 8:4:1
+     * (Interactive:Batch:Background) under weighted aging, so bulk
+     * traffic cannot starve and interactive traffic keeps its tail.
+     * @p placement_key pins placement: 0 spreads requests over
+     * shards by ticket id; any fixed key (session id, client id)
+     * lands all its requests on one shard's warm workspaces.
+     *
      * The cloud is moved into the call and dropped on rejection —
      * retry-with-backoff loops should use trySubmitShared, which
      * keeps one shared cloud alive across attempts instead of
@@ -126,13 +159,17 @@ class AsyncPipeline
      */
     std::optional<Ticket>
     trySubmit(data::PointCloud cloud, const BatchRequest &request = {},
-              std::optional<Clock::duration> deadline = std::nullopt);
+              std::optional<Clock::duration> deadline = std::nullopt,
+              Priority priority = Priority::Interactive,
+              std::uint64_t placement_key = 0);
 
     /** Blocking admission: waits for queue space instead of
      *  rejecting. */
     Ticket
     submit(data::PointCloud cloud, const BatchRequest &request = {},
-           std::optional<Clock::duration> deadline = std::nullopt);
+           std::optional<Clock::duration> deadline = std::nullopt,
+           Priority priority = Priority::Interactive,
+           std::uint64_t placement_key = 0);
 
     /**
      * Zero-copy variants for callers that manage cloud lifetime
@@ -142,11 +179,15 @@ class AsyncPipeline
     std::optional<Ticket>
     trySubmitShared(std::shared_ptr<const data::PointCloud> cloud,
                     const BatchRequest &request = {},
-                    std::optional<Clock::duration> deadline = std::nullopt);
+                    std::optional<Clock::duration> deadline = std::nullopt,
+                    Priority priority = Priority::Interactive,
+                    std::uint64_t placement_key = 0);
     Ticket
     submitShared(std::shared_ptr<const data::PointCloud> cloud,
                  const BatchRequest &request = {},
-                 std::optional<Clock::duration> deadline = std::nullopt);
+                 std::optional<Clock::duration> deadline = std::nullopt,
+                 Priority priority = Priority::Interactive,
+                 std::uint64_t placement_key = 0);
 
     /** True once the ticket reached a terminal state. */
     bool poll(Ticket ticket) const { return scheduler_.poll(ticket); }
@@ -161,6 +202,19 @@ class AsyncPipeline
     /** Block until terminal; consumes the ticket. */
     RequestOutcome wait(Ticket ticket) { return scheduler_.wait(ticket); }
 
+    /**
+     * Bounded wait: block up to @p timeout. On success the outcome
+     * is returned and the ticket consumed, exactly as by wait(); on
+     * timeout returns nullopt and the ticket stays live — the
+     * request is NOT cancelled (it keeps its queue position or keeps
+     * running), and the caller may wait again, cancel, or discard.
+     */
+    std::optional<RequestOutcome>
+    waitFor(Ticket ticket, Clock::duration timeout)
+    {
+        return scheduler_.waitFor(ticket, timeout);
+    }
+
     /** Best-effort cancel; true = requested, not guaranteed — the
      *  request may still retire Done (see Scheduler::cancel). */
     bool cancel(Ticket ticket) { return scheduler_.cancel(ticket); }
@@ -173,13 +227,28 @@ class AsyncPipeline
      */
     void discard(Ticket ticket) { scheduler_.discard(ticket); }
 
-    /** Resolved serving-pool size. */
-    unsigned numThreads() const { return pool_.numThreads(); }
+    /** Resolved per-shard pool size. */
+    unsigned numThreads() const { return executor_.threadsPerShard(); }
+
+    /** Executor shard count. */
+    unsigned numShards() const { return executor_.numShards(); }
 
     std::size_t queuedCount() const { return scheduler_.queuedCount(); }
     std::size_t runningCount() const
     {
         return scheduler_.runningCount();
+    }
+
+    /** Per-shard telemetry. */
+    std::size_t
+    queuedCount(unsigned shard) const
+    {
+        return scheduler_.queuedCount(shard);
+    }
+    std::size_t
+    runningCount(unsigned shard) const
+    {
+        return scheduler_.runningCount(shard);
     }
 
     /**
@@ -196,8 +265,9 @@ class AsyncPipeline
     }
 
   private:
-    /** Executor task body: process (or retire) the FIFO head. */
-    void execute();
+    /** Executor task body: process (or retire) the best queued
+     *  request of @p shard. */
+    void execute(unsigned shard);
 
     void notifyObserver(std::uint64_t id, Stage stage);
 
@@ -208,17 +278,17 @@ class AsyncPipeline
 
     ServeOptions options_;
 
-    /** Declared before pool_ deliberately: an executor task returns
-     *  its workspace lease as its very last action, which can race
-     *  destruction — ~AsyncPipeline retires all requests, then
-     *  ~ThreadPool joins the workers, and only after that join may
-     *  the free list die. Reverse member order would free the list
-     *  under a still-running check-in. */
+    /** Declared before executor_ deliberately: an executor task
+     *  returns its workspace lease as its very last action, which
+     *  can race destruction — ~AsyncPipeline retires all requests,
+     *  then the shard pools join their workers, and only after that
+     *  join may the free list die. Reverse member order would free
+     *  the list under a still-running check-in. */
     mutable std::mutex ws_mutex_;
     std::vector<std::unique_ptr<core::Workspace>> ws_free_;
     std::size_t ws_created_ = 0;
 
-    core::ThreadPool pool_;
+    core::ShardedExecutor executor_;
     Scheduler scheduler_;
 };
 

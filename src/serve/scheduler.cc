@@ -31,13 +31,29 @@ isTerminal(RequestState state)
            state != RequestState::Running;
 }
 
+const char *
+priorityName(Priority priority)
+{
+    switch (priority) {
+      case Priority::Interactive:
+        return "interactive";
+      case Priority::Batch:
+        return "batch";
+      case Priority::Background:
+        return "background";
+    }
+    return "unknown";
+}
+
 Scheduler::Scheduler(std::size_t queue_capacity, unsigned num_threads,
-                     bool work_conserving)
+                     bool work_conserving, unsigned num_shards)
     : capacity_(queue_capacity), num_threads_(num_threads),
-      work_conserving_(work_conserving)
+      work_conserving_(work_conserving), shard_map_(num_shards),
+      shards_(num_shards), borrows_(num_shards, 0)
 {
     fc_assert(capacity_ > 0, "scheduler needs a positive capacity");
     fc_assert(num_threads_ > 0, "scheduler needs a positive pool size");
+    fc_assert(num_shards >= 1, "scheduler needs at least one shard");
 }
 
 Scheduler::~Scheduler()
@@ -53,7 +69,9 @@ Scheduler::~Scheduler()
 std::optional<Ticket>
 Scheduler::trySubmit(std::shared_ptr<const data::PointCloud> cloud,
                      const BatchRequest &request,
-                     std::optional<Clock::duration> deadline)
+                     std::optional<Clock::duration> deadline,
+                     Priority priority, std::uint64_t placement_key,
+                     unsigned *shard_out)
 {
     fc_assert(cloud != nullptr && !cloud->empty(),
               "serve requests need a non-empty cloud");
@@ -64,28 +82,44 @@ Scheduler::trySubmit(std::shared_ptr<const data::PointCloud> cloud,
 
     const Clock::time_point now = Clock::now();
     const std::uint64_t id = next_id_++;
+    // Consistent-hash placement: ticket id by default (uniform
+    // spread), caller key for affinity. A 1-shard map short-circuits
+    // to shard 0 — the PR 2 path.
+    const unsigned shard = shard_map_.shardFor(
+        placement_key != 0 ? placement_key : id);
+
     Record &record = records_[id];
     record.cloud = std::move(cloud);
     record.request = request;
     if (deadline)
         record.deadline = now + *deadline;
     record.timing.submitted = now;
-    fifo_.push_back(id);
+    record.priority = priority;
+    record.shard = shard;
+
+    ShardState &st = shards_[shard];
+    st.queues[static_cast<unsigned>(priority)].push_back(id);
+    ++st.queued;
     ++queued_;
+    if (shard_out != nullptr)
+        *shard_out = shard;
     return Ticket{id};
 }
 
 std::optional<Ticket>
 Scheduler::submitBlocking(std::shared_ptr<const data::PointCloud> cloud,
                           const BatchRequest &request,
-                          std::optional<Clock::duration> deadline)
+                          std::optional<Clock::duration> deadline,
+                          Priority priority, std::uint64_t placement_key,
+                          unsigned *shard_out)
 {
     // A freed slot can be stolen between the wait and trySubmit;
     // loop until admission sticks (rare: only other submitters
     // compete).
     for (;;) {
         std::optional<Ticket> ticket =
-            trySubmit(cloud, request, deadline);
+            trySubmit(cloud, request, deadline, priority,
+                      placement_key, shard_out);
         if (ticket)
             return ticket;
         std::unique_lock<std::mutex> lock(mutex_);
@@ -97,10 +131,18 @@ Scheduler::submitBlocking(std::shared_ptr<const data::PointCloud> cloud,
     }
 }
 
+unsigned
+Scheduler::shardOf(Ticket ticket) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recordFor(ticket).shard;
+}
+
 void
 Scheduler::retireLocked(std::uint64_t id, Record &record,
                         RequestState state)
 {
+    assignSpillLocked(record, -1); // release any cross-shard borrow
     record.state = state;
     record.timing.finished = Clock::now();
     if (record.timing.started == Clock::time_point{})
@@ -111,14 +153,94 @@ Scheduler::retireLocked(std::uint64_t id, Record &record,
     cv_.notify_all();
 }
 
+int
+Scheduler::spillShardLocked(unsigned shard) const
+{
+    if (!work_conserving_)
+        return -1;
+    const auto inflight = [this](unsigned s) {
+        return shards_[s].queued + shards_[s].running;
+    };
+    // Own shard first: with fewer requests in flight than threads,
+    // whole requests cannot saturate it, so this request should fan
+    // its block items out onto the idle slots.
+    if (inflight(shard) < num_threads_)
+        return static_cast<int>(shard);
+    // Cross-shard borrow: only a FULLY idle neighbor. A merely
+    // under-loaded neighbor is never borrowed: its workers prefer
+    // the fork/join lane, so foreign chunks would run ahead of its
+    // own queued requests — a priority inversion against whatever
+    // class waits there. Idle shards have nothing to invert, and
+    // the decision is re-evaluated at every stage boundary, so a
+    // borrow ends one stage after the neighbor receives work of its
+    // own. Among idle shards, take the one with the fewest active
+    // borrowers (lowest index on ties) — request in-flight counters
+    // don't see borrowed chunks, so without this concurrent
+    // borrowers would all pile onto the lowest index.
+    int best = -1;
+    std::size_t best_borrows = 0;
+    for (unsigned t = 0; t < shards_.size(); ++t) {
+        if (t == shard || inflight(t) != 0)
+            continue;
+        if (best < 0 || borrows_[t] < best_borrows) {
+            best = static_cast<int>(t);
+            best_borrows = borrows_[t];
+        }
+    }
+    return best;
+}
+
+void
+Scheduler::assignSpillLocked(Record &record, int target)
+{
+    if (record.spill_shard == target)
+        return;
+    const int home = static_cast<int>(record.shard);
+    if (record.spill_shard >= 0 && record.spill_shard != home)
+        --borrows_[record.spill_shard];
+    record.spill_shard = target;
+    if (target >= 0 && target != home)
+        ++borrows_[target];
+    record.spilled = record.spilled || target >= 0;
+}
+
 std::optional<Scheduler::Job>
-Scheduler::acquire()
+Scheduler::acquire(unsigned shard)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    fc_assert(!fifo_.empty(),
-              "acquire with no queued request (task/record mismatch)");
-    const std::uint64_t id = fifo_.front();
-    fifo_.pop_front();
+    fc_assert(shard < shards_.size(), "acquire on unknown shard %u",
+              shard);
+    ShardState &st = shards_[shard];
+    fc_assert(st.queued > 0,
+              "acquire with no queued request on shard %u "
+              "(task/record mismatch)",
+              shard);
+
+    // Weighted aging: every non-empty class earns its weight per
+    // pop; the richest class wins (ties to the more interactive
+    // one) and its credit resets. Classes whose queue drained reset
+    // too — credit models the waiting requests, not the class.
+    unsigned chosen = 0;
+    std::uint64_t best_credit = 0;
+    bool have = false;
+    for (unsigned c = 0; c < kNumPriorities; ++c) {
+        if (st.queues[c].empty()) {
+            st.credit[c] = 0;
+            continue;
+        }
+        st.credit[c] += kPriorityWeight[c];
+        if (!have || st.credit[c] > best_credit) {
+            have = true;
+            chosen = c;
+            best_credit = st.credit[c];
+        }
+    }
+    fc_assert(have, "shard %u queued counter out of sync", shard);
+    st.credit[chosen] = 0;
+
+    const std::uint64_t id = st.queues[chosen].front();
+    st.queues[chosen].pop_front();
+    --st.queued;
     --queued_;
     cv_.notify_all(); // queue space freed for blocking submitters
 
@@ -135,23 +257,22 @@ Scheduler::acquire()
 
     record.state = RequestState::Running;
     record.timing.started = now;
+    ++st.running;
     ++running_;
-    // Work-conserving spill: with fewer requests in flight than pool
-    // threads, whole requests cannot saturate the pool, so this
-    // request should fan its block items out onto the idle slots.
-    record.spilled =
-        work_conserving_ && queued_ + running_ < num_threads_;
+    assignSpillLocked(record, spillShardLocked(shard));
 
     Job job;
     job.id = id;
     job.cloud = record.cloud;
     job.request = record.request;
-    job.spill = record.spilled;
+    job.shard = shard;
+    job.spill_shard = record.spill_shard;
+    job.spill = record.spill_shard >= 0;
     return job;
 }
 
 bool
-Scheduler::checkpoint(std::uint64_t id, bool *spill)
+Scheduler::checkpoint(std::uint64_t id, bool *spill, int *spill_shard)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     Record &record = records_.at(id);
@@ -159,23 +280,29 @@ Scheduler::checkpoint(std::uint64_t id, bool *spill)
               "checkpoint on a request in state %s",
               stateName(record.state));
     if (record.cancel_requested) {
+        --shards_[record.shard].running;
         --running_;
         retireLocked(id, record, RequestState::Cancelled);
         return false;
     }
     if (record.deadline && Clock::now() > *record.deadline) {
+        --shards_[record.shard].running;
         --running_;
         retireLocked(id, record, RequestState::Expired);
         return false;
     }
     if (spill != nullptr) {
-        // Refresh the work-conserving decision (sticky upward): the
-        // pool may have drained since acquire, freeing slots this
-        // request's remaining stages should fill.
-        record.spilled =
-            record.spilled ||
-            (work_conserving_ && queued_ + running_ < num_threads_);
-        *spill = record.spilled;
+        // Re-evaluate the work-conserving decision from scratch: at
+        // a stage boundary every TaskGroup has joined, so no chunk
+        // of this request is in flight anywhere and the target can
+        // change freely. Capacity freed since the last stage — here
+        // or on a neighbor — gets filled; a borrowed neighbor that
+        // received its own work is released; a pool that saturated
+        // stops being fought over.
+        assignSpillLocked(record, spillShardLocked(record.shard));
+        *spill = record.spill_shard >= 0;
+        if (spill_shard != nullptr)
+            *spill_shard = record.spill_shard;
     }
     return true;
 }
@@ -189,6 +316,7 @@ Scheduler::complete(std::uint64_t id, BatchResult result)
               "complete on a request in state %s",
               stateName(record.state));
     record.result = std::move(result);
+    --shards_[record.shard].running;
     --running_;
     retireLocked(id, record, RequestState::Done);
 }
@@ -212,6 +340,7 @@ Scheduler::fail(std::uint64_t id, std::exception_ptr exception)
               "fail on a request in state %s", stateName(record.state));
     record.error = std::move(error);
     record.exception = exception;
+    --shards_[record.shard].running;
     --running_;
     retireLocked(id, record, RequestState::Failed);
 }
@@ -252,6 +381,22 @@ Scheduler::state(Ticket ticket) const
 }
 
 RequestOutcome
+Scheduler::consumeLocked(std::uint64_t id, Record &record)
+{
+    RequestOutcome outcome;
+    outcome.state = record.state;
+    outcome.result = std::move(record.result);
+    outcome.error = std::move(record.error);
+    outcome.exception = record.exception;
+    outcome.timing = record.timing;
+    outcome.priority = record.priority;
+    outcome.shard = record.shard;
+    outcome.spilled = record.spilled;
+    records_.erase(id);
+    return outcome;
+}
+
+RequestOutcome
 Scheduler::wait(Ticket ticket)
 {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -264,16 +409,23 @@ Scheduler::wait(Ticket ticket)
     // never element references (the map is node-based).
     Record *record = &it->second;
     cv_.wait(lock, [record] { return isTerminal(record->state); });
+    return consumeLocked(ticket.id, *record);
+}
 
-    RequestOutcome outcome;
-    outcome.state = record->state;
-    outcome.result = std::move(record->result);
-    outcome.error = std::move(record->error);
-    outcome.exception = record->exception;
-    outcome.timing = record->timing;
-    outcome.spilled = record->spilled;
-    records_.erase(ticket.id);
-    return outcome;
+std::optional<RequestOutcome>
+Scheduler::waitFor(Ticket ticket, Clock::duration timeout)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = records_.find(ticket.id);
+    fc_assert(it != records_.end(),
+              "waitFor on unknown or already-consumed ticket %llu",
+              static_cast<unsigned long long>(ticket.id));
+    Record *record = &it->second;
+    if (!cv_.wait_for(lock, timeout, [record] {
+            return isTerminal(record->state);
+        }))
+        return std::nullopt; // still pending; the ticket stays live
+    return consumeLocked(ticket.id, *record);
 }
 
 void
@@ -313,18 +465,38 @@ Scheduler::runningCount() const
     return running_;
 }
 
+std::size_t
+Scheduler::queuedCount(unsigned shard) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    fc_assert(shard < shards_.size(), "queuedCount on unknown shard %u",
+              shard);
+    return shards_[shard].queued;
+}
+
+std::size_t
+Scheduler::runningCount(unsigned shard) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    fc_assert(shard < shards_.size(),
+              "runningCount on unknown shard %u", shard);
+    return shards_[shard].running;
+}
+
 void
 Scheduler::shutdown()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     shutdown_ = true;
-    for (const std::uint64_t id : fifo_)
-        records_.at(id).cancel_requested = true;
+    for (ShardState &st : shards_)
+        for (const auto &queue : st.queues)
+            for (const std::uint64_t id : queue)
+                records_.at(id).cancel_requested = true;
     cv_.notify_all();
     // Every queued request still has an executor task that will pop
     // (and then instantly retire) it; running ones finish or stop at
     // their next checkpoint. When both counters reach zero, no
-    // executor task remains in the pool queue.
+    // executor task remains in any shard's pool queue.
     cv_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
 }
 

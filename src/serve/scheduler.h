@@ -1,39 +1,70 @@
 /**
  * @file
- * The serving scheduler: bounded FIFO admission, per-request
- * deadlines, cooperative cancellation, and the work-conserving spill
- * policy.
+ * The serving scheduler: sharded, priority-aware admission with
+ * per-request deadlines, cooperative cancellation, and the
+ * work-conserving (now cross-shard) spill policy.
  *
  * The Scheduler owns no threads — it is the pure bookkeeping core of
- * fc::serve::AsyncPipeline, which pairs it with a standalone
- * core::ThreadPool. Executors interact with it through a narrow
+ * fc::serve::AsyncPipeline, which pairs it with a
+ * core::ShardedExecutor. Executors interact with it through a narrow
  * protocol:
  *
- *   trySubmit/submitBlocking  admit one request at the FIFO tail
- *                             (bounded; trySubmit fails when full),
- *   acquire                   pop the FIFO head; requests already
+ *   trySubmit/submitBlocking  admit one request: consistent-hash
+ *                             placement picks its shard, its priority
+ *                             class picks its queue (bounded;
+ *                             trySubmit fails when full),
+ *   acquire(shard)            pop the best head of one shard's
+ *                             priority queues; requests already
  *                             cancelled or past their deadline are
  *                             retired here without running,
  *   checkpoint                mid-run cancel/deadline probe at stage
  *                             boundaries; retires the request when it
  *                             answers false,
  *   complete/fail             terminal transitions, and
- *   poll/state/wait/cancel    the client-facing side.
+ *   poll/state/wait/waitFor/cancel  the client-facing side.
  *
- * Work-conserving spill: acquire() marks a request `spill` when the
- * requests in flight (queued + running) number fewer than the pool's
- * threads — the pool cannot be saturated by whole requests, so the
- * executor should dispatch the request's intra-cloud block items onto
- * the shared pool instead of running them inline. checkpoint()
- * refreshes the decision at every stage boundary, so a request
- * acquired at saturation starts spilling once the pool drains. Every
- * block op is deterministic with respect to its pool, so the decision
- * affects wall-clock only, never results.
+ * Placement: each request hashes onto a shard via core::ShardMap —
+ * by its ticket id by default (spreads uniform traffic evenly), or by
+ * a caller-supplied placement key (pins a client/session to one shard
+ * so repeated requests keep hitting the same warm workspaces). The
+ * mapping is a pure function of (key, shard count): deterministic
+ * across runs, stable under shard-count growth for all but ~1/(N+1)
+ * of keys. Placement never affects results — every stage is
+ * deterministic with respect to its pool — only locality and load.
+ *
+ * Priority classes with weighted aging: each shard keeps one FIFO per
+ * class (Interactive / Batch / Background). Every acquire() first
+ * ages all non-empty classes by their weight, then pops the class
+ * with the highest accumulated credit (ties to the more interactive
+ * class) and zeroes its credit. Backlogged classes therefore share
+ * the shard in proportion to their weights (8:4:1), and a Background
+ * request under sustained Interactive load is delayed by at most
+ * ceil(w_I / w_G) + 1 = 9 pops — aged forward, never starved. Within
+ * a class, strict FIFO. A single-class workload (e.g. everything
+ * Interactive, the default) degenerates to exactly the PR 2 FIFO.
+ *
+ * Work-conserving spill, now cross-shard: acquire() marks a request
+ * with a spill shard when idle capacity exists — its own shard when
+ * in-flight requests there number fewer than the shard's threads,
+ * else the lowest-indexed FULLY idle other shard. The executor
+ * dispatches the request's intra-cloud block items onto that shard's
+ * pool instead of running them inline; one busy shard can therefore
+ * borrow a drained neighbor's cores. Only idle neighbors are
+ * borrowed because pool workers prefer the fork/join (chunk) lane:
+ * foreign chunks on a shard with queued requests of its own would
+ * run ahead of them — a priority inversion. checkpoint()
+ * re-evaluates the target from scratch at every stage boundary
+ * (where all of the request's chunks have joined), so borrows end
+ * one stage after the neighbor receives its own work, and freed
+ * capacity anywhere is filled one stage later. Every block op is
+ * deterministic with respect to its pool, so the decision affects
+ * wall-clock only, never results.
  */
 
 #ifndef FC_SERVE_SCHEDULER_H
 #define FC_SERVE_SCHEDULER_H
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -44,8 +75,10 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/pipeline.h"
+#include "core/sharded_executor.h"
 #include "dataset/point_cloud.h"
 
 namespace fc::serve {
@@ -74,6 +107,25 @@ const char *stateName(RequestState state);
 /** Done / Cancelled / Expired / Failed. */
 bool isTerminal(RequestState state);
 
+/**
+ * Admission priority class. Lower value = more interactive. Classes
+ * share each shard in proportion to their aging weights; no class
+ * can starve (see file comment).
+ */
+enum class Priority : std::uint8_t {
+    Interactive = 0, ///< latency-sensitive foreground traffic
+    Batch = 1,       ///< bulk work with throughput targets
+    Background = 2,  ///< best-effort (re-indexing, prefetch, ...)
+};
+
+inline constexpr unsigned kNumPriorities = 3;
+
+/** Aging weight per class: relative share of a backlogged shard. */
+inline constexpr std::array<std::uint64_t, kNumPriorities>
+    kPriorityWeight = {8, 4, 1};
+
+const char *priorityName(Priority priority);
+
 /** Steady-clock milestones of one request (for latency accounting). */
 struct RequestTiming
 {
@@ -99,20 +151,27 @@ struct RequestOutcome
 
     RequestTiming timing;
 
+    /** Class the request was admitted under. */
+    Priority priority = Priority::Interactive;
+
+    /** Shard the request was placed on. */
+    unsigned shard = 0;
+
     /** Whether the work-conserving policy spilled this request's
-     *  intra-cloud block items onto the shared pool for at least one
-     *  stage. */
+     *  intra-cloud block items onto a pool (its own shard's or a
+     *  drained neighbor's) for at least one stage. */
     bool spilled = false;
 };
 
 /**
  * Thread-safe request ledger (see file comment for the protocol).
  *
- * FIFO fairness note: executors do not acquire a *specific* request —
- * acquire() always hands out the current FIFO head. AsyncPipeline
- * enqueues exactly one executor task per admitted request, so the
- * i-th task to run processes the i-th admitted request even when task
- * and record insertion interleave across submitter threads.
+ * Task/record pairing: executors do not acquire a *specific* request
+ * — acquire(shard) hands out the best queued request of that shard
+ * under the priority policy. AsyncPipeline enqueues exactly one
+ * executor task on shard s's pool per request admitted to shard s,
+ * so counts always match even when task and record insertion
+ * interleave across submitter threads.
  */
 class Scheduler
 {
@@ -124,18 +183,32 @@ class Scheduler
         std::shared_ptr<const data::PointCloud> cloud;
         BatchRequest request;
 
-        /** Work-conserving decision (see file comment). */
+        /** Shard this request was placed on (== the acquiring
+         *  executor's shard). */
+        unsigned shard = 0;
+
+        /** Work-conserving decision; always == (spill_shard >= 0),
+         *  kept as a separate field for the single-pool API shape
+         *  (both are assigned together in acquire()). */
         bool spill = false;
+
+        /** Shard whose pool should run this request's block items;
+         *  negative = run inline. Equals `shard` for a same-shard
+         *  spill, another index for a cross-shard borrow. */
+        int spill_shard = -1;
     };
 
     /**
-     * @param queue_capacity  max requests waiting (Queued) at once
-     * @param num_threads     pool size the spill policy compares with
-     * @param work_conserving false pins every request to one-cloud-
-     *                        per-thread (spill always false)
+     * @param queue_capacity  max requests waiting (Queued) at once,
+     *                        summed over all shards and classes
+     * @param num_threads     per-shard pool size the spill policy
+     *                        compares with
+     * @param work_conserving false pins every request to
+     *                        one-cloud-per-thread (spill always off)
+     * @param num_shards      executor shards (placement targets)
      */
     Scheduler(std::size_t queue_capacity, unsigned num_threads,
-              bool work_conserving = true);
+              bool work_conserving = true, unsigned num_shards = 1);
 
     ~Scheduler();
 
@@ -143,33 +216,50 @@ class Scheduler
     Scheduler &operator=(const Scheduler &) = delete;
 
     /**
-     * Admit one request at the FIFO tail. Fails (nullopt) when the
-     * queue is at capacity or the scheduler is shutting down.
+     * Admit one request. Fails (nullopt) when the queue is at
+     * capacity or the scheduler is shutting down.
      *
      * @param deadline relative to now; the request is retired as
      *        Expired if a worker would start or continue it after
      *        submit time + deadline.
+     * @param priority admission class (see Priority).
+     * @param placement_key 0 = place by ticket id (uniform spread);
+     *        any other value is hashed so equal keys land on equal
+     *        shards (client/session affinity).
+     * @param shard_out when non-null, receives the placement shard —
+     *        the caller (AsyncPipeline) needs it to enqueue the
+     *        executor task without re-locking for shardOf().
      */
     std::optional<Ticket>
     trySubmit(std::shared_ptr<const data::PointCloud> cloud,
               const BatchRequest &request,
-              std::optional<Clock::duration> deadline);
+              std::optional<Clock::duration> deadline,
+              Priority priority = Priority::Interactive,
+              std::uint64_t placement_key = 0,
+              unsigned *shard_out = nullptr);
 
     /** Like trySubmit, but blocks until queue space frees up. Fails
      *  only when the scheduler shuts down while waiting. */
     std::optional<Ticket>
     submitBlocking(std::shared_ptr<const data::PointCloud> cloud,
                    const BatchRequest &request,
-                   std::optional<Clock::duration> deadline);
+                   std::optional<Clock::duration> deadline,
+                   Priority priority = Priority::Interactive,
+                   std::uint64_t placement_key = 0,
+                   unsigned *shard_out = nullptr);
+
+    /** Shard a live (not yet consumed) ticket was placed on. */
+    unsigned shardOf(Ticket ticket) const;
 
     /**
-     * Pop the FIFO head (must be non-empty: one executor task exists
-     * per queued request). Returns the job to run, or nullopt when
-     * the head was already cancelled or past its deadline — the
-     * record is retired (Cancelled/Expired) and the executor has
-     * nothing to do.
+     * Pop the best queued request of @p shard (must be non-empty:
+     * one executor task exists per request admitted to the shard).
+     * Aging credits are charged and the winning class's head is
+     * popped. Returns the job to run, or nullopt when that request
+     * was already cancelled or past its deadline — the record is
+     * retired (Cancelled/Expired) and the executor has nothing to do.
      */
-    std::optional<Job> acquire();
+    std::optional<Job> acquire(unsigned shard = 0);
 
     /**
      * Mid-run probe, called between stages of a Running request.
@@ -177,13 +267,16 @@ class Scheduler
      * retired (Cancelled or Expired) and the executor must stop.
      *
      * When continuing and @p spill is non-null, the work-conserving
-     * decision is refreshed into it: a request acquired at pool
-     * saturation starts spilling at its next stage boundary once the
-     * pool drains below one-request-per-thread (sticky — a request
-     * that started spilling keeps spilling; its chunks are already in
-     * flight).
+     * decision is re-evaluated from scratch into it (and, when
+     * @p spill_shard is non-null, the chosen shard): a request
+     * acquired at saturation starts spilling once capacity frees up
+     * anywhere, a borrowed neighbor is released once it has work of
+     * its own, and a saturated pool stops being fought over. Safe to
+     * change per stage — at a boundary every chunk of the request
+     * has already joined.
      */
-    bool checkpoint(std::uint64_t id, bool *spill = nullptr);
+    bool checkpoint(std::uint64_t id, bool *spill = nullptr,
+                    int *spill_shard = nullptr);
 
     /** Terminal transition: the request finished with @p result. */
     void complete(std::uint64_t id, BatchResult result);
@@ -217,6 +310,16 @@ class Scheduler
     RequestOutcome wait(Ticket ticket);
 
     /**
+     * Bounded wait: block up to @p timeout for the request to reach
+     * a terminal state. On success the record is consumed exactly as
+     * by wait(); on timeout returns nullopt and the ticket stays
+     * live — the request keeps its queue position (or keeps
+     * running), and the caller may wait again, cancel, or discard.
+     */
+    std::optional<RequestOutcome> waitFor(Ticket ticket,
+                                          Clock::duration timeout);
+
+    /**
      * Give up on a ticket without collecting its outcome: requests
      * still pending are flagged for cancellation, and the record is
      * reclaimed the moment it retires (immediately if already
@@ -230,6 +333,15 @@ class Scheduler
     std::size_t queuedCount() const;
     std::size_t runningCount() const;
 
+    /** Per-shard counters (serving telemetry, shard-balance tests). */
+    std::size_t queuedCount(unsigned shard) const;
+    std::size_t runningCount(unsigned shard) const;
+
+    unsigned numShards() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
     /** Records currently held (pending + terminal-but-uncollected);
      *  serving telemetry and leak tests read this. */
     std::size_t liveRecordCount() const;
@@ -238,7 +350,7 @@ class Scheduler
      * Reject new submissions, flag all queued requests for
      * cancellation, and block until no request is Queued or Running
      * (i.e. every executor task has retired its request). Called by
-     * ~AsyncPipeline before the pool is destroyed.
+     * ~AsyncPipeline before the pools are destroyed.
      */
     void shutdown();
 
@@ -254,8 +366,20 @@ class Scheduler
         BatchResult result;
         std::string error;
         std::exception_ptr exception;
-        bool spilled = false;
+        Priority priority = Priority::Interactive;
+        unsigned shard = 0;
+        int spill_shard = -1;   ///< current spill pool (-1 = inline)
+        bool spilled = false;   ///< spilled for at least one stage
         bool abandoned = false; ///< discard()ed; reclaim on retire
+    };
+
+    /** Queues, aging credits, and in-flight counters of one shard. */
+    struct ShardState
+    {
+        std::array<std::deque<std::uint64_t>, kNumPriorities> queues;
+        std::array<std::uint64_t, kNumPriorities> credit{};
+        std::size_t queued = 0;
+        std::size_t running = 0;
     };
 
     /** Retire a non-terminal record as Cancelled/Expired/Done/Failed
@@ -264,6 +388,23 @@ class Scheduler
      *  touch @p record afterwards. */
     void retireLocked(std::uint64_t id, Record &record,
                       RequestState state);
+
+    /** Work-conserving target for a request on @p shard (mutex
+     *  held): own shard if it has idle threads, else a FULLY idle
+     *  other shard — the one with the fewest active borrowers,
+     *  lowest index on ties — else -1. Merely under-loaded
+     *  neighbors are never borrowed (see file comment: priority
+     *  inversion). */
+    int spillShardLocked(unsigned shard) const;
+
+    /** Point @p record's spill target at @p target (mutex held),
+     *  keeping the per-shard borrow counters and the ever-spilled
+     *  flag in sync. Every spill_shard transition goes through
+     *  here — acquire, checkpoint, and retirement. */
+    void assignSpillLocked(Record &record, int target);
+
+    /** Move a consumed record into a RequestOutcome (mutex held). */
+    RequestOutcome consumeLocked(std::uint64_t id, Record &record);
 
     const Record &recordFor(Ticket ticket) const;
 
@@ -278,8 +419,16 @@ class Scheduler
     const unsigned num_threads_;
     const bool work_conserving_;
 
+    core::ShardMap shard_map_;
+    std::vector<ShardState> shards_;
+
+    /** Active cross-shard borrowers per shard (requests currently
+     *  spilling their chunks onto it from another shard); spreads
+     *  concurrent borrows over idle shards instead of piling them
+     *  onto the lowest index. */
+    std::vector<std::size_t> borrows_;
+
     std::uint64_t next_id_ = 1;
-    std::deque<std::uint64_t> fifo_;
     std::unordered_map<std::uint64_t, Record> records_;
     std::size_t queued_ = 0;
     std::size_t running_ = 0;
