@@ -17,7 +17,10 @@
  *      inference that never touches the heap allocator, and
  *  10. scale the serving runtime out: executor shards with
  *      consistent-hash placement, priority classes with weighted
- *      aging, and bounded waits.
+ *      aging, and bounded waits, and
+ *  11. inspect the SIMD kernel layer: which dispatch level is
+ *      active, how to force the scalar reference path, and the fp16
+ *      end-to-end inference mode.
  *
  * Build & run:  ./build/quickstart
  */
@@ -26,6 +29,7 @@
 #include <cstdio>
 
 #include "core/pipeline.h"
+#include "core/simd.h"
 #include "dataset/s3dis.h"
 #include "nn/models.h"
 #include "ops/quality.h"
@@ -306,5 +310,54 @@ main()
     std::printf("interactive finished %s on shard %u — same shard, "
                 "same session key\n",
                 serve::stateName(fg_outcome.state), fg_outcome.shard);
+
+    // 11. The SIMD kernel layer (core/simd.h). The hot inner loops —
+    // the FPS min-distance update, the ball-query/KNN distance
+    // screens, the per-row MLP dot products, and the fp16
+    // conversions — dispatch once, at first use, to the best kernel
+    // table the CPU supports: AVX2+FMA+F16C when available, else the
+    // scalar reference path. Two ways to force scalar:
+    //
+    //   FC_FORCE_SCALAR=1 ./quickstart      (env: any value but "0")
+    //   core::simd::setActiveLevel(...)     (tests/benches, below)
+    //
+    // The distance and blend kernels are bit-identical across
+    // levels, so forcing scalar changes wall-clock only; the dot
+    // kernels accumulate in a different order (documented ULP
+    // bounds), which after fp16 activation rounding still leaves
+    // results stable to <= 1 fp16 ULP (tests/test_simd.cc).
+    //
+    // Data layout: the kernels read coordinates through the
+    // structure-of-arrays mirror data::PointCloud::soa() — three
+    // contiguous float arrays (xs/ys/zs). The mirror rebuilds lazily
+    // after any coordinate mutation; ops warm it serially before
+    // fanning out, and code holding a SoaView across its own
+    // mutations must call markCoordsDirty(). bench_simd_kernels
+    // prints per-kernel scalar-vs-SIMD columns (ms and speedup; the
+    // FPS-update and LinearRelu rows gate CI at >= 2x when AVX2 is
+    // on) plus end-to-end Mixed-vs-Fp16 rows.
+    std::printf("simd: avx2 %s, active level %s\n",
+                core::simd::avx2Available() ? "available"
+                                            : "unavailable",
+                core::simd::levelName(core::simd::activeLevel()));
+
+    // The fp16 end-to-end mode: activations live in binary16 the
+    // whole way through the MLP pathway (half the tensor bandwidth),
+    // accumulating in fp32 through the same core::simd scheme as the
+    // default Mixed mode. Because every MLP input is already
+    // fp16-valued in Mixed mode too, the two modes produce
+    // bit-identical InferenceResults at either dispatch level.
+    nn::BackendOptions fp16_backend = sequential_backend;
+    fp16_backend.precision = nn::Precision::Fp16;
+    const nn::InferenceResult half_run =
+        network.run(scene, fp16_backend);
+    const bool fp16_identical =
+        half_run.point_features.data() ==
+            sequential.point_features.data() &&
+        half_run.embedding.data() == sequential.embedding.data();
+    std::printf("fp16 mode: [%zu x %zu] features, vs mixed %s\n",
+                half_run.point_features.rows(),
+                half_run.point_features.cols(),
+                fp16_identical ? "bit-identical" : "DIVERGED (bug!)");
     return 0;
 }

@@ -40,6 +40,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/workspace.h"
+
 namespace fc::core {
 
 /**
@@ -447,19 +449,27 @@ costGrain(std::size_t ops_per_item, std::size_t target_ops = 1 << 15)
  * @p fold_fn(T &acc, T &&chunk_value). The fold order never depends
  * on the thread count, so even non-commutative merges (e.g. appending
  * per-leaf sample lists) are bit-identical to sequential execution.
+ *
+ * @p scratch (optional) stages per-chunk values above
+ * kReduceInlineChunks: trivially-destructible T draws the staging
+ * array from the arena instead of the heap, keeping high-chunk-count
+ * reduces (per-leaf block ops, per-center neighbor scans) on the
+ * allocation-free warm path. Null, or a non-trivial T, falls back to
+ * one heap vector. Chunk boundaries and fold order are unaffected.
  */
 /** Pooled parallelReduce stages up to this many per-chunk values on
- *  the caller's stack; larger chunk counts fall back to one heap
- *  vector. Sized so the hot serving/inference shapes (per-leaf
- *  reduces at a few dozen leaves, extrema scans at kSplitGrain) stay
- *  allocation-free warm. */
+ *  the caller's stack; larger chunk counts stage in the caller's
+ *  arena (when provided) or fall back to one heap vector. Sized so
+ *  the hot serving/inference shapes (per-leaf reduces at a few dozen
+ *  leaves, extrema scans at kSplitGrain) stay allocation-free warm
+ *  even without an arena. */
 inline constexpr std::size_t kReduceInlineChunks = 64;
 
 template <typename T, typename ChunkFn, typename FoldFn>
 T
 parallelReduce(ThreadPool *pool, std::size_t begin, std::size_t end,
                std::size_t grain, T init, ChunkFn chunk_fn,
-               FoldFn fold_fn)
+               FoldFn fold_fn, Arena *scratch = nullptr)
 {
     if (begin >= end)
         return init;
@@ -486,6 +496,18 @@ parallelReduce(ThreadPool *pool, std::size_t begin, std::size_t end,
         // allocations, matching the inline-task dispatch underneath.
         std::array<T, kReduceInlineChunks> partial{};
         reduce_into(partial.data());
+        return init;
+    }
+    T *arena_partial = nullptr;
+    if constexpr (std::is_trivially_destructible_v<T>) {
+        // Value-construct the staging slots (the fill overload):
+        // chunk tasks assign into them, which requires live objects.
+        if (scratch != nullptr)
+            arena_partial =
+                scratch->allocSpan<T>(num_chunks, T{}).data();
+    }
+    if (arena_partial != nullptr) {
+        reduce_into(arena_partial);
     } else {
         std::vector<T> partial(num_chunks);
         reduce_into(partial.data());

@@ -7,6 +7,29 @@
 
 namespace fc::data {
 
+core::simd::SoaView
+PointCloud::soa() const
+{
+    if (soa_dirty_)
+        rebuildSoa();
+    return {soa_x_.data(), soa_y_.data(), soa_z_.data()};
+}
+
+void
+PointCloud::rebuildSoa() const
+{
+    const std::size_t n = coords_.size();
+    soa_x_.resize(n);
+    soa_y_.resize(n);
+    soa_z_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        soa_x_[i] = coords_[i].x;
+        soa_y_[i] = coords_[i].y;
+        soa_z_[i] = coords_[i].z;
+    }
+    soa_dirty_ = false;
+}
+
 void
 PointCloud::allocateFeatures(std::size_t dim)
 {
@@ -31,8 +54,17 @@ PointCloud::permuted(const std::vector<PointIdx> &order) const
               coords_.size());
     PointCloud out;
     out.coords_.resize(coords_.size());
-    for (std::size_t i = 0; i < order.size(); ++i)
-        out.coords_[i] = coords_[order[i]];
+    out.soa_x_.resize(coords_.size());
+    out.soa_y_.resize(coords_.size());
+    out.soa_z_.resize(coords_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const Vec3 &p = coords_[order[i]];
+        out.coords_[i] = p;
+        out.soa_x_[i] = p.x;
+        out.soa_y_[i] = p.y;
+        out.soa_z_[i] = p.z;
+    }
+    out.soa_dirty_ = false;
     if (featureDim_ > 0) {
         out.featureDim_ = featureDim_;
         out.features_.resize(features_.size());
@@ -56,12 +88,20 @@ PointCloud::subsetInto(const std::vector<PointIdx> &indices,
 {
     fc_assert(&out != this, "subsetInto cannot run in place");
     out.coords_.resize(indices.size());
+    out.soa_x_.resize(indices.size());
+    out.soa_y_.resize(indices.size());
+    out.soa_z_.resize(indices.size());
     for (std::size_t i = 0; i < indices.size(); ++i) {
         const PointIdx idx = indices[i];
         fc_assert(idx < coords_.size(), "subset index %u out of range",
                   idx);
-        out.coords_[i] = coords_[idx];
+        const Vec3 &p = coords_[idx];
+        out.coords_[i] = p;
+        out.soa_x_[i] = p.x;
+        out.soa_y_[i] = p.y;
+        out.soa_z_[i] = p.z;
     }
+    out.soa_dirty_ = false;
     out.featureDim_ = featureDim_;
     out.features_.resize(indices.size() * featureDim_);
     if (featureDim_ > 0) {
@@ -92,6 +132,7 @@ PointCloud::subset(const std::vector<PointIdx> &indices) const
 void
 PointCloud::normalizeToUnitSphere()
 {
+    soa_dirty_ = true;
     if (coords_.empty())
         return;
     Vec3 centroid{0, 0, 0};

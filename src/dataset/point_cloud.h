@@ -7,6 +7,13 @@
  * row-major [numPoints x featureDim] matrix. This mirrors the paper's
  * split between the coordinate stream consumed by point operations and
  * the feature stream consumed by gathering / MLPs (§II-A).
+ *
+ * A structure-of-arrays mirror of the coordinates (xs/ys/zs) feeds the
+ * core::simd distance kernels. It is maintained lazily: mutators only
+ * mark it dirty, and soa() rebuilds on demand. The bulk writers on the
+ * warm inference path (subsetInto, permuted) fill it directly while
+ * they copy coordinates, so steady-state requests never rebuild and
+ * never allocate (vectors shrink within retained capacity).
  */
 
 #ifndef FC_DATASET_POINT_CLOUD_H
@@ -17,6 +24,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/simd.h"
 
 namespace fc::data {
 
@@ -37,10 +45,37 @@ class PointCloud
     bool empty() const { return coords_.empty(); }
 
     const Vec3 &operator[](std::size_t i) const { return coords_[i]; }
-    Vec3 &operator[](std::size_t i) { return coords_[i]; }
+
+    Vec3 &
+    operator[](std::size_t i)
+    {
+        soa_dirty_ = true;
+        return coords_[i];
+    }
 
     const std::vector<Vec3> &coords() const { return coords_; }
-    std::vector<Vec3> &coords() { return coords_; }
+
+    std::vector<Vec3> &
+    coords()
+    {
+        soa_dirty_ = true;
+        return coords_;
+    }
+
+    /**
+     * Structure-of-arrays view of the coordinates for core::simd
+     * kernels; rebuilt here if a mutator ran since the last call.
+     *
+     * Not safe to call concurrently while dirty — ops that fan rows
+     * out to the thread pool warm it with a serial soa() first. A
+     * caller that keeps mutating through a reference obtained from a
+     * non-const accessor after calling soa() must call
+     * markCoordsDirty() itself.
+     */
+    core::simd::SoaView soa() const;
+
+    /** Force the next soa() call to rebuild. */
+    void markCoordsDirty() { soa_dirty_ = true; }
 
     /** Feature channel count (0 when the cloud has no features). */
     std::size_t featureDim() const { return featureDim_; }
@@ -74,6 +109,7 @@ class PointCloud
     addPoint(const Vec3 &p)
     {
         coords_.push_back(p);
+        soa_dirty_ = true;
     }
 
     void
@@ -81,6 +117,7 @@ class PointCloud
     {
         coords_.push_back(p);
         labels_.push_back(label);
+        soa_dirty_ = true;
     }
 
     /** Bounding box of all coordinates. */
@@ -123,10 +160,19 @@ class PointCloud
     }
 
   private:
+    void rebuildSoa() const;
+
     std::vector<Vec3> coords_;
     std::vector<float> features_;
     std::size_t featureDim_ = 0;
     std::vector<std::int32_t> labels_;
+
+    // Lazy SoA mirror of coords_ (see soa()); mutable because a const
+    // soa() call may rebuild it.
+    mutable std::vector<float> soa_x_;
+    mutable std::vector<float> soa_y_;
+    mutable std::vector<float> soa_z_;
+    mutable bool soa_dirty_ = true;
 };
 
 } // namespace fc::data

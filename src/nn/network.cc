@@ -153,6 +153,24 @@ Network::run(const data::PointCloud &cloud,
 
     core::ThreadPool *pool = backend.pool;
     const bool use_blocks = backend.anyBlockOp();
+
+    // One MLP application in the selected precision. Every input is
+    // fp16-valued by construction (quantizeFp16 before SA/FP calls;
+    // head inputs are max-pools or MLP outputs of fp16-rounded
+    // values), so the Fp16 mode's conversions are exact and the two
+    // modes match bit for bit at a given simd dispatch level.
+    HalfTensor &hin = ws.slot<HalfTensor>("nn.hin");
+    HalfTensor &hout = ws.slot<HalfTensor>("nn.hout");
+    const auto applyMlp = [&](const Mlp &mlp, const Tensor &input,
+                              Tensor &output) {
+        if (backend.precision == Precision::Fp16) {
+            toHalf(input, pool, hin);
+            mlp.forward(hin, pool, ws, hout);
+            toFloat(hout, pool, output);
+        } else {
+            mlp.forward(input, pool, ws, output);
+        }
+    };
     part::PartitionerCache &pcache =
         ws.slot<part::PartitionerCache>("nn.pcache");
     part::PartitionConfig pconfig;
@@ -312,7 +330,7 @@ Network::run(const data::PointCloud &cloud,
         std::copy(gathered.values.begin(), gathered.values.end(),
                   grouped.data().begin());
         grouped.quantizeFp16(pool);
-        saMlps_[si].forward(grouped, pool, ws, transformed);
+        applyMlp(saMlps_[si], grouped, transformed);
         out.total_macs += saMlps_[si].macs(grouped.rows());
 
         Level &next = levels[si + 1];
@@ -326,7 +344,7 @@ Network::run(const data::PointCloud &cloud,
         Tensor &pooled = ws.slot<Tensor>("nn.pooled");
         globalMaxPool(levels.back().features, pooled);
         if (!config_.head.empty()) {
-            headMlp_.forward(pooled, pool, ws, out.embedding);
+            applyMlp(headMlp_, pooled, out.embedding);
             out.total_macs += headMlp_.macs(1);
         } else {
             out.embedding = pooled;
@@ -416,12 +434,12 @@ Network::run(const data::PointCloud &cloud,
                 }
             });
         merged.quantizeFp16(pool);
-        fpMlps_[fi].forward(merged, pool, ws, coarse);
+        applyMlp(fpMlps_[fi], merged, coarse);
         out.total_macs += fpMlps_[fi].macs(merged.rows());
     }
 
     if (!config_.head.empty()) {
-        headMlp_.forward(coarse, pool, ws, out.point_features);
+        applyMlp(headMlp_, coarse, out.point_features);
         out.total_macs += headMlp_.macs(coarse.rows());
     } else {
         out.point_features = coarse;

@@ -40,6 +40,23 @@ class Workspace;
 
 namespace fc::nn {
 
+/**
+ * Numeric mode of the MLP pathway.
+ *
+ * Mixed is the historical path: activations live in fp32 tensors
+ * whose values are fp16-rounded after every layer. Fp16 stores
+ * activations as binary16 bits end to end (HalfTensor), halving
+ * activation bandwidth like the accelerator's datapath. Both modes
+ * accumulate in fp32 with the same core::simd scheme, and every MLP
+ * input is fp16-valued before conversion, so the two modes produce
+ * bit-identical results at a given dispatch level.
+ */
+enum class Precision
+{
+    Mixed,
+    Fp16,
+};
+
 /** Point-operation backend selection. */
 struct BackendOptions
 {
@@ -64,6 +81,9 @@ struct BackendOptions
      * (matching the design being modelled) unless overridden.
      */
     bool fixed_count_sampling = false;
+
+    /** Numeric mode of the MLP pathway (see Precision). */
+    Precision precision = Precision::Mixed;
 
     /**
      * Pool driving every stage of Network::run: the per-stage

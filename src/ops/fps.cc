@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "core/workspace.h"
 
 namespace fc::ops {
@@ -67,6 +68,13 @@ fpsOverView(const data::PointCloud &cloud,
     sampled[current] = 1;
     *out++ = viewIdx(order, begin + current);
 
+    // Pre-offset the order view so kernel-local positions index
+    // min_dist/sampled directly (core/simd.h addressing convention);
+    // the identity view passes `begin` as the base instead.
+    const core::simd::SoaView pts = cloud.soa();
+    const PointIdx *order_ptr =
+        order.empty() ? nullptr : order.data() + begin;
+
     const std::size_t grain = core::costGrain(8);
     for (std::size_t s = 1; s < num_samples; ++s) {
         ++stats.iterations;
@@ -74,33 +82,22 @@ fpsOverView(const data::PointCloud &cloud,
         const FpsBest best = core::parallelReduce(
             pool, 0, n, grain, FpsBest{},
             [&](std::size_t cb, std::size_t ce) {
+                const core::simd::FpsPartial p = core::simd::fpsUpdate(
+                    pts, order_ptr, begin, cur_pt, min_dist.data(),
+                    sampled.data(), static_cast<std::uint32_t>(cb),
+                    static_cast<std::uint32_t>(ce));
                 FpsBest local;
-                for (std::size_t i = cb; i < ce; ++i) {
-                    if (sampled[i]) {
-                        // The window-check module (paper Fig. 11(c))
-                        // filters sampled points out of the candidate
-                        // stream entirely; without it the hardware
-                        // still reads and re-compares them.
-                        if (window_check)
-                            ++local.skipped;
-                        else
-                            ++local.visited;
-                        continue;
-                    }
-                    ++local.visited;
-                    ++local.computed;
-                    const float d = distance2(
-                        cur_pt,
-                        cloud[viewIdx(
-                            order,
-                            begin + static_cast<std::uint32_t>(i))]);
-                    if (d < min_dist[i])
-                        min_dist[i] = d;
-                    if (min_dist[i] > local.dist) {
-                        local.dist = min_dist[i];
-                        local.pos = static_cast<std::uint32_t>(i);
-                    }
-                }
+                local.dist = p.best;
+                local.pos = p.pos;
+                // The window-check module (paper Fig. 11(c)) filters
+                // sampled points out of the candidate stream entirely;
+                // without it the hardware still reads and re-compares
+                // them. Either way only unsampled candidates cost a
+                // distance evaluation.
+                const std::uint64_t len = ce - cb;
+                local.computed = len - p.sampled;
+                local.visited = window_check ? len - p.sampled : len;
+                local.skipped = window_check ? p.sampled : 0;
                 return local;
             },
             [](FpsBest &acc, FpsBest &&chunk) {
@@ -114,7 +111,8 @@ fpsOverView(const data::PointCloud &cloud,
                 acc.visited += chunk.visited;
                 acc.computed += chunk.computed;
                 acc.skipped += chunk.skipped;
-            });
+            },
+            &arena);
         stats.points_visited += best.visited;
         stats.distance_computations += best.computed;
         stats.skipped += best.skipped;
@@ -212,6 +210,10 @@ blockFarthestPointSample(const data::PointCloud &cloud,
             static_cast<std::uint32_t>(quotas[li]));
     }
     out.indices.resize(out.leaf_offsets.back());
+
+    // Warm the SoA mirror serially: the per-leaf tasks below all call
+    // cloud.soa(), which must not rebuild concurrently.
+    (void)cloud.soa();
 
     std::span<OpStats> leaf_stats =
         arena.allocSpan<OpStats>(leaves.size(), OpStats{});

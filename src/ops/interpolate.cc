@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "core/workspace.h"
 
 namespace fc::ops {
@@ -59,8 +60,9 @@ blendRows(const data::PointCloud &cloud,
                 known_features.data() +
                 static_cast<std::size_t>(r) * channels;
             const float w = weights[j] * inv;
-            for (std::size_t c = 0; c < channels; ++c)
-                out[c] += w * src[c];
+            // Elementwise mul+add — bit-identical at every dispatch
+            // level (core/simd.h).
+            core::simd::axpy(w, src, out, channels);
             stats.bytes_gathered += channels * 2; // fp16 row
         }
         ++stats.iterations;
@@ -108,7 +110,8 @@ interpolateFeatures(const data::PointCloud &cloud,
                       neighbors, cb, ce, out, stats);
             return stats;
         },
-        [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
+        [](OpStats &acc, OpStats &&chunk) { acc += chunk; },
+        &ws.arena());
 }
 
 InterpolateResult

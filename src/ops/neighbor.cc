@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "core/workspace.h"
 #include "ops/topk.h"
 
@@ -13,23 +14,44 @@ namespace fc::ops {
 namespace {
 
 /**
+ * Distance-screen tile width: small enough for the stack (512 B), big
+ * enough that core::simd::distance2Range runs full-width. Using a
+ * fixed stack tile (not arena scratch) keeps the per-row kernels
+ * allocation-free and reentrant inside pool tasks.
+ */
+constexpr std::uint32_t kScreenTile = 128;
+
+/**
  * Ball query for one center over a view of candidate positions (an
  * empty order span is the identity view). Writes exactly k entries
  * (padded) into @p row; returns the number of real neighbors found.
+ *
+ * Distances are screened one kScreenTile at a time through
+ * core::simd::distance2Range; the scalar scan over the tile keeps the
+ * historical semantics — early stop at k neighbors, stats counted per
+ * examined position only.
  */
 std::uint32_t
-ballQueryRow(const data::PointCloud &cloud, const Vec3 &center_pt,
+ballQueryRow(const core::simd::SoaView &pts, const Vec3 &center_pt,
              std::span<const PointIdx> order, std::uint32_t begin,
              std::uint32_t end, float radius2, std::size_t k,
              PointIdx *row, OpStats &stats)
 {
+    const PointIdx *order_ptr = order.empty() ? nullptr : order.data();
+    float dist_tile[kScreenTile];
     std::uint32_t found = 0;
-    for (std::uint32_t pos = begin; pos < end && found < k; ++pos) {
-        const PointIdx idx = order.empty() ? pos : order[pos];
-        ++stats.points_visited;
-        ++stats.distance_computations;
-        if (distance2(center_pt, cloud[idx]) <= radius2)
-            row[found++] = idx;
+    for (std::uint32_t tb = begin; tb < end && found < k;
+         tb += kScreenTile) {
+        const std::uint32_t te = std::min(end, tb + kScreenTile);
+        core::simd::distance2Range(pts, order_ptr, 0, center_pt, tb, te,
+                                   dist_tile);
+        for (std::uint32_t pos = tb; pos < te && found < k; ++pos) {
+            ++stats.points_visited;
+            ++stats.distance_computations;
+            if (dist_tile[pos - tb] <= radius2)
+                row[found++] =
+                    order_ptr != nullptr ? order_ptr[pos] : pos;
+        }
     }
     // PointNet++ padding: repeat the first neighbor; centers with no
     // neighbor at all (possible when the center is not among the
@@ -43,19 +65,26 @@ ballQueryRow(const data::PointCloud &cloud, const Vec3 &center_pt,
 /**
  * KNN for one query over an explicit candidate list. Writes exactly k
  * entries (padded) into @p row; returns the real neighbor count.
- * Top-k selection is inline (ops/topk.h) — no per-row heap use.
+ * Distances come from core::simd::distance2Range tiles feeding the
+ * inline top-k (ops/topk.h) — no per-row heap use.
  */
 std::uint32_t
-knnRow(const data::PointCloud &cloud, const Vec3 &query,
+knnRow(const core::simd::SoaView &pts, const Vec3 &query,
        std::span<const PointIdx> candidates, std::size_t k,
        PointIdx *row, OpStats &stats)
 {
     TopK top(k);
-    for (const PointIdx idx : candidates) {
-        ++stats.points_visited;
-        ++stats.distance_computations;
-        top.offer(distance2(query, cloud[idx]), idx);
+    float dist_tile[kScreenTile];
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(candidates.size());
+    for (std::uint32_t tb = 0; tb < n; tb += kScreenTile) {
+        const std::uint32_t te = std::min(n, tb + kScreenTile);
+        core::simd::distance2Range(pts, candidates.data(), 0, query, tb,
+                                   te, dist_tile);
+        top.offerBatch(dist_tile, candidates.data() + tb, te - tb);
     }
+    stats.points_visited += n;
+    stats.distance_computations += n;
     top.emitRow(row);
     return static_cast<std::uint32_t>(top.count());
 }
@@ -65,7 +94,7 @@ knnRow(const data::PointCloud &cloud, const Vec3 &query,
 void
 ballQuery(const data::PointCloud &cloud,
           const std::vector<PointIdx> &centers, float radius,
-          std::size_t k, core::ThreadPool *pool, core::Workspace &,
+          std::size_t k, core::ThreadPool *pool, core::Workspace &ws,
           NeighborResult &out)
 {
     fc_assert(k > 0, "ball query needs k > 0");
@@ -76,6 +105,9 @@ ballQuery(const data::PointCloud &cloud,
     out.counts.resize(centers.size());
 
     const float r2 = radius * radius;
+    // Serial SoA warm-up: the row tasks below share the view
+    // read-only.
+    const core::simd::SoaView pts = cloud.soa();
     // Center rows are disjoint k-wide slots; per-chunk stats fold in
     // chunk order. The candidate view is the identity (whole cloud).
     out.stats += core::parallelReduce(
@@ -86,14 +118,15 @@ ballQuery(const data::PointCloud &cloud,
             OpStats stats;
             for (std::size_t ci = cb; ci < ce; ++ci) {
                 out.counts[ci] = ballQueryRow(
-                    cloud, cloud[centers[ci]], {}, 0,
+                    pts, cloud[centers[ci]], {}, 0,
                     static_cast<std::uint32_t>(cloud.size()), r2, k,
                     out.indices.data() + ci * k, stats);
                 ++stats.iterations;
             }
             return stats;
         },
-        [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
+        [](OpStats &acc, OpStats &&chunk) { acc += chunk; },
+        &ws.arena());
 }
 
 NeighborResult
@@ -119,8 +152,9 @@ knnSearch(const data::PointCloud &cloud,
     out.k = k;
     out.indices.resize(queries.size() * k);
     out.counts.resize(queries.size());
+    const core::simd::SoaView pts = cloud.soa();
     for (std::size_t qi = 0; qi < queries.size(); ++qi) {
-        out.counts[qi] = knnRow(cloud, queries[qi], candidates, k,
+        out.counts[qi] = knnRow(pts, queries[qi], candidates, k,
                                 out.indices.data() + qi * k, out.stats);
         ++out.stats.iterations;
     }
@@ -140,8 +174,8 @@ knnSearch(const data::PointCloud &cloud,
 void
 blockBallQuery(const data::PointCloud &cloud, const part::BlockTree &tree,
                const BlockSampleResult &centers, float radius,
-               std::size_t k, core::ThreadPool *pool, core::Workspace &,
-               NeighborResult &out)
+               std::size_t k, core::ThreadPool *pool,
+               core::Workspace &ws, NeighborResult &out)
 {
     fc_assert(k > 0, "ball query needs k > 0");
     out.stats = {};
@@ -156,6 +190,10 @@ blockBallQuery(const data::PointCloud &cloud, const part::BlockTree &tree,
               "center table does not match tree (%zu offsets, %zu "
               "leaves)",
               centers.leaf_offsets.size(), leaves.size());
+
+    // Serial SoA warm-up: the row tasks below share the view
+    // read-only.
+    const core::simd::SoaView pts = cloud.soa();
 
     // Per-leaf work items. Every center owns one fixed k-wide row of
     // indices, so leaves write disjoint slots; per-chunk stats fold
@@ -172,7 +210,7 @@ blockBallQuery(const data::PointCloud &cloud, const part::BlockTree &tree,
                     const Vec3 &center_pt =
                         cloud[centers.indices[ci]];
                     out.counts[ci] = ballQueryRow(
-                        cloud, center_pt, tree.order(), space.begin,
+                        pts, center_pt, tree.order(), space.begin,
                         space.end, r2, k,
                         out.indices.data() +
                             static_cast<std::size_t>(ci) * k,
@@ -182,7 +220,8 @@ blockBallQuery(const data::PointCloud &cloud, const part::BlockTree &tree,
             }
             return stats;
         },
-        [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
+        [](OpStats &acc, OpStats &&chunk) { acc += chunk; },
+        &ws.arena());
 }
 
 NeighborResult
@@ -223,6 +262,10 @@ blockKnnToSamples(const data::PointCloud &cloud,
     for (std::size_t i = 0; i < sorted_pos.size(); ++i)
         sorted_idx[i] = tree.order()[sorted_pos[i]];
 
+    // Serial SoA warm-up: the row tasks below share the view
+    // read-only.
+    const core::simd::SoaView pts = cloud.soa();
+
     // Per-leaf work items; every query writes the row of its original
     // point id, so rows come out in original order directly. Each
     // leaf's candidate list is a contiguous subrange of sorted_idx —
@@ -259,7 +302,7 @@ blockKnnToSamples(const data::PointCloud &cloud,
                      ++pos) {
                     const PointIdx query_idx = tree.order()[pos];
                     out.counts[query_idx] = knnRow(
-                        cloud, cloud[query_idx], candidates, k,
+                        pts, cloud[query_idx], candidates, k,
                         out.indices.data() +
                             static_cast<std::size_t>(query_idx) * k,
                         stats);
@@ -268,7 +311,8 @@ blockKnnToSamples(const data::PointCloud &cloud,
             }
             return stats;
         },
-        [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
+        [](OpStats &acc, OpStats &&chunk) { acc += chunk; },
+        &arena);
 }
 
 NeighborResult

@@ -63,6 +63,20 @@ class TopK
             ++count_;
     }
 
+    /**
+     * Offer a tile of candidates: dists[i] pairs with idxs[i].
+     * Equivalent to offering each in order — the cheap worst-entry
+     * screen at the top of offer() makes far candidates cost one
+     * compare, so feeding whole core::simd::distance2Range tiles
+     * through here keeps the scan branch-light.
+     */
+    void
+    offerBatch(const float *dists, const PointIdx *idxs, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            offer(dists[i], idxs[i]);
+    }
+
     std::size_t count() const { return count_; }
     bool empty() const { return count_ == 0; }
 

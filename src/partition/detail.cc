@@ -75,12 +75,36 @@ std::uint32_t
 chunkedSplitRange(std::vector<PointIdx> &order,
                   const data::PointCloud &cloud, std::uint32_t begin,
                   std::uint32_t end, int dim, float split_value,
-                  core::ThreadPool *pool)
+                  core::ThreadPool *pool, core::Arena *arena)
 {
     const std::uint32_t size = end - begin;
     const std::uint32_t num_chunks =
         (size + kSplitGrain - 1) / kSplitGrain;
-    std::vector<std::uint32_t> mids(num_chunks);
+
+    // Staging: chunk mid/offset tables and the merge scratch come
+    // from the caller's arena when it has one (warm rebuilds then
+    // never touch the heap); the heap vectors are the cold fallback.
+    // Every slot is written before it is read, so the spans stay
+    // uninitialized.
+    std::vector<std::uint32_t> heap_u32;
+    std::vector<PointIdx> heap_merged;
+    std::uint32_t *mids;
+    std::uint32_t *left_at;
+    std::uint32_t *right_at;
+    PointIdx *merged;
+    if (arena != nullptr) {
+        mids = arena->allocSpan<std::uint32_t>(num_chunks).data();
+        left_at = arena->allocSpan<std::uint32_t>(num_chunks).data();
+        right_at = arena->allocSpan<std::uint32_t>(num_chunks).data();
+        merged = arena->allocSpan<PointIdx>(size).data();
+    } else {
+        heap_u32.resize(3 * static_cast<std::size_t>(num_chunks));
+        heap_merged.resize(size);
+        mids = heap_u32.data();
+        left_at = heap_u32.data() + num_chunks;
+        right_at = heap_u32.data() + 2 * static_cast<std::size_t>(num_chunks);
+        merged = heap_merged.data();
+    }
 
     // Phase 1: partition every chunk in place.
     core::parallelFor(
@@ -97,7 +121,6 @@ chunkedSplitRange(std::vector<PointIdx> &order,
 
     // Exclusive prefix sums of per-chunk left/right counts give each
     // chunk its disjoint destination in the merged arrangement.
-    std::vector<std::uint32_t> left_at(num_chunks), right_at(num_chunks);
     std::uint32_t total_left = 0;
     for (std::uint32_t c = 0; c < num_chunks; ++c) {
         left_at[c] = total_left;
@@ -113,7 +136,6 @@ chunkedSplitRange(std::vector<PointIdx> &order,
 
     // Phase 2: scatter chunks into a scratch copy of the slice, then
     // copy back. Each chunk owns disjoint destination ranges.
-    std::vector<PointIdx> merged(size);
     core::parallelFor(
         pool, 0, num_chunks, 1, [&](std::size_t cb, std::size_t ce) {
             for (std::size_t c = cb; c < ce; ++c) {
@@ -125,16 +147,15 @@ chunkedSplitRange(std::vector<PointIdx> &order,
                                 kSplitGrain);
                 std::copy(order.begin() + chunk_begin,
                           order.begin() + mids[c],
-                          merged.begin() + left_at[c]);
+                          merged + left_at[c]);
                 std::copy(order.begin() + mids[c],
                           order.begin() + chunk_end,
-                          merged.begin() + right_at[c]);
+                          merged + right_at[c]);
             }
         });
     core::parallelFor(pool, 0, size, kSplitGrain,
                       [&](std::size_t cb, std::size_t ce) {
-                          std::copy(merged.begin() + cb,
-                                    merged.begin() + ce,
+                          std::copy(merged + cb, merged + ce,
                                     order.begin() + begin + cb);
                       });
     return begin + total_left;
@@ -145,11 +166,11 @@ chunkedSplitRange(std::vector<PointIdx> &order,
 std::uint32_t
 splitRange(std::vector<PointIdx> &order, const data::PointCloud &cloud,
            std::uint32_t begin, std::uint32_t end, int dim,
-           float split_value, core::ThreadPool *pool)
+           float split_value, core::ThreadPool *pool, core::Arena *arena)
 {
     if (end - begin >= kSplitParallelCutoff)
         return chunkedSplitRange(order, cloud, begin, end, dim,
-                                 split_value, pool);
+                                 split_value, pool, arena);
     auto first = order.begin() + begin;
     auto last = order.begin() + end;
     auto mid = std::partition(first, last, [&](PointIdx idx) {
@@ -161,16 +182,16 @@ splitRange(std::vector<PointIdx> &order, const data::PointCloud &cloud,
 std::uint32_t
 splitRange(BlockTree &tree, const data::PointCloud &cloud,
            std::uint32_t begin, std::uint32_t end, int dim,
-           float split_value, core::ThreadPool *pool)
+           float split_value, core::ThreadPool *pool, core::Arena *arena)
 {
     return splitRange(tree.order(), cloud, begin, end, dim, split_value,
-                      pool);
+                      pool, arena);
 }
 
 void
 medianSplit(std::vector<PointIdx> &order, const data::PointCloud &cloud,
             std::uint32_t begin, std::uint32_t end, int dim,
-            core::ThreadPool *pool)
+            core::ThreadPool *pool, core::Arena *arena)
 {
     fc_assert(end - begin >= 2, "median split needs >= 2 points");
     const std::uint32_t target = begin + (end - begin) / 2;
@@ -190,7 +211,7 @@ medianSplit(std::vector<PointIdx> &order, const data::PointCloud &cloud,
     std::uint32_t lo = begin, hi = end;
     while (hi - lo > 1) {
         const auto [minv, maxv] =
-            rangeExtrema(order, cloud, lo, hi, dim, pool);
+            rangeExtrema(order, cloud, lo, hi, dim, pool, arena);
         if (!(minv < maxv))
             break; // Ties on this axis — or an all-NaN interval,
                    // whose inverted extrema would never converge.
@@ -205,7 +226,7 @@ medianSplit(std::vector<PointIdx> &order, const data::PointCloud &cloud,
         if (!(pivot > minv && pivot <= maxv))
             pivot = maxv;
         const std::uint32_t mid =
-            splitRange(order, cloud, lo, hi, dim, pivot, pool);
+            splitRange(order, cloud, lo, hi, dim, pivot, pool, arena);
         if (target < mid)
             hi = mid;
         else
@@ -216,7 +237,8 @@ medianSplit(std::vector<PointIdx> &order, const data::PointCloud &cloud,
 std::pair<float, float>
 rangeExtrema(const std::vector<PointIdx> &order,
              const data::PointCloud &cloud, std::uint32_t begin,
-             std::uint32_t end, int dim, core::ThreadPool *pool)
+             std::uint32_t end, int dim, core::ThreadPool *pool,
+             core::Arena *arena)
 {
     fc_assert(begin < end, "extrema over empty range");
     const auto scan = [&](std::uint32_t b, std::uint32_t e) {
@@ -245,7 +267,8 @@ rangeExtrema(const std::vector<PointIdx> &order,
            std::pair<float, float> &&chunk) {
             acc.first = std::min(acc.first, chunk.first);
             acc.second = std::max(acc.second, chunk.second);
-        });
+        },
+        arena);
 }
 
 } // namespace fc::part::detail

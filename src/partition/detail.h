@@ -123,11 +123,18 @@ inline constexpr std::uint32_t kSplitGrain = 4096;
  * coordinates) every phase is the identity, matching a single
  * std::partition byte for byte. Smaller slices take exactly the
  * sequential std::partition path.
+ *
+ * @p arena (optional, here and in medianSplit/rangeExtrema) supplies
+ * the chunked path's staging buffers — per-chunk mid/offset tables
+ * and the merge scratch — so warm partition rebuilds stop allocating;
+ * null keeps the historical per-call heap vectors. Purely a storage
+ * choice: the arrangement is identical either way.
  */
 std::uint32_t splitRange(BlockTree &tree, const data::PointCloud &cloud,
                          std::uint32_t begin, std::uint32_t end, int dim,
                          float split_value,
-                         core::ThreadPool *pool = nullptr);
+                         core::ThreadPool *pool = nullptr,
+                         core::Arena *arena = nullptr);
 
 /**
  * Order-slice overload for builders that run before the BlockTree
@@ -138,7 +145,8 @@ std::uint32_t splitRange(std::vector<PointIdx> &order,
                          const data::PointCloud &cloud,
                          std::uint32_t begin, std::uint32_t end, int dim,
                          float split_value,
-                         core::ThreadPool *pool = nullptr);
+                         core::ThreadPool *pool = nullptr,
+                         core::Arena *arena = nullptr);
 
 /**
  * Rearrange the order slice [begin, end) so that every element of
@@ -157,7 +165,8 @@ std::uint32_t splitRange(std::vector<PointIdx> &order,
 void medianSplit(std::vector<PointIdx> &order,
                  const data::PointCloud &cloud, std::uint32_t begin,
                  std::uint32_t end, int dim,
-                 core::ThreadPool *pool = nullptr);
+                 core::ThreadPool *pool = nullptr,
+                 core::Arena *arena = nullptr);
 
 /**
  * Min/max of coordinate @p dim over the order slice [begin, end).
@@ -168,7 +177,8 @@ std::pair<float, float> rangeExtrema(const std::vector<PointIdx> &order,
                                      const data::PointCloud &cloud,
                                      std::uint32_t begin,
                                      std::uint32_t end, int dim,
-                                     core::ThreadPool *pool = nullptr);
+                                     core::ThreadPool *pool = nullptr,
+                                     core::Arena *arena = nullptr);
 
 } // namespace fc::part::detail
 

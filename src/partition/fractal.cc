@@ -41,14 +41,14 @@ struct Builder
         for (int attempt = 0; attempt < 3; ++attempt) {
             const int dim = (dim_counter + attempt) % 3;
             const auto [lo, hi] = detail::rangeExtrema(
-                order, cloud, begin, end, dim, pool);
+                order, cloud, begin, end, dim, pool, &arena);
             rec->local.elements_traversed += size; // extrema traversal
             // Halve-then-add: lo + hi overflows to +/-inf for spans
             // beyond FLT_MAX, and an inf midpoint degenerates every
             // split (same guard as detail::medianSplit's pivot).
             const float mid = lo * 0.5f + hi * 0.5f;
             const std::uint32_t split = detail::splitRange(
-                order, cloud, begin, end, dim, mid, pool);
+                order, cloud, begin, end, dim, mid, pool, &arena);
             rec->local.elements_traversed += size; // partition traversal
             if (split == begin || split == end) {
                 ++rec->local.degenerate_retries;

@@ -58,7 +58,8 @@ struct Builder
         // tasks touch disjoint order slices, so the selection is safe
         // to run concurrently across siblings.
         const std::uint32_t median = begin + size / 2;
-        detail::medianSplit(order, cloud, begin, end, dim, pool);
+        detail::medianSplit(order, cloud, begin, end, dim, pool,
+                            &arena);
         ++rec->local.num_sorts;
         rec->local.sort_compares += sortCost(size);
         rec->local.elements_traversed += size;

@@ -46,7 +46,7 @@ struct Builder
         }
         const float mid = cell.midpoint(dim);
         const std::uint32_t split = detail::splitRange(
-            order, cloud, begin, end, dim, mid, pool);
+            order, cloud, begin, end, dim, mid, pool, &arena);
         rec->local.elements_traversed += size;
         ++rec->local.num_splits;
         rec->split = split;

@@ -39,7 +39,7 @@ struct Builder
         const int dim = dim_counter % 3;
         const float mid = cell.midpoint(dim);
         const std::uint32_t split = detail::splitRange(
-            order, cloud, begin, end, dim, mid, pool);
+            order, cloud, begin, end, dim, mid, pool, &arena);
         rec->local.elements_traversed += end - begin;
         ++rec->local.num_splits;
         rec->split = split;

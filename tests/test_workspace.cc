@@ -16,8 +16,10 @@
  *    filter).
  */
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -212,6 +214,75 @@ TEST(WorkspaceAlloc, SecondClassificationInferIsAllocationFree)
 
     const std::uint64_t before = fc::heapAllocCount();
     pipeline.infer(network, out);
+    EXPECT_EQ(fc::heapAllocCount() - before, 0u);
+}
+
+TEST(WorkspaceAlloc, SecondFp16InferIsAllocationFree)
+{
+    // The fp16 end-to-end mode keeps the steady-state guarantee: its
+    // HalfTensor intermediates live in workspace slots and reuse
+    // capacity exactly like the fp32 tensors they shadow.
+    const data::PointCloud scene = data::makeS3disScene(1024, 3);
+    const nn::Network network(tinySegModel(), 42);
+    nn::BackendOptions backend;
+    backend.method = part::Method::Fractal;
+    backend.threshold = 64;
+    backend.precision = nn::Precision::Fp16;
+
+    core::Workspace ws;
+    nn::InferenceResult out;
+    network.run(scene, backend, ws, out); // cold: grows slots
+    ws.reset();
+    const std::uint64_t before = fc::heapAllocCount();
+    network.run(scene, backend, ws, out); // warm
+    EXPECT_EQ(fc::heapAllocCount() - before, 0u);
+}
+
+TEST(WorkspaceAlloc, WideReduceStagesPartialsInTheArena)
+{
+    // Above kReduceInlineChunks the pooled reduce historically fell
+    // back to a heap vector for the per-chunk staging; with an arena
+    // it must stay allocation-free warm.
+    core::ThreadPool pool(2);
+    core::Workspace ws;
+    constexpr std::size_t n = 1000; // grain 1: 1000 chunks >> 64
+
+    // Grow the pool's task ring past the reduce's worst-case backlog
+    // deterministically: the ring only reallocates when the enqueued
+    // backlog exceeds every backlog seen before, and how much of the
+    // cold reduce's backlog the workers drain mid-enqueue is up to
+    // the scheduler. Blocking the tasks until all are enqueued pins
+    // the backlog at its maximum once, here, outside the measurement.
+    {
+        std::atomic<bool> release{false};
+        core::TaskGroup group(&pool);
+        for (std::size_t i = 0; i < n + 200; ++i)
+            group.run([&release] {
+                while (!release.load(std::memory_order_acquire))
+                    std::this_thread::yield();
+            });
+        release.store(true, std::memory_order_release);
+        group.wait();
+    }
+    const auto sum_below_n = [&] {
+        return core::parallelReduce(
+            &pool, 0, n, 1, std::uint64_t{0},
+            [](std::size_t cb, std::size_t ce) {
+                std::uint64_t s = 0;
+                for (std::size_t i = cb; i < ce; ++i)
+                    s += i;
+                return s;
+            },
+            [](std::uint64_t &acc, std::uint64_t &&chunk) {
+                acc += chunk;
+            },
+            &ws.arena());
+    };
+    const std::uint64_t expected = n * (n - 1) / 2;
+    EXPECT_EQ(sum_below_n(), expected); // cold
+    ws.reset();
+    const std::uint64_t before = fc::heapAllocCount();
+    EXPECT_EQ(sum_below_n(), expected); // warm
     EXPECT_EQ(fc::heapAllocCount() - before, 0u);
 }
 
