@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Fold perf-smoke bench CSVs into one machine-readable JSON artifact.
+#
+# Usage: bench_to_json.sh <out.json> <csv-file>...
+#
+# Produces the perf-trajectory document uploaded per CI matrix leg
+# (BENCH_<compiler>.json): one object per bench keyed by the CSV's
+# basename, each carrying the header row as "columns" and every data
+# row as an array of strings. Values stay strings deliberately —
+# bench tables mix numbers, labels, and ratios, and the trajectory
+# tooling downstream decides what to parse. Pure bash+awk (no jq):
+# CI runners get nothing beyond the baked-in toolchain.
+#
+#   {
+#     "schema": 1,
+#     "benches": {
+#       "bench_serve_latency": {
+#         "columns": ["path", "p50 ms", ...],
+#         "rows": [["serve-warm", "1.23", ...], ...]
+#       },
+#       ...
+#     }
+#   }
+#
+# Fails (non-zero) when any named CSV is missing or empty, so a
+# crashed bench binary cannot silently produce a hollow artifact.
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 <out.json> <csv-file>..." >&2
+    exit 2
+fi
+
+out="$1"
+shift
+
+for csv in "$@"; do
+    if [ ! -s "$csv" ]; then
+        echo "FAIL: $csv is missing or empty" >&2
+        exit 1
+    fi
+done
+
+{
+    printf '{"schema":1,"benches":{'
+    first_bench=1
+    for csv in "$@"; do
+        name="$(basename "$csv" .csv)"
+        if [ "$first_bench" -eq 0 ]; then
+            printf ','
+        fi
+        first_bench=0
+        printf '"%s":' "$name"
+        awk -F',' '
+        # JSON-escape one CSV cell (backslash, quote, control chars).
+        function esc(s,    out, i, c) {
+            gsub(/\\/, "\\\\", s)
+            gsub(/"/, "\\\"", s)
+            gsub(/\t/, "\\t", s)
+            gsub(/\r/, "", s)
+            return s
+        }
+        function row_json(    i, out) {
+            out = "["
+            for (i = 1; i <= NF; i++) {
+                if (i > 1)
+                    out = out ","
+                out = out "\"" esc($i) "\""
+            }
+            return out "]"
+        }
+        NR == 1 {
+            printf "{\"columns\":%s,\"rows\":[", row_json()
+            next
+        }
+        {
+            if (NR > 2)
+                printf ","
+            printf "%s", row_json()
+        }
+        END { printf "]}" }
+        ' "$csv"
+    done
+    printf '}}\n'
+} > "$out"
+
+echo "OK: wrote $out ($(wc -c < "$out") bytes from $# CSVs)"

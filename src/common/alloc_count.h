@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The shared allocation counter behind common/alloc_hook.h.
+ *
+ * alloc_hook.h replaces the global operator new/delete family and may
+ * be included from exactly ONE translation unit per binary (its
+ * operator definitions are deliberately non-inline). Tests in the
+ * same binary that only want to READ the counter include this header
+ * instead: fc::heapAllocCount() and the inline counter variable are
+ * shared across TUs, so a reader TU observes the hook TU's counts
+ * without redefining the operators. In a binary without the hook TU
+ * the counter simply stays at zero.
+ */
+
+#ifndef FC_COMMON_ALLOC_COUNT_H
+#define FC_COMMON_ALLOC_COUNT_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace fc {
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_heap_allocs{0};
+} // namespace detail
+
+/** Allocations observed so far (monotonic; read deltas). */
+inline std::uint64_t
+heapAllocCount()
+{
+    return detail::g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+} // namespace fc
+
+#endif // FC_COMMON_ALLOC_COUNT_H

@@ -21,24 +21,15 @@
 #ifndef FC_COMMON_ALLOC_HOOK_H
 #define FC_COMMON_ALLOC_HOOK_H
 
-#include <atomic>
-#include <cstdint>
 #include <cstdlib>
 #include <new>
 
+// The counter itself (and fc::heapAllocCount()) lives in
+// common/alloc_count.h so reader-only TUs can include it without
+// pulling in the operator replacements below.
+#include "common/alloc_count.h"
+
 namespace fc {
-
-namespace detail {
-inline std::atomic<std::uint64_t> g_heap_allocs{0};
-} // namespace detail
-
-/** Allocations observed so far (monotonic; read deltas). */
-inline std::uint64_t
-heapAllocCount()
-{
-    return detail::g_heap_allocs.load(std::memory_order_relaxed);
-}
-
 namespace detail {
 
 inline void *

@@ -1,8 +1,10 @@
 #include "core/sharded_executor.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.h"
+#include "core/metrics.h"
 
 namespace fc::core {
 
@@ -65,6 +67,41 @@ ShardedExecutor::ShardedExecutor(unsigned num_shards,
     for (unsigned s = 0; s < num_shards; ++s)
         shards_.push_back(std::make_unique<ThreadPool>(
             threads_per_shard, standalone));
+    task_counts_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(num_shards);
+    for (unsigned s = 0; s < num_shards; ++s)
+        task_counts_[s].store(0, std::memory_order_relaxed);
+}
+
+void
+ShardedExecutor::submitDetached(unsigned shard,
+                                std::function<void()> task)
+{
+    fc_assert(shard < shards_.size(), "submit on unknown shard %u",
+              shard);
+    task_counts_[shard].fetch_add(1, std::memory_order_relaxed);
+    if (!task_counters_.empty())
+        task_counters_[shard]->add();
+    shards_[shard]->submitDetached(std::move(task));
+}
+
+std::uint64_t
+ShardedExecutor::tasksSubmitted(unsigned shard) const
+{
+    fc_assert(shard < shards_.size(),
+              "tasksSubmitted on unknown shard %u", shard);
+    return task_counts_[shard].load(std::memory_order_relaxed);
+}
+
+void
+ShardedExecutor::attachMetrics(metrics::Registry &registry)
+{
+    fc_assert(task_counters_.empty(),
+              "attachMetrics called twice on one executor");
+    task_counters_.reserve(shards_.size());
+    for (unsigned s = 0; s < shards_.size(); ++s)
+        task_counters_.push_back(&registry.counter(
+            "core.executor.tasks{shard=" + std::to_string(s) + "}"));
 }
 
 } // namespace fc::core

@@ -34,13 +34,20 @@
 #ifndef FC_CORE_SHARDED_EXECUTOR_H
 #define FC_CORE_SHARDED_EXECUTOR_H
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "core/parallel.h"
 
 namespace fc::core {
+
+namespace metrics {
+class Registry;
+class Counter;
+} // namespace metrics
 
 /**
  * Deterministic consistent-hash ring: shard placement as a pure
@@ -129,6 +136,25 @@ class ShardedExecutor
         return *shards_[index];
     }
 
+    /**
+     * Submit a detached (whole-request) task onto @p shard's pool,
+     * counting it against the shard's task telemetry. The serving
+     * layer submits through here instead of shard(i).submitDetached
+     * so per-shard task counts cover every request task.
+     */
+    void submitDetached(unsigned shard, std::function<void()> task);
+
+    /** Detached tasks submitted onto @p shard so far (monotonic). */
+    std::uint64_t tasksSubmitted(unsigned shard) const;
+
+    /**
+     * Register per-shard task counters
+     * (core.executor.tasks{shard=i}) into @p registry; subsequent
+     * submitDetached calls count against them too. @p registry must
+     * outlive this executor. Call at most once.
+     */
+    void attachMetrics(metrics::Registry &registry);
+
     const ShardMap &map() const { return map_; }
 
     /** Consistent-hash placement (see ShardMap). */
@@ -141,6 +167,14 @@ class ShardedExecutor
   private:
     std::vector<std::unique_ptr<ThreadPool>> shards_;
     ShardMap map_;
+
+    /** Per-shard detached-task counts (always maintained; the array
+     *  form keeps the atomics fixed in place). */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> task_counts_;
+
+    /** Registry-backed mirrors of task_counts_; empty until
+     *  attachMetrics. */
+    std::vector<metrics::Counter *> task_counters_;
 };
 
 } // namespace fc::core

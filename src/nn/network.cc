@@ -1,11 +1,15 @@
 #include "nn/network.h"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "common/logging.h"
+#include "core/metrics.h"
 #include "core/parallel.h"
 #include "core/workspace.h"
 #include "ops/gather.h"
@@ -176,6 +180,51 @@ Network::run(const data::PointCloud &cloud,
     part::PartitionConfig pconfig;
     pconfig.threshold = backend.threshold;
 
+    // Per-stage wall-clock attribution (the measured counterpart of
+    // the paper's bottleneck split): a rolling mark charges each code
+    // section to one of six functional stages, accumulated across SA
+    // and FP levels and recorded once per run. All of it is skipped —
+    // including the clock reads — unless a registry is attached and
+    // sampling is on at run() entry.
+    using StageClock = std::chrono::steady_clock;
+    enum
+    {
+        kStPartition = 0,
+        kStFps,
+        kStNeighbor,
+        kStGather,
+        kStMlp,
+        kStInterpolate,
+        kNumStages
+    };
+    std::array<std::uint64_t, kNumStages> stage_acc{};
+    StageClock::time_point stage_mark{};
+    const bool timed = backend.metrics != nullptr &&
+                       core::metrics::samplingEnabled();
+    const auto lapInto = [&](std::size_t stage) {
+        if (!timed)
+            return;
+        const StageClock::time_point now = StageClock::now();
+        if (now > stage_mark)
+            stage_acc[stage] += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    now - stage_mark)
+                    .count());
+        stage_mark = now;
+    };
+    const auto recordStages = [&] {
+        if (!timed)
+            return;
+        static constexpr const char *kStageLabels[kNumStages] = {
+            "partition", "fps",         "neighbor",
+            "gather",    "mlp",         "interpolate"};
+        for (std::size_t i = 0; i < kNumStages; ++i)
+            backend.metrics
+                ->histogram(std::string("nn.stage_us{stage=") +
+                            kStageLabels[i] + "}")
+                .record(stage_acc[i]);
+    };
+
     // ---- Abstraction stages -------------------------------------------
     // Levels and per-level partitions persist in workspace slots and
     // are assigned into: a same-shape run resizes within warm
@@ -223,6 +272,9 @@ Network::run(const data::PointCloud &cloud,
     Tensor &grouped = ws.slot<Tensor>("nn.grouped");
     Tensor &transformed = ws.slot<Tensor>("nn.trans");
 
+    if (timed)
+        stage_mark = StageClock::now(); // base setup is uncounted
+
     for (std::size_t si = 0; si < config_.sa.size(); ++si) {
         const SaStageConfig &stage = config_.sa[si];
         Level &cur = levels[si];
@@ -263,6 +315,7 @@ Network::run(const data::PointCloud &cloud,
             out.partition_stats.num_splits +=
                 partitions[si].stats.num_splits;
         }
+        lapInto(kStPartition);
 
         // --- Sampling ---------------------------------------------------
         bool have_block_sampled = false;
@@ -290,6 +343,7 @@ Network::run(const data::PointCloud &cloud,
                 sampled = block_sampled.indices;
             }
         }
+        lapInto(kStFps);
 
         // --- Grouping (ball query) ---------------------------------------
         if (use_blocks && backend.block_grouping) {
@@ -304,6 +358,7 @@ Network::run(const data::PointCloud &cloud,
                            pool, ws, neighbors);
         }
         out.op_stats += neighbors.stats;
+        lapInto(kStNeighbor);
 
         // --- Gathering ----------------------------------------------------
         // Attach current features to the cloud for gathering.
@@ -323,6 +378,7 @@ Network::run(const data::PointCloud &cloud,
                                      ws, gathered);
         }
         out.op_stats += gathered.stats;
+        lapInto(kStGather);
 
         // --- Feature computation: MLP + max pool -------------------------
         grouped.resize(gathered.num_centers * gathered.k,
@@ -337,6 +393,7 @@ Network::run(const data::PointCloud &cloud,
         maxPoolGroups(transformed, stage.k, pool, next.features);
         cur.cloud.subsetInto(sampled, next.cloud);
         next.parent_indices = sampled;
+        lapInto(kStMlp);
     }
 
     // ---- Readout -------------------------------------------------------
@@ -350,6 +407,8 @@ Network::run(const data::PointCloud &cloud,
             out.embedding = pooled;
         }
         out.point_features.resize(0, 0);
+        lapInto(kStMlp); // head readout
+        recordStages();
         return;
     }
 
@@ -413,6 +472,7 @@ Network::run(const data::PointCloud &cloud,
                                    interp);
         }
         out.op_stats += interp.stats;
+        lapInto(kStInterpolate);
 
         // Concat with the fine level's skip features and apply MLP.
         const std::size_t fine_c = fine_level.features.cols();
@@ -436,6 +496,7 @@ Network::run(const data::PointCloud &cloud,
         merged.quantizeFp16(pool);
         applyMlp(fpMlps_[fi], merged, coarse);
         out.total_macs += fpMlps_[fi].macs(merged.rows());
+        lapInto(kStMlp);
     }
 
     if (!config_.head.empty()) {
@@ -447,6 +508,8 @@ Network::run(const data::PointCloud &cloud,
     // Segmentation embedding: global pool of the point features (used
     // by scene-level diagnostics).
     globalMaxPool(out.point_features, out.embedding);
+    lapInto(kStMlp); // head + final pooling
+    recordStages();
 }
 
 InferenceResult

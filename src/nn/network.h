@@ -36,6 +36,9 @@
 namespace fc::core {
 class ThreadPool;
 class Workspace;
+namespace metrics {
+class Registry;
+}
 }
 
 namespace fc::nn {
@@ -109,6 +112,17 @@ struct BackendOptions
      * the partition they already built.
      */
     const part::PartitionResult *root_partition = nullptr;
+
+    /**
+     * Optional metrics sink. When set, run() records wall-clock time
+     * per functional stage into nn.stage_us{stage=partition|fps|
+     * neighbor|gather|mlp|interpolate} histograms — the measured
+     * counterpart of the paper's Fig. 2 bottleneck split (neighbor
+     * search and sampling dominating end-to-end latency). Borrowed,
+     * never owned; instrument lookup happens once per run() call, and
+     * recording is skipped entirely when metrics sampling is off.
+     */
+    core::metrics::Registry *metrics = nullptr;
 
     bool
     anyBlockOp() const

@@ -33,8 +33,19 @@ AsyncPipeline::AsyncPipeline(const ServeOptions &options)
       executor_(std::max(1u, options.num_shards),
                 options.pipeline.num_threads, /*standalone=*/true),
       scheduler_(options.queue_capacity, executor_.threadsPerShard(),
-                 options.work_conserving, executor_.numShards())
+                 options.work_conserving, executor_.numShards(),
+                 options.priority_weights, &registry_)
 {
+    executor_.attachMetrics(registry_);
+    static constexpr const char *kStageLabels[5] = {
+        "partition", "sample", "group", "gather", "inference"};
+    for (std::size_t i = 0; i < stage_us_.size(); ++i)
+        stage_us_[i] = &registry_.histogram(
+            std::string("serve.stage_us{stage=") + kStageLabels[i] +
+            "}");
+    rejected_ = &registry_.counter("serve.rejected");
+    ws_checkouts_ = &registry_.counter("serve.workspace_checkouts");
+    ws_created_gauge_ = &registry_.gauge("serve.workspaces_created");
 }
 
 AsyncPipeline::~AsyncPipeline()
@@ -52,6 +63,14 @@ AsyncPipeline::trySubmitShared(
     std::optional<Clock::duration> deadline, Priority priority,
     std::uint64_t placement_key)
 {
+    // Warm the cloud's SoA mirror on the submitter: the mirror is
+    // lazy-rebuild-on-first-read and must be first-touched serially
+    // (see PointCloud::soa), and a cloud shared across shards would
+    // otherwise be first-touched by two workers at once. Admission is
+    // the last point that sees the cloud single-threaded; once built,
+    // re-submits of the same cloud reduce to one clean flag check.
+    (void)cloud->soa();
+
     // One executor task per request, on the shard the scheduler
     // placed it on (returned by the admission call itself — no
     // second lock to read it back).
@@ -60,8 +79,10 @@ AsyncPipeline::trySubmitShared(
         scheduler_.trySubmit(std::move(cloud), request, deadline,
                              priority, placement_key, &shard);
     if (ticket)
-        executor_.shard(shard).submitDetached(
-            [this, shard] { execute(shard); });
+        executor_.submitDetached(shard,
+                                 [this, shard] { execute(shard); });
+    else
+        rejected_->add();
     return ticket;
 }
 
@@ -72,14 +93,14 @@ AsyncPipeline::submitShared(std::shared_ptr<const data::PointCloud> cloud,
                             Priority priority,
                             std::uint64_t placement_key)
 {
+    (void)cloud->soa(); // serial first-touch; see trySubmitShared
     unsigned shard = 0;
     std::optional<Ticket> ticket =
         scheduler_.submitBlocking(std::move(cloud), request, deadline,
                                   priority, placement_key, &shard);
     fc_assert(ticket.has_value(),
               "submit on a shutting-down AsyncPipeline");
-    executor_.shard(shard).submitDetached(
-        [this, shard] { execute(shard); });
+    executor_.submitDetached(shard, [this, shard] { execute(shard); });
     return *ticket;
 }
 
@@ -114,6 +135,7 @@ AsyncPipeline::notifyObserver(std::uint64_t id, Stage stage)
 std::unique_ptr<core::Workspace>
 AsyncPipeline::checkoutWorkspace()
 {
+    ws_checkouts_->add();
     {
         std::lock_guard<std::mutex> lock(ws_mutex_);
         if (!ws_free_.empty()) {
@@ -124,6 +146,7 @@ AsyncPipeline::checkoutWorkspace()
             return ws;
         }
         ++ws_created_;
+        ws_created_gauge_->set(static_cast<std::int64_t>(ws_created_));
     }
     // Cold path: first request at this concurrency level. The pool
     // can never exceed the executor count, which the ThreadPool
@@ -191,6 +214,24 @@ AsyncPipeline::execute(unsigned shard)
         ~WorkspaceLease() { owner->checkinWorkspace(std::move(ws)); }
     };
 
+    // Per-stage service-time telemetry: lap() charges the time since
+    // the previous boundary to one stage histogram. The two
+    // steady-clock reads per stage cost nanoseconds against
+    // millisecond stages; with sampling off the record itself is a
+    // load + branch.
+    Clock::time_point stage_mark = Clock::now();
+    const auto lap = [&](unsigned stage_index) {
+        const Clock::time_point now = Clock::now();
+        if (now > stage_mark)
+            stage_us_[stage_index]->record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    now - stage_mark)
+                    .count()));
+        else
+            stage_us_[stage_index]->record(0);
+        stage_mark = now;
+    };
+
     BatchResult out;
     try {
         WorkspaceLease lease{this, checkoutWorkspace()};
@@ -208,6 +249,7 @@ AsyncPipeline::execute(unsigned shard)
             ws.slot<part::PartitionResult>("srv.part");
         pcache.get(options_.pipeline.method)
             .partitionInto(cloud, config, pool(), ws, part);
+        lap(0); // partition
         notifyObserver(id, Stage::Partitioned);
         if (!scheduler_.checkpoint(id, &spill, &spill_shard))
             return;
@@ -217,6 +259,7 @@ AsyncPipeline::execute(unsigned shard)
         ops::blockFarthestPointSample(cloud, part.tree,
                                       job->request.sample_rate, fps,
                                       pool(), ws, out.sampled);
+        lap(1); // sample
         notifyObserver(id, Stage::Sampled);
         if (!scheduler_.checkpoint(id, &spill, &spill_shard))
             return;
@@ -225,6 +268,7 @@ AsyncPipeline::execute(unsigned shard)
                             job->request.radius,
                             job->request.neighbors, pool(), ws,
                             out.grouped);
+        lap(2); // group
         notifyObserver(id, Stage::Grouped);
         if (!scheduler_.checkpoint(id, &spill, &spill_shard))
             return;
@@ -235,6 +279,7 @@ AsyncPipeline::execute(unsigned shard)
             out.gathered);
         out.partition_stats = part.stats;
         out.num_blocks = part.tree.leaves().size();
+        lap(3); // gather
 
         if (job->request.network != nullptr) {
             // End-to-end inference stage: the serving pool drives the
@@ -245,6 +290,7 @@ AsyncPipeline::execute(unsigned shard)
             // during gathering are honored before it starts.
             if (!scheduler_.checkpoint(id, &spill, &spill_shard))
                 return;
+            stage_mark = Clock::now(); // exclude checkpoint wait
             nn::BackendOptions backend;
             backend.method = options_.pipeline.method;
             backend.threshold = options_.pipeline.threshold;
@@ -252,9 +298,13 @@ AsyncPipeline::execute(unsigned shard)
             // Stage 0 of the network reuses the partition this
             // request already built instead of recomputing it.
             backend.root_partition = &part;
+            // Per-stage FPS/neighbor/MLP timings land in this
+            // pipeline's registry (nn.stage_us{stage=...}).
+            backend.metrics = &registry_;
             out.inference.emplace();
             job->request.network->run(cloud, backend, ws,
                                       *out.inference);
+            lap(4); // inference
         }
         // Lease scope ends here: the workspace is checked in before
         // the request becomes observable as Done.

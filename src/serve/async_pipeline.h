@@ -60,6 +60,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/metrics.h"
 #include "core/parallel.h"
 #include "core/pipeline.h"
 #include "core/sharded_executor.h"
@@ -107,6 +108,17 @@ struct ServeOptions
     /** Enable the work-conserving spill policy. false = always
      *  one-cloud-per-thread (the PR 1 runBatch dispatch). */
     bool work_conserving = true;
+
+    /**
+     * Aging weight per priority class
+     * (Interactive : Batch : Background), each > 0. Backlogged
+     * classes share every shard in this proportion; the default is
+     * the historical 8:4:1. Runtime-configurable so deployments can
+     * retune fairness without rebuilding — the active weights are
+     * surfaced in /stats (serve.priority_weight{class=...}).
+     */
+    std::array<std::uint64_t, kNumPriorities> priority_weights =
+        kPriorityWeight;
 
     /**
      * Test/telemetry hook: invoked on the executing worker at every
@@ -258,6 +270,18 @@ class AsyncPipeline
      */
     std::size_t workspacesCreated() const;
 
+    /**
+     * The pipeline's metrics registry: per-(shard x class) queue
+     * depth / wait / latency instruments (Scheduler), per-stage
+     * latency histograms and admission/workspace telemetry (this
+     * class), per-shard executor task counts (ShardedExecutor), and
+     * the inference stage's per-stage nn timings. Render it with
+     * serve::renderStats / renderStatsJson (serve/stats.h); mutation
+     * cost is governed by core::metrics::setSampling.
+     */
+    core::metrics::Registry &metrics() { return registry_; }
+    const core::metrics::Registry &metrics() const { return registry_; }
+
     /** Records held (pending + terminal-but-uncollected). */
     std::size_t liveRecordCount() const
     {
@@ -277,6 +301,26 @@ class AsyncPipeline
     void checkinWorkspace(std::unique_ptr<core::Workspace> ws);
 
     ServeOptions options_;
+
+    /**
+     * Declared first deliberately: every layer below (executor,
+     * scheduler, this class's own instruments) holds pointers into
+     * the registry until its workers join, so the registry must be
+     * destroyed last.
+     */
+    core::metrics::Registry registry_;
+
+    /** Per-stage service-time histograms (serve.stage_us{stage=...}),
+     *  recorded on the executing worker between stage boundaries. */
+    std::array<core::metrics::Histogram *, 5> stage_us_{};
+
+    /** Admission rejections (trySubmit returning nullopt). */
+    core::metrics::Counter *rejected_ = nullptr;
+
+    /** Workspace-pool telemetry: checkouts and distinct workspaces
+     *  created (the gauge mirrors workspacesCreated()). */
+    core::metrics::Counter *ws_checkouts_ = nullptr;
+    core::metrics::Gauge *ws_created_gauge_ = nullptr;
 
     /** Declared before executor_ deliberately: an executor task
      *  returns its workspace lease as its very last action, which

@@ -45,15 +45,103 @@ priorityName(Priority priority)
     return "unknown";
 }
 
-Scheduler::Scheduler(std::size_t queue_capacity, unsigned num_threads,
-                     bool work_conserving, unsigned num_shards)
+namespace {
+
+/** Microseconds between two steady-clock points (never negative). */
+std::uint64_t
+usBetween(Clock::time_point from, Clock::time_point to)
+{
+    if (to <= from)
+        return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+            .count());
+}
+
+/** "serve.<base>{shard=<s>,class=<name>}" — the registry's flat-name
+ *  label convention, built once per instrument at registration. */
+std::string
+cellName(const char *base, unsigned shard, unsigned cls)
+{
+    std::string name = "serve.";
+    name += base;
+    name += "{shard=";
+    name += std::to_string(shard);
+    name += ",class=";
+    name += priorityName(static_cast<Priority>(cls));
+    name += '}';
+    return name;
+}
+
+std::string
+shardName(const char *base, unsigned shard)
+{
+    std::string name = "serve.";
+    name += base;
+    name += "{shard=";
+    name += std::to_string(shard);
+    name += '}';
+    return name;
+}
+
+} // namespace
+
+Scheduler::Scheduler(
+    std::size_t queue_capacity, unsigned num_threads,
+    bool work_conserving, unsigned num_shards,
+    const std::array<std::uint64_t, kNumPriorities> &priority_weights,
+    core::metrics::Registry *registry)
     : capacity_(queue_capacity), num_threads_(num_threads),
-      work_conserving_(work_conserving), shard_map_(num_shards),
-      shards_(num_shards), borrows_(num_shards, 0)
+      work_conserving_(work_conserving), weights_(priority_weights),
+      shard_map_(num_shards), shards_(num_shards),
+      borrows_(num_shards, 0)
 {
     fc_assert(capacity_ > 0, "scheduler needs a positive capacity");
     fc_assert(num_threads_ > 0, "scheduler needs a positive pool size");
     fc_assert(num_shards >= 1, "scheduler needs at least one shard");
+    for (unsigned c = 0; c < kNumPriorities; ++c)
+        fc_assert(weights_[c] > 0,
+                  "priority weight for class %s must be positive",
+                  priorityName(static_cast<Priority>(c)));
+    if (registry == nullptr)
+        return;
+
+    // Register the full instrument matrix up front: every later
+    // mutation is a pointer dereference, no name lookups (and no
+    // allocations) on the serving path.
+    metrics_.resize(num_shards);
+    for (unsigned s = 0; s < num_shards; ++s) {
+        ShardMetrics &sm = metrics_[s];
+        for (unsigned c = 0; c < kNumPriorities; ++c) {
+            ClassMetrics &cm = sm.classes[c];
+            cm.queue_depth =
+                &registry->gauge(cellName("queue_depth", s, c));
+            cm.queue_depth_hist =
+                &registry->histogram(cellName("queue_depth_hist", s, c));
+            cm.wait_us = &registry->histogram(cellName("wait_us", s, c));
+            cm.latency_us =
+                &registry->histogram(cellName("latency_us", s, c));
+            cm.pops = &registry->counter(cellName("pops", s, c));
+            cm.submitted =
+                &registry->counter(cellName("submitted", s, c));
+            cm.completed =
+                &registry->counter(cellName("completed", s, c));
+            cm.expired = &registry->counter(cellName("expired", s, c));
+            cm.cancelled =
+                &registry->counter(cellName("cancelled", s, c));
+            cm.failed = &registry->counter(cellName("failed", s, c));
+        }
+        sm.spill_same = &registry->counter(shardName("spill_same", s));
+        sm.borrow_out = &registry->counter(shardName("borrow_out", s));
+        sm.borrow_in = &registry->counter(shardName("borrow_in", s));
+    }
+    // The active aging weights, surfaced so operators (and tests) can
+    // read the runtime configuration off /stats.
+    for (unsigned c = 0; c < kNumPriorities; ++c)
+        registry
+            ->gauge(std::string("serve.priority_weight{class=") +
+                    priorityName(static_cast<Priority>(c)) + "}")
+            .forceSet(static_cast<std::int64_t>(weights_[c]));
 }
 
 Scheduler::~Scheduler()
@@ -98,9 +186,17 @@ Scheduler::trySubmit(std::shared_ptr<const data::PointCloud> cloud,
     record.shard = shard;
 
     ShardState &st = shards_[shard];
-    st.queues[static_cast<unsigned>(priority)].push_back(id);
+    const unsigned cls = static_cast<unsigned>(priority);
+    st.queues[cls].push_back(id);
     ++st.queued;
     ++queued_;
+    if (!metrics_.empty()) {
+        ClassMetrics &cm = metrics_[shard].classes[cls];
+        cm.submitted->add();
+        const std::uint64_t depth = st.queues[cls].size();
+        cm.queue_depth->set(static_cast<std::int64_t>(depth));
+        cm.queue_depth_hist->record(depth);
+    }
     if (shard_out != nullptr)
         *shard_out = shard;
     return Ticket{id};
@@ -147,6 +243,29 @@ Scheduler::retireLocked(std::uint64_t id, Record &record,
     record.timing.finished = Clock::now();
     if (record.timing.started == Clock::time_point{})
         record.timing.started = record.timing.finished;
+    if (!metrics_.empty()) {
+        ClassMetrics &cm =
+            metrics_[record.shard]
+                .classes[static_cast<unsigned>(record.priority)];
+        switch (state) {
+          case RequestState::Done:
+            cm.completed->add();
+            cm.latency_us->record(usBetween(record.timing.submitted,
+                                            record.timing.finished));
+            break;
+          case RequestState::Expired:
+            cm.expired->add();
+            break;
+          case RequestState::Cancelled:
+            cm.cancelled->add();
+            break;
+          case RequestState::Failed:
+            cm.failed->add();
+            break;
+          default:
+            break;
+        }
+    }
     record.cloud.reset(); // free the input as soon as possible
     if (record.abandoned)
         records_.erase(id); // discard()ed: nobody will wait()
@@ -202,6 +321,18 @@ Scheduler::assignSpillLocked(Record &record, int target)
     if (target >= 0 && target != home)
         ++borrows_[target];
     record.spilled = record.spilled || target >= 0;
+    if (!metrics_.empty() && target >= 0) {
+        // Spill/borrow telemetry counts TRANSITIONS onto a target
+        // (the early-return above dedups per-stage re-decisions that
+        // kept the same target): same-shard fan-out on the home
+        // shard, cross-shard borrows on both ends.
+        if (target == home) {
+            metrics_[record.shard].spill_same->add();
+        } else {
+            metrics_[record.shard].borrow_out->add();
+            metrics_[static_cast<unsigned>(target)].borrow_in->add();
+        }
+    }
 }
 
 std::optional<Scheduler::Job>
@@ -220,6 +351,8 @@ Scheduler::acquire(unsigned shard)
     // pop; the richest class wins (ties to the more interactive
     // one) and its credit resets. Classes whose queue drained reset
     // too — credit models the waiting requests, not the class.
+    // Weights are the runtime configuration passed at construction
+    // (default kPriorityWeight = 8:4:1).
     unsigned chosen = 0;
     std::uint64_t best_credit = 0;
     bool have = false;
@@ -228,7 +361,7 @@ Scheduler::acquire(unsigned shard)
             st.credit[c] = 0;
             continue;
         }
-        st.credit[c] += kPriorityWeight[c];
+        st.credit[c] += weights_[c];
         if (!have || st.credit[c] > best_credit) {
             have = true;
             chosen = c;
@@ -242,6 +375,12 @@ Scheduler::acquire(unsigned shard)
     st.queues[chosen].pop_front();
     --st.queued;
     --queued_;
+    if (!metrics_.empty()) {
+        ClassMetrics &cm = metrics_[shard].classes[chosen];
+        cm.pops->add();
+        cm.queue_depth->set(
+            static_cast<std::int64_t>(st.queues[chosen].size()));
+    }
     cv_.notify_all(); // queue space freed for blocking submitters
 
     Record &record = records_.at(id);
@@ -259,6 +398,10 @@ Scheduler::acquire(unsigned shard)
     record.timing.started = now;
     ++st.running;
     ++running_;
+    if (!metrics_.empty())
+        metrics_[shard]
+            .classes[static_cast<unsigned>(record.priority)]
+            .wait_us->record(usBetween(record.timing.submitted, now));
     assignSpillLocked(record, spillShardLocked(shard));
 
     Job job;

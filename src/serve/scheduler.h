@@ -77,6 +77,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/metrics.h"
 #include "core/pipeline.h"
 #include "core/sharded_executor.h"
 #include "dataset/point_cloud.h"
@@ -120,7 +121,9 @@ enum class Priority : std::uint8_t {
 
 inline constexpr unsigned kNumPriorities = 3;
 
-/** Aging weight per class: relative share of a backlogged shard. */
+/** Default aging weight per class: relative share of a backlogged
+ *  shard. The active weights are runtime-configurable per scheduler
+ *  (ServeOptions::priority_weights); this array is only the default. */
 inline constexpr std::array<std::uint64_t, kNumPriorities>
     kPriorityWeight = {8, 4, 1};
 
@@ -206,9 +209,28 @@ class Scheduler
      * @param work_conserving false pins every request to
      *                        one-cloud-per-thread (spill always off)
      * @param num_shards      executor shards (placement targets)
+     * @param priority_weights aging weight per class (> 0 each);
+     *                        backlogged classes share a shard in this
+     *                        proportion
+     * @param registry        when non-null, the scheduler registers
+     *                        and maintains its serving telemetry
+     *                        (per-(shard x class) queue depth, wait
+     *                        and latency histograms, pop/spill/borrow
+     *                        and outcome counters) in it; must
+     *                        outlive the scheduler
      */
     Scheduler(std::size_t queue_capacity, unsigned num_threads,
-              bool work_conserving = true, unsigned num_shards = 1);
+              bool work_conserving = true, unsigned num_shards = 1,
+              const std::array<std::uint64_t, kNumPriorities>
+                  &priority_weights = kPriorityWeight,
+              core::metrics::Registry *registry = nullptr);
+
+    /** Active aging weights (runtime-configured at construction). */
+    const std::array<std::uint64_t, kNumPriorities> &
+    priorityWeights() const
+    {
+        return weights_;
+    }
 
     ~Scheduler();
 
@@ -382,6 +404,32 @@ class Scheduler
         std::size_t running = 0;
     };
 
+    /** Instruments of one (shard, class) cell; null without a
+     *  registry. Mutated under mutex_ (the instruments themselves are
+     *  lock-free; the lock is the scheduler's own). */
+    struct ClassMetrics
+    {
+        core::metrics::Gauge *queue_depth = nullptr;
+        core::metrics::Histogram *queue_depth_hist = nullptr;
+        core::metrics::Histogram *wait_us = nullptr;
+        core::metrics::Histogram *latency_us = nullptr;
+        core::metrics::Counter *pops = nullptr;
+        core::metrics::Counter *submitted = nullptr;
+        core::metrics::Counter *completed = nullptr;
+        core::metrics::Counter *expired = nullptr;
+        core::metrics::Counter *cancelled = nullptr;
+        core::metrics::Counter *failed = nullptr;
+    };
+
+    /** Per-shard instrument block. */
+    struct ShardMetrics
+    {
+        std::array<ClassMetrics, kNumPriorities> classes;
+        core::metrics::Counter *spill_same = nullptr;
+        core::metrics::Counter *borrow_out = nullptr;
+        core::metrics::Counter *borrow_in = nullptr;
+    };
+
     /** Retire a non-terminal record as Cancelled/Expired/Done/Failed
      *  (mutex held). Drops the cloud reference, wakes waiters, and
      *  erases the record if it was abandoned — callers must not
@@ -418,9 +466,13 @@ class Scheduler
     const std::size_t capacity_;
     const unsigned num_threads_;
     const bool work_conserving_;
+    const std::array<std::uint64_t, kNumPriorities> weights_;
 
     core::ShardMap shard_map_;
     std::vector<ShardState> shards_;
+
+    /** One instrument block per shard; empty without a registry. */
+    std::vector<ShardMetrics> metrics_;
 
     /** Active cross-shard borrowers per shard (requests currently
      *  spilling their chunks onto it from another shard); spreads

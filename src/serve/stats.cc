@@ -1,0 +1,53 @@
+#include "serve/stats.h"
+
+#include <cstdio>
+
+#include "core/metrics.h"
+#include "serve/async_pipeline.h"
+
+namespace fc::serve {
+
+void
+renderStats(const AsyncPipeline &pipeline, std::string &out)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "# fractalcloud serve/stats shards=%u "
+                  "threads_per_shard=%u sampling=%s\n",
+                  pipeline.numShards(), pipeline.numThreads(),
+                  core::metrics::samplingEnabled() ? "on" : "off");
+    out += buf;
+    pipeline.metrics().renderText(out);
+}
+
+void
+renderStatsJson(const AsyncPipeline &pipeline, std::string &out)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "{\"shards\":%u,\"threads_per_shard\":%u,"
+                  "\"sampling\":%s,\"metrics\":",
+                  pipeline.numShards(), pipeline.numThreads(),
+                  core::metrics::samplingEnabled() ? "true" : "false");
+    out += buf;
+    pipeline.metrics().renderJson(out);
+    out += '}';
+}
+
+std::string
+renderStats(const AsyncPipeline &pipeline)
+{
+    std::string out;
+    renderStats(pipeline, out);
+    return out;
+}
+
+std::string
+renderStatsJson(const AsyncPipeline &pipeline)
+{
+    std::string out;
+    renderStatsJson(pipeline, out);
+    return out;
+}
+
+} // namespace fc::serve
