@@ -1,28 +1,15 @@
 /**
  * @file
- * Quickstart: the five-minute tour of the FractalCloud library.
+ * Quickstart: a runnable tour of the FractalCloud library.
  *
- *   1. synthesize an indoor scene (S3DIS-like),
- *   2. partition it with the Fractal method (Alg. 1),
- *   3. run the block-parallel point operations (sampling, grouping,
- *      gathering, interpolation),
- *   4. compare against exact global operations,
- *   5. estimate latency/energy on the FractalCloud accelerator,
- *   6. process a batch of clouds over one shared thread pool,
- *   7. serve clouds asynchronously with submit/poll, deadlines, and
- *      the work-conserving scheduler,
- *   8. run threaded end-to-end network inference, bit-identical to
- *      the sequential path,
- *   9. reach the allocation-free steady state: warm workspace
- *      inference that never touches the heap allocator, and
- *  10. scale the serving runtime out: executor shards with
- *      consistent-hash placement, priority classes with weighted
- *      aging, and bounded waits, and
- *  11. inspect the SIMD kernel layer: which dispatch level is
- *      active, how to force the scalar reference path, and the fp16
- *      end-to-end inference mode, and
- *  12. read the serving runtime's observability surface: the
- *      per-(shard x class) metrics registry and the /stats export.
+ * Each numbered section is the minimal working form of one feature;
+ * the prose lives in the docs tree:
+ *
+ *   docs/ARCHITECTURE.md — layer map, invariants, eager vs delayed
+ *                          aggregation dataflow
+ *   docs/SERVING.md      — shards, priority classes, placement keys,
+ *                          /stats
+ *   docs/BENCHMARKS.md   — every bench binary and its CSV schema
  *
  * Build & run:  ./build/quickstart
  */
@@ -47,21 +34,13 @@ main()
 {
     using namespace fc;
 
-    // 1. A 16K-point indoor scene with realistic density contrast.
+    // 1. Synthesize an indoor scene (S3DIS-like density contrast).
     const data::PointCloud scene = data::makeS3disScene(16384, 7);
     std::printf("scene: %zu points, %d semantic classes\n",
                 scene.size(), data::kS3disNumClasses);
 
-    // 2. Fractal partitioning (threshold = 256 points per block).
-    //
-    // Threading: num_threads sizes the pool every block-parallel
-    // stage (partition construction, sampling, grouping, gathering,
-    // interpolation) dispatches its per-block work items over.
-    //   0 = use all hardware threads (default),
-    //   1 = exact sequential path (no pool at all),
-    //   n = a fixed pool of n.
-    // Results are bit-identical at every setting — the knob trades
-    // nothing but wall-clock time.
+    // 2. Fractal partitioning. num_threads: 0 = all hardware threads,
+    // 1 = sequential; results are bit-identical at every setting.
     PipelineOptions options;
     options.method = part::Method::Fractal;
     options.threshold = 256;
@@ -75,7 +54,7 @@ main()
                 tree.minLeafSize(), tree.maxLeafSize(),
                 pipeline.partition().stats.traversal_passes);
 
-    // 3. Block-parallel point operations.
+    // 3. Block-parallel point operations: sample, group, gather.
     const ops::BlockSampleResult sampled = pipeline.sample(0.25);
     const ops::NeighborResult neighbors =
         pipeline.group(sampled, 0.2f, 32);
@@ -86,7 +65,7 @@ main()
                 sampled.indices.size(), neighbors.num_centers,
                 gathered.values.size());
 
-    // 4. Quality vs exact global operations.
+    // 4. Quality and work vs exact global operations.
     const ops::SampleResult global =
         ops::farthestPointSample(scene, sampled.indices.size());
     const float cov_block =
@@ -108,7 +87,7 @@ main()
                     static_cast<double>(
                         sampled.stats.distance_computations));
 
-    // 5. Hardware estimate for a full PointNeXt segmentation pass.
+    // 5. Hardware estimate on the FractalCloud accelerator model.
     const accel::RunReport report =
         pipeline.estimate(nn::pointNeXtSemSeg());
     std::printf("FractalCloud estimate (PointNeXt seg): %.2f ms, "
@@ -118,13 +97,9 @@ main()
                 100.0 * report.latencyMs(accel::Phase::Partition) /
                     report.totalLatencyMs());
 
-    // 6. Batched serving: many clouds over one pool. runBatch is the
-    // blocking wrapper around the async frontend of section 7: each
-    // cloud is one FIFO-dispatched request, the work-conserving
-    // scheduler spills intra-cloud block items into idle slots at
-    // the batch tail, output order matches input order, and each
-    // per-cloud result is bit-identical to running that cloud
-    // through its own sequential pipeline.
+    // 6. Batched serving: the blocking wrapper over the async
+    // frontend (docs/SERVING.md). Output order = input order; each
+    // result is bit-identical to a sequential per-cloud run.
     std::vector<data::PointCloud> batch;
     for (std::uint64_t seed = 1; seed <= 4; ++seed)
         batch.push_back(data::makeS3disScene(8192, seed));
@@ -141,25 +116,14 @@ main()
                     results[i].sampled.indices.size(),
                     results[i].gathered.values.size());
 
-    // 7. Async serving: the submit/poll frontend a real service
-    // integrates against. Each submit() admits one cloud into a
-    // bounded FIFO queue and returns a Ticket immediately; poll()
-    // checks progress without blocking, wait() collects the terminal
-    // outcome. Per-request deadlines retire late work as Expired
-    // instead of running it, cancel() retires unwanted work, and the
-    // work-conserving scheduler spills a request's intra-cloud block
-    // items into idle pool slots whenever in-flight requests number
-    // fewer than pool threads — so a lone request still uses the
-    // whole pool. Results are byte-identical to the blocking path at
-    // any thread count.
+    // 7. Async serving: submit/poll/wait with deadlines. The
+    // deadline is generous so quickstart never prints "expired" on a
+    // loaded machine; tight deadlines live in tests/test_serve.cc.
     serve::ServeOptions serve_options;
     serve_options.pipeline = options;
     serve_options.queue_capacity = 8;
     serve::AsyncPipeline server(serve_options);
 
-    // The deadline is deliberately generous: quickstart should never
-    // print "expired" on a loaded single-core machine. Tight
-    // deadlines are exercised in tests/test_serve.cc.
     std::vector<serve::Ticket> tickets;
     for (const data::PointCloud &cloud : batch)
         tickets.push_back(
@@ -181,16 +145,8 @@ main()
                     outcome.spilled ? ", spilled" : "");
     }
 
-    // 8. Threaded end-to-end inference. Network::run is pool-driven:
-    // BackendOptions::pool threads one core::ThreadPool through every
-    // stage — the per-stage on-chip re-partition (now with parallel
-    // root splits), block-wise sampling/grouping/gathering/
-    // interpolation, per-row MLP application, and per-group max
-    // pooling. pipeline.infer() passes the pipeline's own pool, so
-    // options.num_threads from step 2 already governs inference too;
-    // shown here with an explicit pool for standalone Network users.
-    // As everywhere in the runtime, the result is bit-identical to
-    // the sequential path at any thread count.
+    // 8. Threaded end-to-end inference, bit-identical to the
+    // sequential path at any thread count.
     const nn::Network network(nn::pointNet2SemSeg(), 42);
     const auto infer_start = std::chrono::steady_clock::now();
     const nn::InferenceResult threaded = pipeline.infer(network);
@@ -216,23 +172,27 @@ main()
                 infer_ms.count(),
                 identical ? "bit-identical" : "DIVERGED (bug!)");
 
-    // 9. The allocation-free steady state. Every FractalCloudPipeline
-    // owns a core::Workspace (one arena for transient scratch plus
-    // named slots for per-stage buffers); the out-parameter infer()
-    // overload draws every intermediate from it and rewrites `result`
-    // reusing its capacity. The first call grows the workspace to the
-    // request's shape; the second and later same-shape calls perform
-    // ZERO heap allocations on the sequential executor
-    // (tests/test_workspace.cc proves it with an operator-new hook,
-    // and bench_memory_churn reports allocs/request cold vs warm).
-    //
-    // Serving: fc::serve::AsyncPipeline keeps a free-list pool of
-    // workspaces checked out per ticket, so repeated requests of the
-    // same shape reuse warm memory. The pool never exceeds the
-    // serving thread count — size num_threads to bound steady-state
-    // memory at (threads x largest-shape footprint). Growth happens
-    // only on first-seen larger shapes; results are byte-identical
-    // warm or cold.
+    // Delayed aggregation: run every set-abstraction MLP once per
+    // unique point, then gather/pool features — far fewer MLP rows
+    // (see docs/ARCHITECTURE.md for the dataflow and the equivalence
+    // contract).
+    nn::BackendOptions delayed_backend = sequential_backend;
+    delayed_backend.aggregation = nn::Aggregation::Delayed;
+    const nn::InferenceResult delayed =
+        network.run(scene, delayed_backend);
+    std::printf("delayed aggregation: %llu SA MLP rows vs %llu "
+                "eager (%.1fx fewer), %.1fM vs %.1fM MACs\n",
+                static_cast<unsigned long long>(delayed.sa_mlp_rows),
+                static_cast<unsigned long long>(
+                    sequential.sa_mlp_rows),
+                static_cast<double>(sequential.sa_mlp_rows) /
+                    static_cast<double>(delayed.sa_mlp_rows),
+                static_cast<double>(delayed.total_macs) / 1e6,
+                static_cast<double>(sequential.total_macs) / 1e6);
+
+    // 9. The allocation-free steady state: warm same-shape infer()
+    // performs zero heap allocations (proved in
+    // tests/test_workspace.cc; docs/ARCHITECTURE.md, invariant 2).
     nn::InferenceResult reused;
     pipeline.infer(network, reused); // cold: grows the workspace
     const auto warm_start = std::chrono::steady_clock::now();
@@ -246,41 +206,10 @@ main()
                 warm_ms.count(), infer_ms.count(),
                 reuse_identical ? "bit-identical" : "DIVERGED (bug!)");
 
-    // 10. The sharded, priority-aware serving runtime. Three knobs
-    // turn the single-pool frontend of section 7 into a multi-tenant
-    // service core:
-    //
-    //   - num_shards: the executor becomes N independent ThreadPool
-    //     shards (one per socket is the natural unit). Requests are
-    //     placed by consistent hashing — by ticket id by default
-    //     (uniform spread), or by the submit call's placement_key,
-    //     which guarantees equal keys land on equal shards: a session
-    //     that always sends key=42 keeps hitting the same shard's
-    //     warm workspaces. Growing N moves only ~1/(N+1) of keys.
-    //   - Priority (Interactive / Batch / Background): backlogged
-    //     classes share each shard 8:4:1 under weighted aging. Bulk
-    //     traffic cannot starve background work, and in admission
-    //     order an Interactive request is never overtaken by more
-    //     than the aged lower-class share. (Granularity caveat: a
-    //     lower-class request already *running* — or spilling its
-    //     block chunks onto an idle shard — finishes its current
-    //     stage before yielding; preemption happens at stage
-    //     boundaries, and idle-only borrowing keeps spilled chunks
-    //     off shards with queued work.)
-    //   - waitFor: a bounded wait() that does NOT cancel on timeout —
-    //     poll loops with latency budgets keep the ticket live.
-    //
-    // Placement guarantee: shard choice and priority order change
-    // WHEN a request runs, never WHAT it computes — results stay
-    // byte-identical at any shard count (the sharded determinism
-    // tests compare shards {1,2,4} x threads {1,2,8} bit for bit).
-    // The work-conserving scheduler also spills cross-shard: a busy
-    // shard borrows an idle neighbor's cores for its block items.
-    //
-    // bench_shard_scaling prints p50/p99 per (shard count, class):
-    // read the interactive rows for the protected tail, the
-    // background rows for the cost of not being starved, and the
-    // shard sweep for how the tail tightens with added shards.
+    // 10. Sharded, priority-aware serving: consistent-hash placement
+    // keys, weighted priority classes, bounded waits
+    // (docs/SERVING.md). Shard choice changes when a request runs,
+    // never what it computes.
     serve::ServeOptions sharded_options;
     sharded_options.pipeline = options;
     sharded_options.num_shards = 2;
@@ -297,9 +226,7 @@ main()
         batch[1], request, std::chrono::seconds(10),
         serve::Priority::Background, kSessionKey);
 
-    // Bounded wait: give the background ticket a 1 ms budget first —
-    // usually not done yet (the interactive request leads), and the
-    // timeout leaves it queued/running rather than cancelling it.
+    // waitFor does NOT cancel on timeout — the ticket stays live.
     if (auto early =
             sharded.waitFor(bg, std::chrono::milliseconds(1))) {
         std::printf("background done within 1 ms (%s)\n",
@@ -318,42 +245,15 @@ main()
                 "same session key\n",
                 serve::stateName(fg_outcome.state), fg_outcome.shard);
 
-    // 11. The SIMD kernel layer (core/simd.h). The hot inner loops —
-    // the FPS min-distance update, the ball-query/KNN distance
-    // screens, the per-row MLP dot products, and the fp16
-    // conversions — dispatch once, at first use, to the best kernel
-    // table the CPU supports: AVX2+FMA+F16C when available, else the
-    // scalar reference path. Two ways to force scalar:
-    //
-    //   FC_FORCE_SCALAR=1 ./quickstart      (env: any value but "0")
-    //   core::simd::setActiveLevel(...)     (tests/benches, below)
-    //
-    // The distance and blend kernels are bit-identical across
-    // levels, so forcing scalar changes wall-clock only; the dot
-    // kernels accumulate in a different order (documented ULP
-    // bounds), which after fp16 activation rounding still leaves
-    // results stable to <= 1 fp16 ULP (tests/test_simd.cc).
-    //
-    // Data layout: the kernels read coordinates through the
-    // structure-of-arrays mirror data::PointCloud::soa() — three
-    // contiguous float arrays (xs/ys/zs). The mirror rebuilds lazily
-    // after any coordinate mutation; ops warm it serially before
-    // fanning out, and code holding a SoaView across its own
-    // mutations must call markCoordsDirty(). bench_simd_kernels
-    // prints per-kernel scalar-vs-SIMD columns (ms and speedup; the
-    // FPS-update and LinearRelu rows gate CI at >= 2x when AVX2 is
-    // on) plus end-to-end Mixed-vs-Fp16 rows.
+    // 11. The SIMD kernel layer: runtime dispatch (AVX2 vs scalar;
+    // force scalar with FC_FORCE_SCALAR=1) and the fp16 end-to-end
+    // mode, bit-identical to Mixed (docs/ARCHITECTURE.md,
+    // invariant 1).
     std::printf("simd: avx2 %s, active level %s\n",
                 core::simd::avx2Available() ? "available"
                                             : "unavailable",
                 core::simd::levelName(core::simd::activeLevel()));
 
-    // The fp16 end-to-end mode: activations live in binary16 the
-    // whole way through the MLP pathway (half the tensor bandwidth),
-    // accumulating in fp32 through the same core::simd scheme as the
-    // default Mixed mode. Because every MLP input is already
-    // fp16-valued in Mixed mode too, the two modes produce
-    // bit-identical InferenceResults at either dispatch level.
     nn::BackendOptions fp16_backend = sequential_backend;
     fp16_backend.precision = nn::Precision::Fp16;
     const nn::InferenceResult half_run =
@@ -367,23 +267,8 @@ main()
                 half_run.point_features.cols(),
                 fp16_identical ? "bit-identical" : "DIVERGED (bug!)");
 
-    // 12. Observability: every AsyncPipeline owns a metrics registry
-    // (core/metrics.h) that its layers instrument — per-(shard x
-    // class) queue depth / wait / latency and terminal-state counters
-    // from the scheduler, per-stage service-time histograms and
-    // workspace-pool telemetry from the pipeline, per-shard task
-    // counts from the executor, and (when requests carry a network)
-    // the per-stage nn timings that reproduce the paper's bottleneck
-    // split. serve::renderStats (serve/stats.h) renders it as the
-    // stable line-oriented /stats text a socket frontend can serve
-    // verbatim; renderStatsJson is the machine-readable twin.
-    //
-    // Cost model: mutation is relaxed striped atomics behind one
-    // global switch — core::metrics::setSampling(false) freezes every
-    // instrument, leaving a load + predicted branch per call site
-    // (bench_metrics_overhead gates the sampling-on overhead in CI).
-    // The aging weights are runtime config (ServeOptions::
-    // priority_weights) and surface as serve.priority_weight gauges.
+    // 12. Observability: the metrics registry and the /stats export
+    // (full instrument table in docs/SERVING.md).
     {
         serve::ServeOptions stats_options;
         stats_options.pipeline.num_threads = 2;

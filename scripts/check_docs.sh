@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Docs integrity gate.
+#
+# Usage: check_docs.sh  (from the repository root)
+#
+# Fails (non-zero exit) on:
+#   1. broken intra-repo markdown links in docs/*.md, ROADMAP.md, and
+#      CHANGES.md — a [text](target) whose target, resolved relative
+#      to the containing file, does not exist (http(s)/mailto links
+#      and pure #anchors are skipped), and
+#   2. repo paths named in backticks in docs/ARCHITECTURE.md (the
+#      layer map's `src/...` references) that no longer exist — so a
+#      rename or deletion cannot silently strand the documentation.
+#
+# Pure bash+grep+awk: CI runners get nothing beyond the baked-in
+# toolchain.
+set -euo pipefail
+
+fail=0
+
+# --- 1. intra-repo markdown links ------------------------------------
+for doc in docs/*.md ROADMAP.md CHANGES.md; do
+    [ -f "$doc" ] || continue
+    dir="$(dirname "$doc")"
+    # Extract every (target) of a [text](target) pair, one per line.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path="${target%%#*}" # drop any anchor suffix
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "FAIL: $doc links to missing target '$target'" >&2
+            fail=1
+        fi
+    done < <(grep -oE '\[[^][]*\]\([^()[:space:]]+\)' "$doc" |
+        sed -E 's/^\[[^][]*\]\(([^()]+)\)$/\1/')
+done
+
+# --- 2. repo paths named in the architecture doc ---------------------
+arch="docs/ARCHITECTURE.md"
+if [ -f "$arch" ]; then
+    while IFS= read -r path; do
+        if [ ! -e "$path" ]; then
+            echo "FAIL: $arch names missing path '$path'" >&2
+            fail=1
+        fi
+    done < <(grep -oE '`(src|tests|bench|examples|scripts)/[A-Za-z0-9_./-]+`' \
+        "$arch" | tr -d '\`' | sort -u)
+else
+    echo "FAIL: $arch is missing" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "OK: docs links and architecture paths all resolve"

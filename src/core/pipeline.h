@@ -87,6 +87,16 @@ struct BatchRequest
      * outlive every request referencing it. Null = point ops only.
      */
     const nn::Network *network = nullptr;
+
+    /**
+     * Set-abstraction execution order for the optional inference
+     * (see nn::Aggregation): Eager = gather-then-compute, Delayed =
+     * unique-point MLPs before grouping. Ignored when network is
+     * null. Per-request, so one serving fleet can mix both orders;
+     * within each order results are bit-identical across shard and
+     * thread counts.
+     */
+    nn::Aggregation aggregation = nn::Aggregation::Eager;
 };
 
 /** Per-cloud output of FractalCloudPipeline::runBatch. */

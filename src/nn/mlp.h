@@ -140,10 +140,12 @@ Tensor maxPoolGroups(const Tensor &x, std::size_t group_size,
 void maxPoolGroups(const Tensor &x, std::size_t group_size,
                    core::ThreadPool *pool, Tensor &out);
 
-/** Column-wise max over all rows: [n x c] -> [1 x c]. */
+/** Column-wise max over all rows: [n x c] -> [1 x c]. Sequential and
+ *  deterministic (fold in row order). */
 Tensor globalMaxPool(const Tensor &x);
 
-/** In-place overload of globalMaxPool (capacity-reusing @p out). */
+/** In-place overload of globalMaxPool: @p out reuses capacity —
+ *  allocation-free once warm. */
 void globalMaxPool(const Tensor &x, Tensor &out);
 
 } // namespace fc::nn

@@ -154,9 +154,11 @@ Network::run(const data::PointCloud &cloud,
     out.op_stats = {};
     out.partition_stats = {};
     out.total_macs = 0;
+    out.sa_mlp_rows = 0;
 
     core::ThreadPool *pool = backend.pool;
     const bool use_blocks = backend.anyBlockOp();
+    const bool delayed = backend.aggregation == Aggregation::Delayed;
 
     // One MLP application in the selected precision. Every input is
     // fp16-valued by construction (quantizeFp16 before SA/FP calls;
@@ -195,6 +197,8 @@ Network::run(const data::PointCloud &cloud,
         kStGather,
         kStMlp,
         kStInterpolate,
+        kStMlpUnique,
+        kStAggregate,
         kNumStages
     };
     std::array<std::uint64_t, kNumStages> stage_acc{};
@@ -217,7 +221,8 @@ Network::run(const data::PointCloud &cloud,
             return;
         static constexpr const char *kStageLabels[kNumStages] = {
             "partition", "fps",         "neighbor",
-            "gather",    "mlp",         "interpolate"};
+            "gather",    "mlp",         "interpolate",
+            "mlp_unique", "aggregate"};
         for (std::size_t i = 0; i < kNumStages; ++i)
             backend.metrics
                 ->histogram(std::string("nn.stage_us{stage=") +
@@ -271,6 +276,12 @@ Network::run(const data::PointCloud &cloud,
     ops::GatherResult &gathered = ws.slot<ops::GatherResult>("nn.gath");
     Tensor &grouped = ws.slot<Tensor>("nn.grouped");
     Tensor &transformed = ws.slot<Tensor>("nn.trans");
+    // Delayed-aggregation scratch: the per-level unique-point MLP
+    // input and the pooled relative-coordinate summary carried into
+    // the next stage's coordinate channels (see Aggregation).
+    Tensor &unique_in = ws.slot<Tensor>("nn.uin");
+    std::vector<float> &relpool =
+        ws.slot<std::vector<float>>("nn.relpool");
 
     if (timed)
         stage_mark = StageClock::now(); // base setup is uncounted
@@ -360,6 +371,71 @@ Network::run(const data::PointCloud &cloud,
         out.op_stats += neighbors.stats;
         lapInto(kStNeighbor);
 
+        if (delayed) {
+            // --- Unique-point MLP (compute before aggregate) -------------
+            // The stage MLP runs once per unique input point instead of
+            // once per gathered (center, neighbor) pair. Coordinate
+            // channels carry the previous stage's pooled relative-
+            // coordinate summary (stage 0 feeds zeros: each point
+            // relative to itself); feature channels are this level's
+            // features.
+            const std::size_t c_in = cur.features.cols();
+            unique_in.resize(n, 3 + c_in);
+            core::parallelFor(
+                pool, 0, n, core::costGrain(3 + c_in),
+                [&](std::size_t rb, std::size_t re) {
+                    for (std::size_t i = rb; i < re; ++i) {
+                        auto row = unique_in.row(i);
+                        if (si == 0) {
+                            row[0] = row[1] = row[2] = 0.0f;
+                        } else {
+                            const float *rp = relpool.data() + i * 3;
+                            row[0] = rp[0];
+                            row[1] = rp[1];
+                            row[2] = rp[2];
+                        }
+                        const auto feat = cur.features.row(i);
+                        for (std::size_t c = 0; c < c_in; ++c)
+                            row[3 + c] = feat[c];
+                    }
+                });
+            unique_in.quantizeFp16(pool);
+            applyMlp(saMlps_[si], unique_in, transformed);
+            out.total_macs += saMlps_[si].macs(n);
+            out.sa_mlp_rows += n;
+            lapInto(kStMlpUnique);
+
+            // --- Aggregation: feature gather + max pool ------------------
+            // Grouping is now a pure index-gather over the unique-point
+            // feature tensor (no raw-coordinate rows), followed by the
+            // same per-group max pool. The relative-coordinate summary
+            // for the next stage is pooled alongside.
+            const std::span<const float> feat_span(
+                transformed.data().data(), transformed.data().size());
+            if (use_blocks && backend.block_grouping) {
+                ops::blockGatherFeatureRows(
+                    feat_span, transformed.cols(), partitions[si].tree,
+                    block_sampled.leaf_offsets, neighbors, pool, ws,
+                    gathered);
+            } else {
+                ops::gatherFeatureRows(feat_span, transformed.cols(),
+                                       neighbors, ws, gathered);
+            }
+            out.op_stats += gathered.stats;
+            grouped.resize(gathered.num_centers * gathered.k,
+                           gathered.channels);
+            std::copy(gathered.values.begin(), gathered.values.end(),
+                      grouped.data().begin());
+            Level &next = levels[si + 1];
+            maxPoolGroups(grouped, stage.k, pool, next.features);
+            ops::maxPoolRelativeCoords(cur.cloud, sampled, neighbors,
+                                       pool, ws, relpool);
+            cur.cloud.subsetInto(sampled, next.cloud);
+            next.parent_indices = sampled;
+            lapInto(kStAggregate);
+            continue;
+        }
+
         // --- Gathering ----------------------------------------------------
         // Attach current features to the cloud for gathering.
         feat_cloud = cur.cloud;
@@ -388,6 +464,7 @@ Network::run(const data::PointCloud &cloud,
         grouped.quantizeFp16(pool);
         applyMlp(saMlps_[si], grouped, transformed);
         out.total_macs += saMlps_[si].macs(grouped.rows());
+        out.sa_mlp_rows += grouped.rows();
 
         Level &next = levels[si + 1];
         maxPoolGroups(transformed, stage.k, pool, next.features);

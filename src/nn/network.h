@@ -60,6 +60,43 @@ enum class Precision
     Fp16,
 };
 
+/**
+ * Execution order of every set-abstraction stage (the
+ * gather -> MLP -> pool pipeline of §II-A).
+ *
+ * Eager is the historical gather-then-compute order: neighbor
+ * grouping materializes one [rel-coord, feature] row per
+ * (center, neighbor) pair and the stage MLP runs on every one of the
+ * k copies of each point — k-fold redundant FLOP work.
+ *
+ * Delayed is the Mesorasi-style compute-then-aggregate order: the
+ * stage MLP runs once per *unique* input point, grouping becomes an
+ * index-gather over the resulting feature tensor, and max-pool
+ * aggregation follows. The per-pair relative coordinate the eager
+ * MLP consumed is summarized at the pooling step instead
+ * (ops::maxPoolRelativeCoords) and concatenated into the coordinate
+ * channels of the *next* stage's unique-point MLP input (stage 0
+ * feeds zeros — each point taken relative to itself). Semantics are
+ * equivalent up to a radius-bounded tolerance at the pooling step:
+ * the two orders agree exactly when every neighborhood collapses to
+ * its center (r_ij = 0) and drift apart by at most the MLP's
+ * Lipschitz response to ||r_ij|| <= radius otherwise (see
+ * docs/ARCHITECTURE.md and tests/test_delayed_aggregation.cc).
+ *
+ * Within each mode every runtime invariant is preserved: results are
+ * bit-identical across thread counts, shard counts, warm/cold
+ * workspaces, and the Fp16/Mixed precision pair, and the warm
+ * same-shape run performs zero heap allocations. Delayed executes
+ * strictly fewer MLP row-forwards (InferenceResult::sa_mlp_rows:
+ * unique-point count vs gathered count — bench_delayed_aggregation
+ * reports both).
+ */
+enum class Aggregation
+{
+    Eager,
+    Delayed,
+};
+
 /** Point-operation backend selection. */
 struct BackendOptions
 {
@@ -87,6 +124,16 @@ struct BackendOptions
 
     /** Numeric mode of the MLP pathway (see Precision). */
     Precision precision = Precision::Mixed;
+
+    /**
+     * Execution order of the set-abstraction stages (see
+     * Aggregation). Eager = gather-then-compute (historical);
+     * Delayed = unique-point MLPs before grouping, max-pool after —
+     * strictly fewer MLP row-forwards at a documented radius-bounded
+     * tolerance. Orthogonal to every other option: composes with
+     * block ops, precision, pool, root_partition, and metrics.
+     */
+    Aggregation aggregation = Aggregation::Eager;
 
     /**
      * Pool driving every stage of Network::run: the per-stage
@@ -118,9 +165,14 @@ struct BackendOptions
      * per functional stage into nn.stage_us{stage=partition|fps|
      * neighbor|gather|mlp|interpolate} histograms — the measured
      * counterpart of the paper's Fig. 2 bottleneck split (neighbor
-     * search and sampling dominating end-to-end latency). Borrowed,
-     * never owned; instrument lookup happens once per run() call, and
-     * recording is skipped entirely when metrics sampling is off.
+     * search and sampling dominating end-to-end latency). Under
+     * Aggregation::Delayed the SA gather/mlp split is recorded as
+     * nn.stage_us{stage=mlp_unique} (the unique-point MLP pass) and
+     * nn.stage_us{stage=aggregate} (feature gather + max-pool +
+     * rel-coord summary) instead, so the eager-vs-delayed shift is
+     * directly measurable. Borrowed, never owned; instrument lookup
+     * happens once per run() call, and recording is skipped entirely
+     * when metrics sampling is off.
      */
     core::metrics::Registry *metrics = nullptr;
 
@@ -149,6 +201,17 @@ struct InferenceResult
 
     /** Total MLP multiply-accumulates. */
     std::uint64_t total_macs = 0;
+
+    /**
+     * Rows fed to the set-abstraction MLPs across all stages — the
+     * measured half of the delayed-aggregation claim. Eager counts
+     * the gathered rows (num_centers x k per stage), Delayed the
+     * unique input points (n per stage); Delayed is strictly smaller
+     * whenever any stage has sample_rate x k > 1 (every Table I
+     * model). FP and head rows are identical in both modes and not
+     * counted here.
+     */
+    std::uint64_t sa_mlp_rows = 0;
 };
 
 /**

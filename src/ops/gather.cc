@@ -1,5 +1,7 @@
 #include "ops/gather.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "core/parallel.h"
 #include "core/workspace.h"
@@ -144,6 +146,150 @@ blockGatherNeighborhoods(
     blockGatherNeighborhoods(cloud, tree, centers, center_leaf_offsets,
                              neighbors, pool, ws, out);
     return out;
+}
+
+namespace {
+
+/** Copy the k neighbor feature rows of one center into @p values. */
+void
+gatherFeatureRow(std::span<const float> features, std::size_t channels,
+                 const NeighborResult &neighbors, std::size_t row,
+                 std::vector<float> &values)
+{
+    const std::size_t k = neighbors.k;
+    for (std::size_t j = 0; j < k; ++j) {
+        const PointIdx nb = neighbors.neighbor(row, j);
+        float *out = values.data() + (row * k + j) * channels;
+        if (nb == kInvalidPoint) {
+            for (std::size_t c = 0; c < channels; ++c)
+                out[c] = 0.0f;
+            continue;
+        }
+        const float *src = features.data() +
+                           static_cast<std::size_t>(nb) * channels;
+        for (std::size_t c = 0; c < channels; ++c)
+            out[c] = src[c];
+    }
+}
+
+} // namespace
+
+void
+gatherFeatureRows(std::span<const float> features, std::size_t channels,
+                  const NeighborResult &neighbors, core::Workspace &,
+                  GatherResult &out)
+{
+    out.stats = {};
+    out.num_centers = neighbors.num_centers;
+    out.k = neighbors.k;
+    out.channels = channels;
+    out.values.resize(out.num_centers * out.k * out.channels);
+
+    // Feature rows are fp16-valued on the inference path, hence 2
+    // bytes per channel — the bandwidth the eager order re-reads
+    // k-fold and the delayed order reads once per pair.
+    const std::size_t bytes_per_row = out.k * channels * 2;
+    for (std::size_t row = 0; row < out.num_centers; ++row) {
+        gatherFeatureRow(features, channels, neighbors, row,
+                         out.values);
+        out.stats.points_visited += out.k;
+        out.stats.bytes_gathered += bytes_per_row;
+    }
+}
+
+GatherResult
+gatherFeatureRows(std::span<const float> features, std::size_t channels,
+                  const NeighborResult &neighbors)
+{
+    core::Workspace ws;
+    GatherResult out;
+    gatherFeatureRows(features, channels, neighbors, ws, out);
+    return out;
+}
+
+void
+blockGatherFeatureRows(std::span<const float> features,
+                       std::size_t channels, const part::BlockTree &tree,
+                       const std::vector<std::uint32_t> &center_leaf_offsets,
+                       const NeighborResult &neighbors,
+                       core::ThreadPool *pool, core::Workspace &,
+                       GatherResult &out)
+{
+    const auto &leaves = tree.leaves();
+    fc_assert(center_leaf_offsets.size() == leaves.size() + 1,
+              "leaf offsets do not match tree");
+
+    out.stats = {};
+    out.num_centers = neighbors.num_centers;
+    out.k = neighbors.k;
+    out.channels = channels;
+    out.values.resize(out.num_centers * out.k * out.channels);
+
+    // Same values as the global form; the accounting streams each
+    // leaf's search-space slice of the feature tensor once (the DFT
+    // layout makes it contiguous) instead of charging random access.
+    out.stats += core::parallelReduce(
+        pool, 0, leaves.size(), 1, OpStats{},
+        [&](std::size_t lb, std::size_t le) {
+            OpStats stats;
+            for (std::size_t li = lb; li < le; ++li) {
+                const part::BlockNode &space =
+                    tree.node(tree.searchSpaceNode(leaves[li]));
+                const std::uint32_t first = center_leaf_offsets[li];
+                const std::uint32_t last = center_leaf_offsets[li + 1];
+                if (first == last)
+                    continue;
+                stats.bytes_gathered +=
+                    static_cast<std::uint64_t>(space.size()) *
+                    channels * 2;
+                for (std::uint32_t row = first; row < last; ++row) {
+                    gatherFeatureRow(features, channels, neighbors,
+                                     row, out.values);
+                    stats.points_visited += out.k;
+                }
+            }
+            return stats;
+        },
+        [](OpStats &acc, OpStats &&chunk) { acc += chunk; });
+}
+
+void
+maxPoolRelativeCoords(const data::PointCloud &cloud,
+                      const std::vector<PointIdx> &centers,
+                      const NeighborResult &neighbors,
+                      core::ThreadPool *pool, core::Workspace &,
+                      std::vector<float> &out)
+{
+    fc_assert(centers.size() == neighbors.num_centers,
+              "centers (%zu) and neighbor rows (%zu) disagree",
+              centers.size(), neighbors.num_centers);
+    out.resize(centers.size() * 3);
+    core::parallelFor(
+        pool, 0, centers.size(), core::costGrain(neighbors.k),
+        [&](std::size_t rb, std::size_t re) {
+            for (std::size_t row = rb; row < re; ++row) {
+                const Vec3 &center_pt = cloud[centers[row]];
+                float *dst = out.data() + row * 3;
+                dst[0] = dst[1] = dst[2] = 0.0f;
+                const std::uint32_t count = neighbors.counts[row];
+                for (std::uint32_t j = 0; j < count; ++j) {
+                    const PointIdx nb = neighbors.neighbor(row, j);
+                    const Vec3 &nb_pt = cloud[nb];
+                    const float d[3] = {nb_pt.x - center_pt.x,
+                                        nb_pt.y - center_pt.y,
+                                        nb_pt.z - center_pt.z};
+                    if (j == 0) {
+                        dst[0] = d[0];
+                        dst[1] = d[1];
+                        dst[2] = d[2];
+                    } else {
+                        dst[0] = std::max(dst[0], d[0]);
+                        dst[1] = std::max(dst[1], d[1]);
+                        dst[2] = std::max(dst[2], d[2]);
+                    }
+                }
+            }
+        });
 }
 
 } // namespace fc::ops

@@ -41,7 +41,10 @@ class TopK
             overflow_.resize(k_);
     }
 
-    /** Offer one candidate; keeps the k nearest seen so far. */
+    /** Offer one candidate; keeps the k nearest seen so far.
+     *  Deterministic: result depends only on the offer sequence
+     *  (ties keep earlier-offered entries ahead); never allocates
+     *  for k <= kInline. */
     void
     offer(float dist, PointIdx idx)
     {

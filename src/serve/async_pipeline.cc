@@ -295,6 +295,7 @@ AsyncPipeline::execute(unsigned shard)
             backend.method = options_.pipeline.method;
             backend.threshold = options_.pipeline.threshold;
             backend.pool = pool();
+            backend.aggregation = job->request.aggregation;
             // Stage 0 of the network reuses the partition this
             // request already built instead of recomputing it.
             backend.root_partition = &part;

@@ -168,6 +168,12 @@ class AsyncPipeline
      * retry-with-backoff loops should use trySubmitShared, which
      * keeps one shared cloud alive across attempts instead of
      * re-copying (or losing) it.
+     *
+     * Admission allocates (the request record + queue node); the
+     * allocation-free guarantee covers the *processing* of warm
+     * same-shape requests, not the submit call itself. Results are
+     * deterministic: a given (cloud, request) pair produces the same
+     * BatchResult regardless of shard, class, or concurrency.
      */
     std::optional<Ticket>
     trySubmit(data::PointCloud cloud, const BatchRequest &request = {},
@@ -245,7 +251,13 @@ class AsyncPipeline
     /** Executor shard count. */
     unsigned numShards() const { return executor_.numShards(); }
 
+    /** Snapshot of requests admitted but not yet started (all
+     *  shards). Allocation-free; racy by nature — use for telemetry,
+     *  not control flow. */
     std::size_t queuedCount() const { return scheduler_.queuedCount(); }
+
+    /** Snapshot of requests currently executing (all shards).
+     *  Allocation-free; racy by nature. */
     std::size_t runningCount() const
     {
         return scheduler_.runningCount();

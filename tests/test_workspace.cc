@@ -238,6 +238,28 @@ TEST(WorkspaceAlloc, SecondFp16InferIsAllocationFree)
     EXPECT_EQ(fc::heapAllocCount() - before, 0u);
 }
 
+TEST(WorkspaceAlloc, SecondDelayedInferIsAllocationFree)
+{
+    // The delayed-aggregation order adds two workspace slots (the
+    // unique-point MLP input and the pooled relative-coordinate
+    // summary) and swaps the gather for a feature index-gather; the
+    // warm same-shape guarantee must hold exactly as in eager mode.
+    const data::PointCloud scene = data::makeS3disScene(1024, 3);
+    const nn::Network network(tinySegModel(), 42);
+    nn::BackendOptions backend;
+    backend.method = part::Method::Fractal;
+    backend.threshold = 64;
+    backend.aggregation = nn::Aggregation::Delayed;
+
+    core::Workspace ws;
+    nn::InferenceResult out;
+    network.run(scene, backend, ws, out); // cold: grows slots
+    ws.reset();
+    const std::uint64_t before = fc::heapAllocCount();
+    network.run(scene, backend, ws, out); // warm
+    EXPECT_EQ(fc::heapAllocCount() - before, 0u);
+}
+
 TEST(WorkspaceAlloc, WideReduceStagesPartialsInTheArena)
 {
     // Above kReduceInlineChunks the pooled reduce historically fell
