@@ -1,11 +1,240 @@
 #include "dataset/io.h"
 
+#include <algorithm>
+#include <charconv>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "common/logging.h"
+#include "core/parallel.h"
 
 namespace fc::data {
+
+namespace {
+
+/**
+ * Both text loaders share one chunked parser: the body is cut at
+ * fixed byte strides (advanced to the next newline), each chunk is
+ * parsed into local arrays with std::from_chars, and the pieces are
+ * spliced in chunk order. Chunk boundaries depend only on the bytes,
+ * and every line is parsed by the same routine, so the result is
+ * bit-identical whether the chunks run inline (pool == nullptr) or
+ * across any number of threads.
+ */
+
+/** Byte stride per parse chunk (before advancing to a newline).
+ *  64 KiB ≈ 3-4K lines: coarse enough to amortize task dispatch,
+ *  fine enough that a handful of chunks saturate a small pool. */
+constexpr std::size_t kParseChunkBytes = 64 * 1024;
+
+const char *
+skipBlanks(const char *p, const char *end)
+{
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r'))
+        ++p;
+    return p;
+}
+
+bool
+parseFloat(const char *&p, const char *end, float &value)
+{
+    p = skipBlanks(p, end);
+    const std::from_chars_result r = std::from_chars(p, end, value);
+    if (r.ec != std::errc{})
+        return false;
+    p = r.ptr;
+    return true;
+}
+
+bool
+parseInt(const char *&p, const char *end, std::int32_t &value)
+{
+    p = skipBlanks(p, end);
+    const std::from_chars_result r = std::from_chars(p, end, value);
+    if (r.ec != std::errc{})
+        return false;
+    p = r.ptr;
+    return true;
+}
+
+/** What one body line contained. */
+enum class LineKind : std::uint8_t {
+    Blank,   ///< empty or (in XYZ mode) a '#' comment
+    Point,   ///< x y z
+    Labeled, ///< x y z label
+    Error,   ///< malformed
+};
+
+/** Parse one line (no trailing newline). @p allow_comments enables
+ *  the XYZ '#' rule; PLY bodies have no comments. */
+LineKind
+parseLine(const char *p, const char *end, bool allow_comments, Vec3 &out,
+          std::int32_t &label)
+{
+    p = skipBlanks(p, end);
+    if (p == end)
+        return LineKind::Blank;
+    if (allow_comments && *p == '#')
+        return LineKind::Blank;
+    if (!parseFloat(p, end, out.x) || !parseFloat(p, end, out.y) ||
+        !parseFloat(p, end, out.z))
+        return LineKind::Error;
+    if (parseInt(p, end, label))
+        return LineKind::Labeled;
+    return LineKind::Point;
+}
+
+/** Output of one chunk's parse. */
+struct ParsedChunk
+{
+    std::vector<Vec3> coords;
+    std::vector<std::int32_t> labels; ///< one per Labeled line
+    std::size_t labeled = 0;
+    bool ok = true;
+};
+
+/**
+ * Chunk boundaries for [begin, end) of @p data: fixed strides
+ * advanced past the next '\n'. Pure function of the bytes — never of
+ * the pool — so the parallel splice reproduces the serial parse
+ * byte for byte.
+ */
+std::vector<std::size_t>
+chunkBounds(const char *data, std::size_t begin, std::size_t end)
+{
+    std::vector<std::size_t> bounds;
+    bounds.push_back(begin);
+    for (std::size_t next = begin + kParseChunkBytes; next < end;
+         next += kParseChunkBytes) {
+        const void *nl = std::memchr(data + next, '\n', end - next);
+        const std::size_t cut =
+            nl == nullptr
+                ? end
+                : static_cast<std::size_t>(
+                      static_cast<const char *>(nl) - data) +
+                      1;
+        if (cut > bounds.back() && cut < end)
+            bounds.push_back(cut);
+        if (cut >= end)
+            break;
+    }
+    bounds.push_back(end);
+    return bounds;
+}
+
+/** Parse every line of [begin, end). */
+void
+parseChunk(const char *data, std::size_t begin, std::size_t end,
+           bool allow_comments, ParsedChunk &out)
+{
+    std::size_t pos = begin;
+    while (pos < end) {
+        const void *nl = std::memchr(data + pos, '\n', end - pos);
+        const std::size_t line_end =
+            nl == nullptr ? end
+                          : static_cast<std::size_t>(
+                                static_cast<const char *>(nl) - data);
+        Vec3 p;
+        std::int32_t label = 0;
+        switch (parseLine(data + pos, data + line_end, allow_comments,
+                          p, label)) {
+        case LineKind::Blank:
+            break;
+        case LineKind::Point:
+            out.coords.push_back(p);
+            break;
+        case LineKind::Labeled:
+            out.coords.push_back(p);
+            out.labels.push_back(label);
+            ++out.labeled;
+            break;
+        case LineKind::Error:
+            out.ok = false;
+            return;
+        }
+        pos = line_end + 1;
+    }
+}
+
+/** How parseBody treats a trailing integer column. */
+enum class LabelPolicy : std::uint8_t {
+    Auto,    ///< XYZ rule: all labeled, or none, or error
+    Require, ///< labeled PLY: every row must carry its label
+    Ignore,  ///< unlabeled PLY: extra numeric columns are discarded
+};
+
+/**
+ * Parse [begin, end) of @p data into @p cloud, chunked over @p pool.
+ * @return false on any malformed line (or a LabelPolicy violation).
+ */
+bool
+parseBody(const char *data, std::size_t begin, std::size_t end,
+          bool allow_comments, LabelPolicy policy,
+          core::ThreadPool *pool, PointCloud &cloud)
+{
+    const std::vector<std::size_t> bounds =
+        chunkBounds(data, begin, end);
+    const std::size_t num_chunks = bounds.size() - 1;
+    std::vector<ParsedChunk> chunks(num_chunks);
+    core::parallelFor(pool, 0, num_chunks, 1,
+                      [&](std::size_t cb, std::size_t ce) {
+                          for (std::size_t c = cb; c < ce; ++c)
+                              parseChunk(data, bounds[c],
+                                         bounds[c + 1],
+                                         allow_comments, chunks[c]);
+                      });
+
+    std::size_t total = 0;
+    std::size_t labeled = 0;
+    for (const ParsedChunk &c : chunks) {
+        if (!c.ok)
+            return false;
+        total += c.coords.size();
+        labeled += c.labeled;
+    }
+    if (policy == LabelPolicy::Auto && labeled != 0 &&
+        labeled != total)
+        return false; // mixed labeled/unlabeled rows
+    if (policy == LabelPolicy::Require && labeled != total)
+        return false;
+
+    PointCloud result;
+    std::vector<Vec3> &coords = result.coords();
+    coords.reserve(total);
+    for (const ParsedChunk &c : chunks)
+        coords.insert(coords.end(), c.coords.begin(), c.coords.end());
+    if (policy != LabelPolicy::Ignore && labeled == total &&
+        total != 0) {
+        std::vector<std::int32_t> &labels = result.labels();
+        labels.reserve(total);
+        for (const ParsedChunk &c : chunks)
+            labels.insert(labels.end(), c.labels.begin(),
+                          c.labels.end());
+    }
+    cloud = std::move(result);
+    return true;
+}
+
+/** Slurp a whole file. @return false on open/read failure. */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return false;
+    const std::streamoff bytes = in.tellg();
+    out.resize(static_cast<std::size_t>(std::max<std::streamoff>(
+        bytes, 0)));
+    in.seekg(0);
+    if (!out.empty())
+        in.read(out.data(),
+                static_cast<std::streamsize>(out.size()));
+    return static_cast<bool>(in);
+}
+
+} // namespace
 
 bool
 savePly(const PointCloud &cloud, const std::string &path)
@@ -31,24 +260,47 @@ savePly(const PointCloud &cloud, const std::string &path)
 }
 
 bool
-loadPly(PointCloud &cloud, const std::string &path)
+loadPly(PointCloud &cloud, const std::string &path,
+        core::ThreadPool *pool)
 {
-    std::ifstream in(path);
-    if (!in)
-        return false;
-    std::string line;
-    if (!std::getline(in, line) || line != "ply")
+    std::string bytes;
+    if (!readFile(path, bytes))
         return false;
 
+    // Header parse (serial: a handful of short lines).
+    std::size_t pos = 0;
+    const auto nextLine = [&bytes, &pos](std::string &line) {
+        if (pos >= bytes.size())
+            return false;
+        const void *nl =
+            std::memchr(bytes.data() + pos, '\n', bytes.size() - pos);
+        const std::size_t line_end =
+            nl == nullptr ? bytes.size()
+                          : static_cast<std::size_t>(
+                                static_cast<const char *>(nl) -
+                                bytes.data());
+        line.assign(bytes, pos, line_end - pos);
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        pos = line_end + 1;
+        return true;
+    };
+
+    std::string line;
+    if (!nextLine(line) || line != "ply")
+        return false;
     std::size_t vertices = 0;
     bool labeled = false;
     int property_index = 0;
-    while (std::getline(in, line)) {
+    bool header_done = false;
+    while (nextLine(line)) {
         std::istringstream ls(line);
         std::string token;
         ls >> token;
-        if (token == "end_header")
+        if (token == "end_header") {
+            header_done = true;
             break;
+        }
         if (token == "element") {
             std::string kind;
             ls >> kind >> vertices;
@@ -65,25 +317,18 @@ loadPly(PointCloud &cloud, const std::string &path)
             ++property_index;
         }
     }
+    if (!header_done)
+        return false;
 
     PointCloud result;
-    result.coords().reserve(vertices);
-    for (std::size_t i = 0; i < vertices; ++i) {
-        if (!std::getline(in, line))
-            return false;
-        std::istringstream ls(line);
-        Vec3 p;
-        ls >> p.x >> p.y >> p.z;
-        if (!ls)
-            return false;
-        if (labeled) {
-            std::int32_t label = 0;
-            ls >> label;
-            result.addPoint(p, label);
-        } else {
-            result.addPoint(p);
-        }
-    }
+    if (!parseBody(bytes.data(), std::min(pos, bytes.size()),
+                   bytes.size(), /*allow_comments=*/false,
+                   labeled ? LabelPolicy::Require
+                           : LabelPolicy::Ignore,
+                   pool, result))
+        return false;
+    if (result.size() != vertices)
+        return false;
     cloud = std::move(result);
     return true;
 }
@@ -105,31 +350,17 @@ saveXyz(const PointCloud &cloud, const std::string &path)
 }
 
 bool
-loadXyz(PointCloud &cloud, const std::string &path)
+loadXyz(PointCloud &cloud, const std::string &path,
+        core::ThreadPool *pool)
 {
-    std::ifstream in(path);
-    if (!in)
+    std::string bytes;
+    if (!readFile(path, bytes))
         return false;
     PointCloud result;
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty() || line[0] == '#')
-            continue;
-        std::istringstream ls(line);
-        Vec3 p;
-        ls >> p.x >> p.y >> p.z;
-        if (!ls)
-            return false;
-        std::int32_t label;
-        if (ls >> label)
-            result.addPoint(p, label);
-        else
-            result.addPoint(p);
-    }
-    if (!result.labels().empty() &&
-        result.labels().size() != result.size()) {
-        return false; // mixed labeled/unlabeled rows
-    }
+    if (!parseBody(bytes.data(), 0, bytes.size(),
+                   /*allow_comments=*/true, LabelPolicy::Auto, pool,
+                   result))
+        return false;
     cloud = std::move(result);
     return true;
 }

@@ -4,6 +4,15 @@
  * and plain XYZ. Lets users round-trip the synthetic datasets into
  * standard visualization tools and load external clouds into the
  * pipeline.
+ *
+ * Both loaders run over an optional core::ThreadPool: the file body
+ * is cut into byte chunks (boundaries advanced to line breaks — a
+ * pure function of the bytes, never of the thread count), each chunk
+ * is parsed independently, and the pieces are spliced in chunk
+ * order. A null pool runs the same chunks inline, so the parallel
+ * result is bit-identical to the serial one at any thread count.
+ * For the binary fast path that skips parsing entirely, see
+ * storage/fcpc_reader.h.
  */
 
 #ifndef FC_DATASET_IO_H
@@ -12,6 +21,10 @@
 #include <string>
 
 #include "dataset/point_cloud.h"
+
+namespace fc::core {
+class ThreadPool;
+} // namespace fc::core
 
 namespace fc::data {
 
@@ -27,15 +40,23 @@ bool savePly(const PointCloud &cloud, const std::string &path);
  * vertex element starts with float x/y/z, optionally followed by an
  * int label property).
  * @param cloud output (replaced on success)
+ * @param pool  optional: parse body chunks over this pool
+ *              (bit-identical to the serial parse)
  * @return false on parse or I/O failure.
  */
-bool loadPly(PointCloud &cloud, const std::string &path);
+bool loadPly(PointCloud &cloud, const std::string &path,
+             core::ThreadPool *pool = nullptr);
 
 /** Write whitespace-separated "x y z [label]" lines. */
 bool saveXyz(const PointCloud &cloud, const std::string &path);
 
-/** Read "x y z [label]" lines (comments starting with '#' skipped). */
-bool loadXyz(PointCloud &cloud, const std::string &path);
+/**
+ * Read "x y z [label]" lines (comments starting with '#' skipped).
+ * @param pool optional: parse chunks over this pool (bit-identical
+ *             to the serial parse)
+ */
+bool loadXyz(PointCloud &cloud, const std::string &path,
+             core::ThreadPool *pool = nullptr);
 
 } // namespace fc::data
 

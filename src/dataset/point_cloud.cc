@@ -10,8 +10,19 @@ namespace fc::data {
 core::simd::SoaView
 PointCloud::soa() const
 {
-    if (soa_dirty_)
-        rebuildSoa();
+    if (external_)
+        return {ext_.x, ext_.y, ext_.z};
+    // Double-checked rebuild-once: the acquire load pairs with the
+    // release store below, so a thread that observes "clean" also
+    // observes the rebuilt mirror. Concurrent first-touch callers
+    // serialize on the mutex; steady-state callers never take it.
+    if (soa_dirty_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(soa_mutex_);
+        if (soa_dirty_.load(std::memory_order_relaxed)) {
+            rebuildSoa();
+            soa_dirty_.store(false, std::memory_order_release);
+        }
+    }
     return {soa_x_.data(), soa_y_.data(), soa_z_.data()};
 }
 
@@ -27,12 +38,113 @@ PointCloud::rebuildSoa() const
         soa_y_[i] = coords_[i].y;
         soa_z_[i] = coords_[i].z;
     }
-    soa_dirty_ = false;
+}
+
+void
+PointCloud::bindExternal(const ExternalCloudView &view,
+                         std::shared_ptr<const void> owner)
+{
+    fc_assert(view.coords != nullptr && view.x != nullptr &&
+                  view.y != nullptr && view.z != nullptr,
+              "external view must provide AoS coords and SoA columns");
+    fc_assert(view.feature_dim == 0 || view.features != nullptr,
+              "external view declares %zu feature channels but no data",
+              view.feature_dim);
+    coords_.clear();
+    features_.clear();
+    labels_.clear();
+    soa_x_.clear();
+    soa_y_.clear();
+    soa_z_.clear();
+    external_ = true;
+    ext_ = view;
+    ext_owner_ = std::move(owner);
+    featureDim_ = view.feature_dim;
+    // The mapped columns ARE the mirror; the lazy flag is moot until
+    // a mutator detaches, at which point detach() re-arms it.
+    soa_dirty_.store(false, std::memory_order_release);
+}
+
+void
+PointCloud::detach()
+{
+    if (!external_)
+        return;
+    const ExternalCloudView view = ext_;
+    external_ = false;
+    ext_ = {};
+    coords_.assign(view.coords, view.coords + view.size);
+    if (view.feature_dim > 0)
+        features_.assign(view.features,
+                         view.features + view.size * view.feature_dim);
+    else
+        features_.clear();
+    featureDim_ = view.feature_dim;
+    if (view.labels != nullptr)
+        labels_.assign(view.labels, view.labels + view.size);
+    else
+        labels_.clear();
+    markCoordsDirty();
+    ext_owner_.reset(); // last: the view above aliased this memory
+}
+
+void
+PointCloud::resetToOwned()
+{
+    external_ = false;
+    ext_ = {};
+    ext_owner_.reset();
+}
+
+void
+PointCloud::assignFrom(const PointCloud &other)
+{
+    coords_ = other.coords_;
+    features_ = other.features_;
+    featureDim_ = other.featureDim_;
+    labels_ = other.labels_;
+    external_ = other.external_;
+    ext_ = other.ext_;
+    ext_owner_ = other.ext_owner_;
+    if (other.soa_dirty_.load(std::memory_order_acquire)) {
+        soa_x_.clear();
+        soa_y_.clear();
+        soa_z_.clear();
+        soa_dirty_.store(true, std::memory_order_release);
+    } else {
+        soa_x_ = other.soa_x_;
+        soa_y_ = other.soa_y_;
+        soa_z_ = other.soa_z_;
+        soa_dirty_.store(false, std::memory_order_release);
+    }
+}
+
+void
+PointCloud::moveFrom(PointCloud &other) noexcept
+{
+    coords_ = std::move(other.coords_);
+    features_ = std::move(other.features_);
+    featureDim_ = other.featureDim_;
+    labels_ = std::move(other.labels_);
+    external_ = other.external_;
+    ext_ = other.ext_;
+    ext_owner_ = std::move(other.ext_owner_);
+    soa_x_ = std::move(other.soa_x_);
+    soa_y_ = std::move(other.soa_y_);
+    soa_z_ = std::move(other.soa_z_);
+    soa_dirty_.store(
+        other.soa_dirty_.load(std::memory_order_acquire),
+        std::memory_order_release);
+    other.external_ = false;
+    other.ext_ = {};
+    other.featureDim_ = 0;
+    other.soa_dirty_.store(true, std::memory_order_release);
 }
 
 void
 PointCloud::allocateFeatures(std::size_t dim)
 {
+    detach();
     featureDim_ = dim;
     features_.assign(coords_.size() * dim, 0.0f);
 }
@@ -41,7 +153,7 @@ Aabb
 PointCloud::bounds() const
 {
     Aabb box;
-    for (const Vec3 &p : coords_)
+    for (const Vec3 &p : coords())
         box.extend(p);
     return box;
 }
@@ -49,35 +161,38 @@ PointCloud::bounds() const
 PointCloud
 PointCloud::permuted(const std::vector<PointIdx> &order) const
 {
-    fc_assert(order.size() == coords_.size(),
+    fc_assert(order.size() == size(),
               "permutation arity %zu != cloud size %zu", order.size(),
-              coords_.size());
+              size());
+    const std::span<const Vec3> src = coords();
     PointCloud out;
-    out.coords_.resize(coords_.size());
-    out.soa_x_.resize(coords_.size());
-    out.soa_y_.resize(coords_.size());
-    out.soa_z_.resize(coords_.size());
+    out.coords_.resize(src.size());
+    out.soa_x_.resize(src.size());
+    out.soa_y_.resize(src.size());
+    out.soa_z_.resize(src.size());
     for (std::size_t i = 0; i < order.size(); ++i) {
-        const Vec3 &p = coords_[order[i]];
+        const Vec3 &p = src[order[i]];
         out.coords_[i] = p;
         out.soa_x_[i] = p.x;
         out.soa_y_[i] = p.y;
         out.soa_z_[i] = p.z;
     }
-    out.soa_dirty_ = false;
+    out.soa_dirty_.store(false, std::memory_order_release);
     if (featureDim_ > 0) {
+        const std::span<const float> feat = features();
         out.featureDim_ = featureDim_;
-        out.features_.resize(features_.size());
+        out.features_.resize(feat.size());
         for (std::size_t i = 0; i < order.size(); ++i) {
-            const float *src = features_.data() + order[i] * featureDim_;
+            const float *from = feat.data() + order[i] * featureDim_;
             float *dst = out.features_.data() + i * featureDim_;
-            std::copy(src, src + featureDim_, dst);
+            std::copy(from, from + featureDim_, dst);
         }
     }
-    if (!labels_.empty()) {
-        out.labels_.resize(labels_.size());
+    if (hasLabels()) {
+        const std::span<const std::int32_t> lab = labels();
+        out.labels_.resize(lab.size());
         for (std::size_t i = 0; i < order.size(); ++i)
-            out.labels_[i] = labels_[order[i]];
+            out.labels_[i] = lab[order[i]];
     }
     return out;
 }
@@ -87,35 +202,39 @@ PointCloud::subsetInto(const std::vector<PointIdx> &indices,
                        PointCloud &out) const
 {
     fc_assert(&out != this, "subsetInto cannot run in place");
+    out.resetToOwned();
+    const std::span<const Vec3> src = coords();
     out.coords_.resize(indices.size());
     out.soa_x_.resize(indices.size());
     out.soa_y_.resize(indices.size());
     out.soa_z_.resize(indices.size());
     for (std::size_t i = 0; i < indices.size(); ++i) {
         const PointIdx idx = indices[i];
-        fc_assert(idx < coords_.size(), "subset index %u out of range",
+        fc_assert(idx < src.size(), "subset index %u out of range",
                   idx);
-        const Vec3 &p = coords_[idx];
+        const Vec3 &p = src[idx];
         out.coords_[i] = p;
         out.soa_x_[i] = p.x;
         out.soa_y_[i] = p.y;
         out.soa_z_[i] = p.z;
     }
-    out.soa_dirty_ = false;
+    out.soa_dirty_.store(false, std::memory_order_release);
     out.featureDim_ = featureDim_;
     out.features_.resize(indices.size() * featureDim_);
     if (featureDim_ > 0) {
+        const std::span<const float> feat = features();
         for (std::size_t i = 0; i < indices.size(); ++i) {
-            const float *src =
-                features_.data() + indices[i] * featureDim_;
-            std::copy(src, src + featureDim_,
+            const float *from =
+                feat.data() + indices[i] * featureDim_;
+            std::copy(from, from + featureDim_,
                       out.features_.data() + i * featureDim_);
         }
     }
-    if (!labels_.empty()) {
+    if (hasLabels()) {
+        const std::span<const std::int32_t> lab = labels();
         out.labels_.resize(indices.size());
         for (std::size_t i = 0; i < indices.size(); ++i)
-            out.labels_[i] = labels_[indices[i]];
+            out.labels_[i] = lab[indices[i]];
     } else {
         out.labels_.clear();
     }
@@ -132,7 +251,8 @@ PointCloud::subset(const std::vector<PointIdx> &indices) const
 void
 PointCloud::normalizeToUnitSphere()
 {
-    soa_dirty_ = true;
+    detach();
+    markCoordsDirty();
     if (coords_.empty())
         return;
     Vec3 centroid{0, 0, 0};

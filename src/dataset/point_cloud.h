@@ -10,16 +10,38 @@
  *
  * A structure-of-arrays mirror of the coordinates (xs/ys/zs) feeds the
  * core::simd distance kernels. It is maintained lazily: mutators only
- * mark it dirty, and soa() rebuilds on demand. The bulk writers on the
- * warm inference path (subsetInto, permuted) fill it directly while
- * they copy coordinates, so steady-state requests never rebuild and
- * never allocate (vectors shrink within retained capacity).
+ * mark it dirty, and soa() rebuilds on demand. The rebuild is
+ * first-touch safe: an atomic dirty flag plus a rebuild mutex let any
+ * number of threads call soa() concurrently on a shared cloud — the
+ * first one in rebuilds, the rest wait, and every later call is a
+ * lock-free acquire load. The bulk writers on the warm inference path
+ * (subsetInto, permuted) fill the mirror directly while they copy
+ * coordinates, so steady-state requests never rebuild and never
+ * allocate (vectors shrink within retained capacity).
+ *
+ * Storage comes in two modes:
+ *
+ *   - Owning (the default): every array lives in a std::vector owned
+ *     by the cloud. All mutators work.
+ *   - External (zero-copy): the arrays alias caller-provided memory —
+ *     in practice an mmap'd .fcpc block (storage/fcpc_reader.h) whose
+ *     on-disk layout is exactly the in-memory one (AoS coords + SoA
+ *     columns + row-major features), so materializing a cloud binds
+ *     six pointers and copies nothing. A shared keepalive handle
+ *     guarantees the memory outlives the cloud even if the reader
+ *     that produced it is destroyed first. The first mutation
+ *     detach()es: the cloud deep-copies into owning vectors and drops
+ *     the alias, so external clouds behave like value clouds
+ *     everywhere — reads are zero-copy, writes copy-on-write.
  */
 
 #ifndef FC_DATASET_POINT_CLOUD_H
 #define FC_DATASET_POINT_CLOUD_H
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -27,6 +49,25 @@
 #include "core/simd.h"
 
 namespace fc::data {
+
+/**
+ * Non-owning view of externally stored point-cloud arrays (the
+ * zero-copy binding handed to PointCloud::bindExternal). All pointers
+ * alias caller-owned memory; coords/x/y/z must each hold @p size
+ * elements, features @p size x @p feature_dim row-major floats (null
+ * when feature_dim == 0), labels @p size ints (null when unlabeled).
+ */
+struct ExternalCloudView
+{
+    std::size_t size = 0;
+    const Vec3 *coords = nullptr;
+    const float *x = nullptr;
+    const float *y = nullptr;
+    const float *z = nullptr;
+    const float *features = nullptr;
+    std::size_t feature_dim = 0;
+    const std::int32_t *labels = nullptr;
+};
 
 /**
  * A point cloud of n points with optional features and labels.
@@ -41,24 +82,66 @@ class PointCloud
         : coords_(std::move(coords))
     {}
 
-    std::size_t size() const { return coords_.size(); }
-    bool empty() const { return coords_.empty(); }
+    /** Deep copy; copies of an external cloud share the alias (and
+     *  its keepalive) without copying point data. */
+    PointCloud(const PointCloud &other) { assignFrom(other); }
 
-    const Vec3 &operator[](std::size_t i) const { return coords_[i]; }
+    PointCloud &
+    operator=(const PointCloud &other)
+    {
+        if (this != &other)
+            assignFrom(other);
+        return *this;
+    }
+
+    PointCloud(PointCloud &&other) noexcept { moveFrom(other); }
+
+    PointCloud &
+    operator=(PointCloud &&other) noexcept
+    {
+        if (this != &other)
+            moveFrom(other);
+        return *this;
+    }
+
+    std::size_t
+    size() const
+    {
+        return external_ ? ext_.size : coords_.size();
+    }
+
+    bool empty() const { return size() == 0; }
+
+    const Vec3 &
+    operator[](std::size_t i) const
+    {
+        return external_ ? ext_.coords[i] : coords_[i];
+    }
 
     Vec3 &
     operator[](std::size_t i)
     {
-        soa_dirty_ = true;
+        detach();
+        markCoordsDirty();
         return coords_[i];
     }
 
-    const std::vector<Vec3> &coords() const { return coords_; }
+    /** Read-only coordinate array (aliases the mapping when
+     *  external). */
+    std::span<const Vec3>
+    coords() const
+    {
+        return external_ ? std::span<const Vec3>{ext_.coords, ext_.size}
+                         : std::span<const Vec3>{coords_};
+    }
 
+    /** Mutable coordinate vector; detaches an external cloud first
+     *  (copy-on-write). */
     std::vector<Vec3> &
     coords()
     {
-        soa_dirty_ = true;
+        detach();
+        markCoordsDirty();
         return coords_;
     }
 
@@ -66,34 +149,57 @@ class PointCloud
      * Structure-of-arrays view of the coordinates for core::simd
      * kernels; rebuilt here if a mutator ran since the last call.
      *
-     * Not safe to call concurrently while dirty — ops that fan rows
-     * out to the thread pool warm it with a serial soa() first. A
-     * caller that keeps mutating through a reference obtained from a
+     * Safe to call concurrently with other soa() (and any const)
+     * calls, even on a dirty cloud: the first caller rebuilds under
+     * an internal mutex, everyone else waits, and subsequent calls
+     * are a single acquire load. Not safe to race against mutators —
+     * mutation is owner-only, as everywhere on this class. A caller
+     * that keeps mutating through a reference obtained from a
      * non-const accessor after calling soa() must call
-     * markCoordsDirty() itself.
+     * markCoordsDirty() itself. External clouds return the mapped
+     * columns directly (never dirty, never rebuilt).
      */
     core::simd::SoaView soa() const;
 
     /** Force the next soa() call to rebuild. */
-    void markCoordsDirty() { soa_dirty_ = true; }
+    void
+    markCoordsDirty()
+    {
+        soa_dirty_.store(true, std::memory_order_release);
+    }
 
     /** Feature channel count (0 when the cloud has no features). */
     std::size_t featureDim() const { return featureDim_; }
 
     /** Row-major [size x featureDim] feature matrix. */
-    const std::vector<float> &features() const { return features_; }
-    std::vector<float> &features() { return features_; }
+    std::span<const float>
+    features() const
+    {
+        return external_
+                   ? std::span<const float>{ext_.features,
+                                            ext_.size * featureDim_}
+                   : std::span<const float>{features_};
+    }
+
+    std::vector<float> &
+    features()
+    {
+        detach();
+        return features_;
+    }
 
     /** Feature row for one point. */
     std::span<const float>
     featureRow(std::size_t i) const
     {
-        return {features_.data() + i * featureDim_, featureDim_};
+        const float *base = external_ ? ext_.features : features_.data();
+        return {base + i * featureDim_, featureDim_};
     }
 
     std::span<float>
     featureRow(std::size_t i)
     {
+        detach();
         return {features_.data() + i * featureDim_, featureDim_};
     }
 
@@ -101,23 +207,45 @@ class PointCloud
     void allocateFeatures(std::size_t dim);
 
     /** Per-point integer labels (empty if unlabeled). */
-    const std::vector<std::int32_t> &labels() const { return labels_; }
-    std::vector<std::int32_t> &labels() { return labels_; }
-    bool hasLabels() const { return !labels_.empty(); }
+    std::span<const std::int32_t>
+    labels() const
+    {
+        return external_
+                   ? std::span<const std::int32_t>{ext_.labels,
+                                                   ext_.labels != nullptr
+                                                       ? ext_.size
+                                                       : 0}
+                   : std::span<const std::int32_t>{labels_};
+    }
+
+    std::vector<std::int32_t> &
+    labels()
+    {
+        detach();
+        return labels_;
+    }
+
+    bool
+    hasLabels() const
+    {
+        return external_ ? ext_.labels != nullptr : !labels_.empty();
+    }
 
     void
     addPoint(const Vec3 &p)
     {
+        detach();
         coords_.push_back(p);
-        soa_dirty_ = true;
+        markCoordsDirty();
     }
 
     void
     addPoint(const Vec3 &p, std::int32_t label)
     {
+        detach();
         coords_.push_back(p);
         labels_.push_back(label);
-        soa_dirty_ = true;
+        markCoordsDirty();
     }
 
     /** Bounding box of all coordinates. */
@@ -145,34 +273,71 @@ class PointCloud
      */
     void normalizeToUnitSphere();
 
+    /**
+     * Bind this cloud to externally stored arrays (zero-copy mode).
+     * Existing owned storage is cleared (capacity retained); no
+     * per-point work and no heap allocation happens here. @p owner is
+     * a keepalive handle the cloud retains — typically the mmap of a
+     * .fcpc file — so the view stays valid for the cloud's whole
+     * lifetime regardless of who else releases it.
+     */
+    void bindExternal(const ExternalCloudView &view,
+                      std::shared_ptr<const void> owner);
+
+    /** True when the cloud aliases external storage. */
+    bool isExternal() const { return external_; }
+
+    /**
+     * Deep-copy external storage into owned vectors and drop the
+     * alias (and its keepalive). No-op on owning clouds. Called
+     * automatically by every mutator, so external clouds are
+     * copy-on-write.
+     */
+    void detach();
+
     /** Bytes of coordinate storage (3 x fp16 per point, padded to 8B). */
     std::size_t
     coordBytesFp16() const
     {
-        return coords_.size() * 8;
+        return size() * 8;
     }
 
     /** Bytes of feature storage at fp16. */
     std::size_t
     featureBytesFp16() const
     {
-        return coords_.size() * featureDim_ * 2;
+        return size() * featureDim_ * 2;
     }
 
   private:
     void rebuildSoa() const;
+
+    /** Reset to owning mode with empty (capacity-retaining) vectors;
+     *  the bulk writers call this before overwriting @c this. */
+    void resetToOwned();
+
+    void assignFrom(const PointCloud &other);
+    void moveFrom(PointCloud &other) noexcept;
 
     std::vector<Vec3> coords_;
     std::vector<float> features_;
     std::size_t featureDim_ = 0;
     std::vector<std::int32_t> labels_;
 
+    // External (zero-copy) storage: when external_ is set, ext_
+    // aliases ext_owner_'s memory and the vectors above are empty.
+    bool external_ = false;
+    ExternalCloudView ext_;
+    std::shared_ptr<const void> ext_owner_;
+
     // Lazy SoA mirror of coords_ (see soa()); mutable because a const
-    // soa() call may rebuild it.
+    // soa() call may rebuild it. The atomic flag + mutex implement
+    // safe concurrent first touch (double-checked rebuild-once).
     mutable std::vector<float> soa_x_;
     mutable std::vector<float> soa_y_;
     mutable std::vector<float> soa_z_;
-    mutable bool soa_dirty_ = true;
+    mutable std::atomic<bool> soa_dirty_{true};
+    mutable std::mutex soa_mutex_;
 };
 
 } // namespace fc::data

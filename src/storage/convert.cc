@@ -1,0 +1,43 @@
+#include "storage/convert.h"
+
+#include "dataset/io.h"
+#include "storage/fcpc_writer.h"
+
+namespace fc::storage {
+
+namespace {
+
+bool
+writeSingle(const data::PointCloud &cloud, const std::string &path,
+            std::uint64_t placement_key)
+{
+    FcpcWriter writer;
+    return writer.open(path) &&
+           writer.append(cloud, placement_key) && writer.finish();
+}
+
+} // namespace
+
+bool
+convertXyzToFcpc(const std::string &xyz_path,
+                 const std::string &fcpc_path,
+                 core::ThreadPool *pool, std::uint64_t placement_key)
+{
+    data::PointCloud cloud;
+    if (!data::loadXyz(cloud, xyz_path, pool))
+        return false;
+    return writeSingle(cloud, fcpc_path, placement_key);
+}
+
+bool
+convertPlyToFcpc(const std::string &ply_path,
+                 const std::string &fcpc_path,
+                 core::ThreadPool *pool, std::uint64_t placement_key)
+{
+    data::PointCloud cloud;
+    if (!data::loadPly(cloud, ply_path, pool))
+        return false;
+    return writeSingle(cloud, fcpc_path, placement_key);
+}
+
+} // namespace fc::storage

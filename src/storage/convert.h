@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Legacy-format converters: parse a text cloud once (pool-parallel),
+ * write it as .fcpc, and never parse it again — after conversion
+ * every load is an mmap bind.
+ */
+
+#ifndef FC_STORAGE_CONVERT_H
+#define FC_STORAGE_CONVERT_H
+
+#include <cstdint>
+#include <string>
+
+namespace fc::core {
+class ThreadPool;
+} // namespace fc::core
+
+namespace fc::storage {
+
+/**
+ * Parse @p xyz_path ("x y z [label]" lines) and write it to
+ * @p fcpc_path as a one-block container.
+ *
+ * @param pool optional: chunk-parallel parse (bit-identical to
+ *             serial)
+ * @param placement_key block key in the index; 0 derives one
+ * @return false on parse or I/O failure.
+ */
+bool convertXyzToFcpc(const std::string &xyz_path,
+                      const std::string &fcpc_path,
+                      core::ThreadPool *pool = nullptr,
+                      std::uint64_t placement_key = 0);
+
+/** Same for ASCII PLY (see data::loadPly for the accepted subset). */
+bool convertPlyToFcpc(const std::string &ply_path,
+                      const std::string &fcpc_path,
+                      core::ThreadPool *pool = nullptr,
+                      std::uint64_t placement_key = 0);
+
+} // namespace fc::storage
+
+#endif // FC_STORAGE_CONVERT_H

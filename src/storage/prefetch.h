@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Read-ahead ring over an FcpcReader: overlap disk latency with
+ * compute.
+ *
+ * A BlockPrefetcher keeps up to `depth` blocks ahead of the consumer
+ * in flight on a ThreadPool. "Reading ahead" an mmap'd block means
+ * running its checksum validation on a pool thread — that pass
+ * faults every page of the block's sections into the page cache, so
+ * by the time the consumer calls get() the zero-copy bind touches
+ * only warm memory. The ring is keyed by block ordinal; each block
+ * also carries its consistent-hash placement key (core::ShardMap),
+ * so the serving layer can land a prefetched block on the shard that
+ * will serve it (see serve/ingest.h).
+ *
+ * depth = 0 (or a null pool) degrades to a synchronous reader —
+ * the prefetch-off reference the equality tests compare against.
+ *
+ * Thread-safety: one consumer thread calls get(); hint() may be
+ * called from anywhere. Internal state is mutex-protected; the
+ * destructor drains in-flight reads before returning (the pool must
+ * outlive the prefetcher).
+ */
+
+#ifndef FC_STORAGE_PREFETCH_H
+#define FC_STORAGE_PREFETCH_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/sharded_executor.h"
+#include "dataset/point_cloud.h"
+#include "storage/fcpc_reader.h"
+
+namespace fc::storage {
+
+/** Configuration of a BlockPrefetcher. */
+struct PrefetchOptions
+{
+    /** Blocks kept in flight ahead of the consumer; 0 = synchronous
+     *  (no read-ahead, the prefetch-off reference mode). */
+    std::size_t depth = 4;
+
+    /** Pool the read-ahead work runs on (a standalone pool, or any
+     *  pool with idle capacity); null = synchronous. Must outlive
+     *  the prefetcher. */
+    core::ThreadPool *pool = nullptr;
+
+    /** Shard count of the consumer's ShardMap keyspace; shardFor()
+     *  maps a block's placement key through it. */
+    unsigned num_shards = 1;
+
+    /** How get() materializes clouds. */
+    ReadMode mode = ReadMode::ZeroCopy;
+};
+
+/** Prefetch telemetry counters (racy snapshots, telemetry only). */
+struct PrefetchStats
+{
+    std::size_t hits = 0;     ///< get() found the block ready
+    std::size_t waits = 0;    ///< get() waited on an in-flight read
+    std::size_t misses = 0;   ///< get() had to read synchronously
+    std::size_t scheduled = 0; ///< read-ahead tasks launched
+};
+
+/**
+ * Sequential-consumer read-ahead over one open FcpcReader.
+ */
+class BlockPrefetcher
+{
+  public:
+    explicit BlockPrefetcher(std::shared_ptr<FcpcReader> reader,
+                             const PrefetchOptions &options = {});
+    ~BlockPrefetcher();
+
+    BlockPrefetcher(const BlockPrefetcher &) = delete;
+    BlockPrefetcher &operator=(const BlockPrefetcher &) = delete;
+
+    /**
+     * Materialize block @p block into @p out; schedules read-ahead
+     * of the next `depth` blocks before (possibly) waiting, so the
+     * disk stays busy while the caller computes.
+     */
+    FcpcStatus get(std::size_t block, data::PointCloud &out);
+
+    /** Schedule @p block (and nothing else) without waiting. */
+    void hint(std::size_t block);
+
+    /** Shard (under options.num_shards) that block @p block's
+     *  placement key consistently hashes to. */
+    unsigned shardFor(std::size_t block) const;
+
+    /** Placement key of @p block (from the file's index). */
+    std::uint64_t
+    placementKey(std::size_t block) const
+    {
+        return reader_->placementKey(block);
+    }
+
+    std::size_t blockCount() const { return reader_->blockCount(); }
+
+    PrefetchStats stats() const;
+
+  private:
+    struct Slot
+    {
+        bool ready = false;
+        FcpcStatus status = FcpcStatus::Ok;
+        data::PointCloud cloud;
+    };
+
+    /** Launch an async read of @p block if absent (caller holds no
+     *  lock). */
+    void schedule(std::size_t block);
+
+    std::shared_ptr<FcpcReader> reader_;
+    PrefetchOptions options_;
+    core::ShardMap shard_map_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::map<std::size_t, Slot> slots_; ///< scheduled or ready blocks
+    std::size_t inflight_ = 0; ///< tasks launched, not yet completed
+    PrefetchStats stats_;
+};
+
+} // namespace fc::storage
+
+#endif // FC_STORAGE_PREFETCH_H

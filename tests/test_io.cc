@@ -4,11 +4,14 @@
  */
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <gtest/gtest.h>
 
+#include "core/parallel.h"
 #include "dataset/io.h"
 #include "dataset/modelnet.h"
+#include "dataset/s3dis.h"
 
 namespace fc::data {
 namespace {
@@ -121,6 +124,88 @@ TEST_F(IoTest, XyzRejectsMalformedRow)
     }
     PointCloud loaded;
     EXPECT_FALSE(loadXyz(loaded, path));
+    std::remove(path.c_str());
+}
+
+void
+expectBitIdentical(const PointCloud &a, const PointCloud &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.hasLabels(), b.hasLabels());
+    if (a.size() == 0)
+        return;
+    EXPECT_EQ(std::memcmp(a.coords().data(), b.coords().data(),
+                          a.size() * sizeof(Vec3)),
+              0);
+    if (a.hasLabels()) {
+        EXPECT_EQ(std::memcmp(a.labels().data(), b.labels().data(),
+                              a.size() * sizeof(std::int32_t)),
+                  0);
+    }
+}
+
+TEST_F(IoTest, XyzParallelParseBitIdenticalToSerial)
+{
+    // Large enough for several 64 KiB parse chunks, so the splice
+    // path actually runs.
+    const PointCloud scene = makeS3disScene(30000, 5);
+    const std::string path = tempPath("parallel.xyz");
+    ASSERT_TRUE(saveXyz(scene, path));
+
+    PointCloud serial;
+    ASSERT_TRUE(loadXyz(serial, path));
+    for (unsigned threads : {2u, 4u, 7u}) {
+        core::ThreadPool pool(threads);
+        PointCloud parallel;
+        ASSERT_TRUE(loadXyz(parallel, path, &pool));
+        expectBitIdentical(serial, parallel);
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(IoTest, PlyParallelParseBitIdenticalToSerial)
+{
+    const PointCloud scene = makeS3disScene(25000, 6);
+    const std::string path = tempPath("parallel.ply");
+    ASSERT_TRUE(savePly(scene, path));
+
+    PointCloud serial;
+    ASSERT_TRUE(loadPly(serial, path));
+    for (unsigned threads : {2u, 4u, 7u}) {
+        core::ThreadPool pool(threads);
+        PointCloud parallel;
+        ASSERT_TRUE(loadPly(parallel, path, &pool));
+        expectBitIdentical(serial, parallel);
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(IoTest, ParallelParseRejectsMalformedRowMidFile)
+{
+    const PointCloud scene = makeS3disScene(20000, 7);
+    const std::string path = tempPath("badrow.xyz");
+    ASSERT_TRUE(saveXyz(scene, path));
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "1 2\n"; // malformed row in the last chunk
+    }
+    core::ThreadPool pool(4);
+    PointCloud loaded;
+    EXPECT_FALSE(loadXyz(loaded, path, &pool));
+    std::remove(path.c_str());
+}
+
+TEST_F(IoTest, XyzMixedLabelsRejectedAtAnyThreadCount)
+{
+    const std::string path = tempPath("mixed.xyz");
+    {
+        std::ofstream out(path);
+        out << "1 2 3 4\n5 6 7\n";
+    }
+    PointCloud loaded;
+    EXPECT_FALSE(loadXyz(loaded, path));
+    core::ThreadPool pool(4);
+    EXPECT_FALSE(loadXyz(loaded, path, &pool));
     std::remove(path.c_str());
 }
 
