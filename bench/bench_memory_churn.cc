@@ -16,8 +16,11 @@
  *     0 allocations now that chunk tasks use the pool's inline task
  *     slots (no std::function closures) and parallelReduce stages
  *     per-chunk values on the stack,
- *   - serve warm: AsyncPipeline steady state, where only the result
- *     payload allocates (intermediates come from pooled workspaces).
+ *   - serve warm: AsyncPipeline steady state via the value wait()
+ *     API, where the moved-out result payload still allocates,
+ *   - serve warm pooled outcome: submitShared + waitInto against the
+ *     slab-recycled outcome pool — 0 allocations per request, and
+ *     hard-gated (the bench exits nonzero on regression).
  *
  * The CSV is gated by scripts/check_bench_csv.sh in the Release
  * perf-smoke CI step; the latency numbers are hardware-bound and only
@@ -198,6 +201,32 @@ churnTable()
                   fc::Table::num(serve_warm.ms),
                   std::to_string(kReps)});
 
+    // Serve warm, pooled outcome: the zero-alloc serve path. waitInto
+    // copies the payload out of a slab-recycled outcome slot into a
+    // caller buffer whose capacity persists across calls, so the warm
+    // submit -> poll round trip performs no heap allocation at all.
+    // This row is the PR's hard guarantee and is gated below.
+    const auto shared_scene =
+        std::make_shared<const fc::data::PointCloud>(scene);
+    fc::serve::RequestOutcome pooled_outcome;
+    for (int i = 0; i < 3; ++i) { // warm slot + caller buffer
+        server.waitInto(server.submitShared(shared_scene, request),
+                        pooled_outcome);
+        benchmark::DoNotOptimize(pooled_outcome.state);
+    }
+    const Sample serve_pooled = measure(
+        [&] {
+            server.waitInto(server.submitShared(shared_scene, request),
+                            pooled_outcome);
+            benchmark::DoNotOptimize(
+                pooled_outcome.result.gathered.values.data());
+        },
+        kReps);
+    table.addRow({"serve-warm-pooled-outcome",
+                  std::to_string(serve_pooled.allocs),
+                  fc::Table::num(serve_pooled.ms),
+                  std::to_string(kReps)});
+
     fcb::emit(table, "bench_memory_churn",
               "Heap allocations per request, cold vs warm workspaces "
               "(" + std::to_string(kPoints) + " points, seg model, " +
@@ -216,6 +245,16 @@ churnTable()
         std::printf("WARNING: fp16 warm workspace path performed "
                     "%llu allocations per request (expected 0)\n",
                     static_cast<unsigned long long>(fp16_warm.allocs));
+    if (serve_pooled.allocs != 0) {
+        // Hard gate: the pooled-outcome serve path is advertised as
+        // allocation-free; a regression here fails the perf-smoke CI
+        // step, not just a warning in the log.
+        std::printf("FAIL: pooled-outcome serve path performed %llu "
+                    "allocations per request (expected 0)\n",
+                    static_cast<unsigned long long>(
+                        serve_pooled.allocs));
+        std::exit(1);
+    }
 }
 
 /** Micro kernel: warm steady-state infer under the benchmark timer. */

@@ -1,6 +1,7 @@
 #include "core/parallel.h"
 
 #include "common/logging.h"
+#include "core/topology.h"
 
 namespace fc::core {
 
@@ -13,8 +14,10 @@ ThreadPool::resolveThreadCount(unsigned requested)
     return hw == 0 ? 1 : hw;
 }
 
-ThreadPool::ThreadPool(unsigned num_threads, bool standalone)
-    : num_threads_(resolveThreadCount(num_threads))
+ThreadPool::ThreadPool(unsigned num_threads, bool standalone,
+                       std::vector<int> pin_cpus)
+    : num_threads_(resolveThreadCount(num_threads)),
+      pin_cpus_(std::move(pin_cpus))
 {
     // Fork/join mode: the joining thread is the last worker
     // (help-join), so a pool of n threads spawns n - 1 and a pool of
@@ -23,7 +26,15 @@ ThreadPool::ThreadPool(unsigned num_threads, bool standalone)
     const unsigned spawn = standalone ? num_threads_ : num_threads_ - 1;
     workers_.reserve(spawn);
     for (unsigned t = 0; t < spawn; ++t)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, t] {
+            // Best-effort affinity before any work: a refused call
+            // (restricted runner, non-Linux) leaves the worker
+            // unpinned — identical results, only locality lost.
+            if (!pin_cpus_.empty())
+                (void)pinCurrentThreadTo(
+                    pin_cpus_[t % pin_cpus_.size()]);
+            workerLoop();
+        });
 }
 
 ThreadPool::~ThreadPool()
@@ -41,7 +52,7 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::submitDetached(std::function<void()> task)
+ThreadPool::submitDetachedTask(InlineTask task)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -52,7 +63,7 @@ ThreadPool::submitDetached(std::function<void()> task)
         fc_assert(!workers_.empty(),
                   "submitDetached needs worker threads (construct the "
                   "pool with standalone=true)");
-        detached_.emplace_back(std::move(task));
+        detached_.push(std::move(task));
     }
     // notify_all, not notify_one: a TaskGroup waiter shares this CV
     // but never takes detached work, so a single wake could land on
@@ -76,8 +87,7 @@ void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        InlineTask chunk;
-        std::function<void()> detached;
+        InlineTask task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_cv_.wait(lock, [this] {
@@ -86,18 +96,14 @@ ThreadPool::workerLoop()
             // Fork/join chunks first: they unblock waiters and keep
             // spilled requests moving; detached requests follow.
             if (!queue_.empty()) {
-                chunk = queue_.pop();
+                task = queue_.pop();
             } else if (!detached_.empty()) {
-                detached = std::move(detached_.front());
-                detached_.pop_front();
+                task = detached_.pop();
             } else {
                 return; // stop_ set and nothing left to run
             }
         }
-        if (chunk)
-            chunk();
-        else
-            detached();
+        task();
     }
 }
 

@@ -29,7 +29,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -242,6 +241,13 @@ class TaskRing
  * thread that waits on a TaskGroup acts as the final worker
  * (help-join), so a pool of n threads keeps exactly n threads busy
  * and a pool of 1 spawns none.
+ *
+ * Workers can optionally be pinned to cpus (the @p pin_cpus
+ * constructor argument): worker t binds to pin_cpus[t % size] at
+ * startup, best-effort (see core/topology.h — a refused affinity
+ * call degrades to an unpinned worker, never an error). The caller
+ * thread of a fork/join pool is never pinned: only spawned workers
+ * are.
  */
 class ThreadPool
 {
@@ -253,9 +259,14 @@ class ThreadPool
      *     the final worker. true (serving use, see fc::serve): the
      *     pool hosts detached work with no external joining thread,
      *     so it spawns exactly num_threads workers.
+     * @param pin_cpus    optional cpu ids to pin spawned workers to
+     *     (worker t -> pin_cpus[t % size]); empty = no pinning. The
+     *     ShardedExecutor passes each shard a disjoint set so shard
+     *     arenas stay in one socket's pages.
      */
     explicit ThreadPool(unsigned num_threads = 0,
-                        bool standalone = false);
+                        bool standalone = false,
+                        std::vector<int> pin_cpus = {});
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -264,13 +275,26 @@ class ThreadPool
     /** Resolved thread count (>= 1). */
     unsigned numThreads() const { return num_threads_; }
 
+    /** Cpu ids workers were asked to pin to (empty = unpinned). */
+    const std::vector<int> &pinnedCpus() const { return pin_cpus_; }
+
     /**
      * Enqueue a fire-and-forget task at the tail of the detached
      * lane. Unlike TaskGroup::run there is no join: the caller must
      * guarantee every detached task has finished before the pool is
      * destroyed (the serving layer tracks this via its Scheduler).
+     *
+     * Small callables ride the detached lane's InlineTask ring
+     * without touching the heap — with the workspace pools and the
+     * outcome slabs of fc::serve this keeps the whole warm
+     * submit->poll round trip allocation-free.
      */
-    void submitDetached(std::function<void()> task);
+    template <typename Fn>
+    void
+    submitDetached(Fn &&task)
+    {
+        submitDetachedTask(InlineTask(std::forward<Fn>(task)));
+    }
 
     /** 0 -> hardware concurrency (min 1), n -> n. */
     static unsigned resolveThreadCount(unsigned requested);
@@ -283,12 +307,16 @@ class ThreadPool
      *  once the ring has grown to its peak backlog. */
     void enqueueForkJoin(InlineTask task);
 
+    /** Out-of-line body of submitDetached. */
+    void submitDetachedTask(InlineTask task);
+
     void workerLoop();
 
     unsigned num_threads_;
+    std::vector<int> pin_cpus_; ///< empty = unpinned workers
     std::vector<std::thread> workers_;
-    TaskRing queue_;                             ///< fork/join lane
-    std::deque<std::function<void()>> detached_; ///< detached lane
+    TaskRing queue_;    ///< fork/join lane
+    TaskRing detached_; ///< detached lane (whole-request tasks)
     std::mutex mutex_;
     std::condition_variable work_cv_;
     bool stop_ = false;

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "core/metrics.h"
+#include "core/topology.h"
 
 namespace fc::core {
 
@@ -58,15 +59,34 @@ ShardMap::shardFor(std::uint64_t key) const
 
 ShardedExecutor::ShardedExecutor(unsigned num_shards,
                                  unsigned threads_per_shard,
-                                 bool standalone)
+                                 bool standalone, bool pin_workers)
     : map_(num_shards)
 {
     fc_assert(num_shards >= 1,
               "sharded executor needs at least one shard");
+
+    // NUMA-aware pinning: carve the detected topology into disjoint
+    // per-shard cpu sets (shard s prefers node s % nodes) so each
+    // shard's workers — and therefore its arenas and workspace pages
+    // — stay on one socket. FC_NO_PIN=1 is the runtime escape hatch
+    // for hosts where affinity is refused or harmful.
+    std::vector<std::vector<int>> cpu_sets;
+    pinned_ = pin_workers && !pinningDisabled();
+    if (pinned_) {
+        const CpuTopology topology = detectCpuTopology();
+        if (topology.cpuCount() == 0)
+            pinned_ = false;
+        else
+            cpu_sets = shardCpuAssignment(
+                topology, num_shards,
+                ThreadPool::resolveThreadCount(threads_per_shard));
+    }
+
     shards_.reserve(num_shards);
     for (unsigned s = 0; s < num_shards; ++s)
         shards_.push_back(std::make_unique<ThreadPool>(
-            threads_per_shard, standalone));
+            threads_per_shard, standalone,
+            pinned_ ? std::move(cpu_sets[s]) : std::vector<int>{}));
     task_counts_ =
         std::make_unique<std::atomic<std::uint64_t>[]>(num_shards);
     for (unsigned s = 0; s < num_shards; ++s)
@@ -74,15 +94,13 @@ ShardedExecutor::ShardedExecutor(unsigned num_shards,
 }
 
 void
-ShardedExecutor::submitDetached(unsigned shard,
-                                std::function<void()> task)
+ShardedExecutor::noteSubmitted(unsigned shard)
 {
     fc_assert(shard < shards_.size(), "submit on unknown shard %u",
               shard);
     task_counts_[shard].fetch_add(1, std::memory_order_relaxed);
     if (!task_counters_.empty())
         task_counters_[shard]->add();
-    shards_[shard]->submitDetached(std::move(task));
 }
 
 std::uint64_t

@@ -105,10 +105,18 @@ class ShardedExecutor
      *                         deployments should size explicitly).
      * @param standalone       passed through to every ThreadPool (see
      *                         ThreadPool::ThreadPool).
+     * @param pin_workers      pin each shard's workers to a disjoint
+     *                         cpu set (shard s prefers NUMA node
+     *                         s % nodes; see core/topology.h) so a
+     *                         shard's arenas stay in one socket's
+     *                         pages. Best-effort and overridable at
+     *                         runtime via FC_NO_PIN=1; never affects
+     *                         results, only locality.
      */
     explicit ShardedExecutor(unsigned num_shards,
                              unsigned threads_per_shard = 0,
-                             bool standalone = false);
+                             bool standalone = false,
+                             bool pin_workers = false);
 
     ShardedExecutor(const ShardedExecutor &) = delete;
     ShardedExecutor &operator=(const ShardedExecutor &) = delete;
@@ -136,13 +144,27 @@ class ShardedExecutor
         return *shards_[index];
     }
 
+    /** Whether worker pinning was requested, allowed (FC_NO_PIN
+     *  unset), and cpu sets were computed. Individual affinity calls
+     *  remain best-effort; this reports the policy, not per-thread
+     *  success. */
+    bool pinned() const { return pinned_; }
+
     /**
      * Submit a detached (whole-request) task onto @p shard's pool,
      * counting it against the shard's task telemetry. The serving
      * layer submits through here instead of shard(i).submitDetached
-     * so per-shard task counts cover every request task.
+     * so per-shard task counts cover every request task. Templated
+     * so small callables ride the pool's InlineTask slots without a
+     * std::function materialization (allocation-free warm).
      */
-    void submitDetached(unsigned shard, std::function<void()> task);
+    template <typename Fn>
+    void
+    submitDetached(unsigned shard, Fn &&task)
+    {
+        noteSubmitted(shard);
+        shards_[shard]->submitDetached(std::forward<Fn>(task));
+    }
 
     /** Detached tasks submitted onto @p shard so far (monotonic). */
     std::uint64_t tasksSubmitted(unsigned shard) const;
@@ -165,8 +187,13 @@ class ShardedExecutor
     }
 
   private:
+    /** Bounds-check @p shard and bump its task counters (the
+     *  out-of-line half of submitDetached). */
+    void noteSubmitted(unsigned shard);
+
     std::vector<std::unique_ptr<ThreadPool>> shards_;
     ShardMap map_;
+    bool pinned_ = false;
 
     /** Per-shard detached-task counts (always maintained; the array
      *  form keeps the atomics fixed in place). */

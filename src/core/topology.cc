@@ -1,0 +1,154 @@
+#include "core/topology.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/logging.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace fc::core {
+
+namespace {
+
+/** Parse a /sys cpulist string ("0-3,8,10-11") into cpu ids. Returns
+ *  an empty list on malformed input (treated as "node absent"). */
+std::vector<int>
+parseCpuList(const std::string &text)
+{
+    std::vector<int> cpus;
+    std::stringstream in(text);
+    std::string range;
+    while (std::getline(in, range, ',')) {
+        if (range.empty() || range == "\n")
+            continue;
+        const std::size_t dash = range.find('-');
+        try {
+            if (dash == std::string::npos) {
+                cpus.push_back(std::stoi(range));
+            } else {
+                const int lo = std::stoi(range.substr(0, dash));
+                const int hi = std::stoi(range.substr(dash + 1));
+                if (hi < lo)
+                    return {};
+                for (int c = lo; c <= hi; ++c)
+                    cpus.push_back(c);
+            }
+        } catch (...) {
+            return {};
+        }
+    }
+    return cpus;
+}
+
+std::vector<int>
+allHardwareCpus()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::vector<int> cpus(hw == 0 ? 1 : hw);
+    for (std::size_t c = 0; c < cpus.size(); ++c)
+        cpus[c] = static_cast<int>(c);
+    return cpus;
+}
+
+} // namespace
+
+CpuTopology
+detectCpuTopology()
+{
+    CpuTopology topology;
+#if defined(__linux__)
+    // node directories are dense (node0, node1, ...); stop at the
+    // first missing one. Offline or cpu-less nodes contribute empty
+    // cpulists and are skipped.
+    for (int n = 0;; ++n) {
+        std::ifstream in("/sys/devices/system/node/node" +
+                         std::to_string(n) + "/cpulist");
+        if (!in)
+            break;
+        std::string text;
+        std::getline(in, text);
+        std::vector<int> cpus = parseCpuList(text);
+        if (!cpus.empty())
+            topology.nodes.push_back(std::move(cpus));
+    }
+#endif
+    if (topology.nodes.empty())
+        topology.nodes.push_back(allHardwareCpus());
+    return topology;
+}
+
+bool
+pinningDisabled()
+{
+    const char *env = std::getenv("FC_NO_PIN");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+bool
+pinCurrentThreadTo(int cpu)
+{
+#if defined(__linux__)
+    if (cpu < 0 || static_cast<unsigned>(cpu) >= CPU_SETSIZE)
+        return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(cpu), &set);
+    return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) ==
+           0;
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
+std::vector<std::vector<int>>
+shardCpuAssignment(const CpuTopology &topology, unsigned num_shards,
+                   unsigned threads_per_shard)
+{
+    fc_assert(num_shards >= 1, "cpu assignment needs >= 1 shard");
+    fc_assert(threads_per_shard >= 1,
+              "cpu assignment needs >= 1 thread per shard");
+    const std::size_t num_nodes = topology.nodes.size();
+    fc_assert(num_nodes >= 1 && topology.cpuCount() >= 1,
+              "cpu assignment needs a non-empty topology");
+
+    // Flat node-major cpu order, used once the disjoint budget runs
+    // out: oversubscribed shards wrap over it deterministically.
+    std::vector<int> flat;
+    flat.reserve(topology.cpuCount());
+    for (const std::vector<int> &node : topology.nodes)
+        flat.insert(flat.end(), node.begin(), node.end());
+
+    std::vector<std::size_t> next_in_node(num_nodes, 0);
+    std::size_t wrap_cursor = 0;
+    std::vector<std::vector<int>> sets(num_shards);
+    for (unsigned s = 0; s < num_shards; ++s) {
+        sets[s].reserve(threads_per_shard);
+        const std::size_t preferred = s % num_nodes;
+        for (unsigned t = 0; t < threads_per_shard; ++t) {
+            int cpu = -1;
+            // Preferred node first (locality), then the others in
+            // ring order (utilization): disjoint while cpus remain.
+            for (std::size_t k = 0; k < num_nodes && cpu < 0; ++k) {
+                const std::size_t node = (preferred + k) % num_nodes;
+                if (next_in_node[node] <
+                    topology.nodes[node].size())
+                    cpu = topology.nodes[node][next_in_node[node]++];
+            }
+            if (cpu < 0)
+                cpu = flat[wrap_cursor++ % flat.size()];
+            sets[s].push_back(cpu);
+        }
+    }
+    return sets;
+}
+
+} // namespace fc::core

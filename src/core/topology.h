@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Host CPU topology and worker pinning — the NUMA half of the
+ * shard-local memory story.
+ *
+ * The paper keeps each block's working set on the chip that computes
+ * it; the host-side analog is keeping each shard's pages on the
+ * socket whose workers touch them. This module supplies the three
+ * ingredients:
+ *
+ *   - detectCpuTopology(): the machine's NUMA nodes as cpu-id lists,
+ *     read from /sys/devices/system/node (Linux). Hosts without that
+ *     tree (other platforms, restricted containers) report one
+ *     synthetic node covering every hardware thread — pinning then
+ *     degrades to a round-robin spread, which still gives each shard
+ *     a disjoint, stable cpu set.
+ *   - shardCpuAssignment(): a deterministic carve-up of the topology
+ *     into per-shard cpu lists. Shard s prefers node s % nodes, so on
+ *     a two-socket host shards alternate sockets and a shard's
+ *     workspace arenas fault into its own socket's pages; cpus are
+ *     disjoint across shards until the machine is oversubscribed,
+ *     after which assignment wraps (documented, deterministic).
+ *   - pinCurrentThreadTo(): best-effort pthread_setaffinity_np.
+ *     Failure (EPERM in a restricted runner, non-Linux hosts) is
+ *     reported, never fatal: an unpinned worker computes identical
+ *     results, it just loses locality.
+ *
+ * FC_NO_PIN=1 in the environment disables pinning globally
+ * (pinningDisabled()); CI runs one serve leg with it set so the
+ * unpinned path stays green on runners that refuse affinity calls.
+ * Pinning never affects results — every operation is deterministic
+ * with respect to its pool — only page placement and tail latency.
+ */
+
+#ifndef FC_CORE_TOPOLOGY_H
+#define FC_CORE_TOPOLOGY_H
+
+#include <cstddef>
+#include <vector>
+
+namespace fc::core {
+
+/** The host's cpus grouped by NUMA node (>= 1 node when detected). */
+struct CpuTopology
+{
+    /** nodes[n] = cpu ids of NUMA node n, ascending. */
+    std::vector<std::vector<int>> nodes;
+
+    std::size_t
+    cpuCount() const
+    {
+        std::size_t total = 0;
+        for (const std::vector<int> &node : nodes)
+            total += node.size();
+        return total;
+    }
+};
+
+/**
+ * Read the NUMA layout from /sys/devices/system/node/node<n>/cpulist.
+ * Fallback (no /sys tree, non-Linux): one node listing cpu ids
+ * 0 .. hardware_concurrency-1. Never returns an empty topology.
+ */
+CpuTopology detectCpuTopology();
+
+/** True when FC_NO_PIN is set to anything but "" or "0": the global
+ *  escape hatch for hosts where affinity hurts or is refused. */
+bool pinningDisabled();
+
+/**
+ * Pin the calling thread to @p cpu. Best-effort: returns false (and
+ * changes nothing) on non-Linux builds, negative cpu ids, or a
+ * refused sched_setaffinity (e.g. a cpuset-restricted container).
+ */
+bool pinCurrentThreadTo(int cpu);
+
+/**
+ * Deterministic per-shard cpu lists: shard s draws
+ * @p threads_per_shard cpus starting from node s % nodes, spilling
+ * into the next node when its preferred one is exhausted. Lists are
+ * disjoint until every cpu is assigned once; beyond that the
+ * assignment wraps over all cpus in node order (oversubscribed hosts
+ * still get stable, evenly spread sets).
+ */
+std::vector<std::vector<int>>
+shardCpuAssignment(const CpuTopology &topology, unsigned num_shards,
+                   unsigned threads_per_shard);
+
+} // namespace fc::core
+
+#endif // FC_CORE_TOPOLOGY_H

@@ -216,6 +216,14 @@ Network::run(const data::PointCloud &cloud,
                     .count());
         stage_mark = now;
     };
+    // Stage-histogram pointers are resolved once per (workspace,
+    // registry) pair and cached in a slot: the name-building and
+    // registry lookup allocate, and a warm serve round trip must not.
+    struct StageHistograms
+    {
+        core::metrics::Registry *registry = nullptr;
+        std::array<core::metrics::Histogram *, kNumStages> h{};
+    };
     const auto recordStages = [&] {
         if (!timed)
             return;
@@ -223,11 +231,17 @@ Network::run(const data::PointCloud &cloud,
             "partition", "fps",         "neighbor",
             "gather",    "mlp",         "interpolate",
             "mlp_unique", "aggregate"};
+        StageHistograms &hists =
+            ws.slot<StageHistograms>("nn.stage_hists");
+        if (hists.registry != backend.metrics) {
+            for (std::size_t i = 0; i < kNumStages; ++i)
+                hists.h[i] = &backend.metrics->histogram(
+                    std::string("nn.stage_us{stage=") +
+                    kStageLabels[i] + "}");
+            hists.registry = backend.metrics;
+        }
         for (std::size_t i = 0; i < kNumStages; ++i)
-            backend.metrics
-                ->histogram(std::string("nn.stage_us{stage=") +
-                            kStageLabels[i] + "}")
-                .record(stage_acc[i]);
+            hists.h[i]->record(stage_acc[i]);
     };
 
     // ---- Abstraction stages -------------------------------------------

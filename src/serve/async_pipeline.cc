@@ -31,10 +31,12 @@ stageName(Stage stage)
 AsyncPipeline::AsyncPipeline(const ServeOptions &options)
     : options_(options),
       executor_(std::max(1u, options.num_shards),
-                options.pipeline.num_threads, /*standalone=*/true),
+                options.pipeline.num_threads, /*standalone=*/true,
+                options.pin_shards),
       scheduler_(options.queue_capacity, executor_.threadsPerShard(),
                  options.work_conserving, executor_.numShards(),
-                 options.priority_weights, &registry_)
+                 options.priority_weights, &registry_,
+                 options.class_capacity)
 {
     executor_.attachMetrics(registry_);
     static constexpr const char *kStageLabels[5] = {
@@ -46,6 +48,28 @@ AsyncPipeline::AsyncPipeline(const ServeOptions &options)
     rejected_ = &registry_.counter("serve.rejected");
     ws_checkouts_ = &registry_.counter("serve.workspace_checkouts");
     ws_created_gauge_ = &registry_.gauge("serve.workspaces_created");
+
+    // One memory pool per shard, instruments registered up front so
+    // the serve path mutates pointers only. With shard-local routing
+    // off, only pool 0 sees traffic; the others idle at zero.
+    pools_.reserve(executor_.numShards());
+    for (unsigned s = 0; s < executor_.numShards(); ++s) {
+        auto pool = std::make_unique<ShardPool>();
+        const std::string tag = "{shard=" + std::to_string(s) + "}";
+        pool->checkout =
+            &registry_.counter("serve.workspace.checkout" + tag);
+        pool->created =
+            &registry_.gauge("serve.workspace.created" + tag);
+        pool->foreign_return =
+            &registry_.counter("serve.workspace.foreign_return" + tag);
+        pool->outcome_checkout =
+            &registry_.counter("serve.outcome.checkout" + tag);
+        pool->outcome_created =
+            &registry_.gauge("serve.outcome.created" + tag);
+        pools_.push_back(std::move(pool));
+    }
+    scheduler_.setOutcomeRecycler(
+        [this](OutcomeSlot *slot) { recycleOutcome(slot); });
 }
 
 AsyncPipeline::~AsyncPipeline()
@@ -132,40 +156,110 @@ AsyncPipeline::notifyObserver(std::uint64_t id, Stage stage)
         options_.stage_observer(Ticket{id}, stage);
 }
 
-std::unique_ptr<core::Workspace>
-AsyncPipeline::checkoutWorkspace()
+std::unique_ptr<AsyncPipeline::ShardWorkspace>
+AsyncPipeline::checkoutWorkspace(unsigned shard)
 {
+    const unsigned owner =
+        options_.shard_local_workspaces ? shard : 0u;
+    ShardPool &pool = *pools_[owner];
     ws_checkouts_->add();
+    pool.checkout->add();
     {
-        std::lock_guard<std::mutex> lock(ws_mutex_);
-        if (!ws_free_.empty()) {
-            std::unique_ptr<core::Workspace> ws =
-                std::move(ws_free_.back());
-            ws_free_.pop_back();
-            ws->reset();
+        std::lock_guard<std::mutex> lock(pool.mutex);
+        if (!pool.ws_free.empty()) {
+            std::unique_ptr<ShardWorkspace> ws =
+                std::move(pool.ws_free.back());
+            pool.ws_free.pop_back();
+            ws->ws.reset();
             return ws;
         }
-        ++ws_created_;
-        ws_created_gauge_->set(static_cast<std::int64_t>(ws_created_));
+        ++pool.ws_created;
+        pool.created->set(
+            static_cast<std::int64_t>(pool.ws_created));
     }
-    // Cold path: first request at this concurrency level. The pool
-    // can never exceed the executor count, which the ThreadPool
-    // bounds at its thread count.
-    return std::make_unique<core::Workspace>();
+    // Cold path: first request at this shard's concurrency level.
+    // The pool can never exceed the shard's thread count (one
+    // checkout per executor task).
+    const std::size_t total =
+        ws_created_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+    ws_created_gauge_->set(static_cast<std::int64_t>(total));
+    auto ws = std::make_unique<ShardWorkspace>();
+    ws->owner = owner;
+    return ws;
 }
 
 void
-AsyncPipeline::checkinWorkspace(std::unique_ptr<core::Workspace> ws)
+AsyncPipeline::checkinWorkspace(std::unique_ptr<ShardWorkspace> ws,
+                                unsigned returning_shard)
 {
-    std::lock_guard<std::mutex> lock(ws_mutex_);
-    ws_free_.push_back(std::move(ws));
+    ShardPool &pool = *pools_[ws->owner];
+    if (options_.shard_local_workspaces &&
+        returning_shard != ws->owner)
+        pool.foreign_return->add(); // tripwire: should stay 0
+    std::lock_guard<std::mutex> lock(pool.mutex);
+    pool.ws_free.push_back(std::move(ws));
+}
+
+OutcomeSlot *
+AsyncPipeline::checkoutOutcome(unsigned shard)
+{
+    ShardPool &pool = *pools_[shard];
+    pool.outcome_checkout->add();
+    {
+        std::lock_guard<std::mutex> lock(pool.mutex);
+        if (!pool.outcome_free.empty()) {
+            OutcomeSlot *slot = pool.outcome_free.back();
+            pool.outcome_free.pop_back();
+            return slot; // capacity intact from its previous life
+        }
+    }
+    // Cold path: grow the slab. Slot count is bounded by the peak
+    // number of concurrently un-consumed tickets on this shard.
+    auto owned = std::make_unique<OutcomeSlot>();
+    owned->owner_shard = shard;
+    OutcomeSlot *slot = owned.get();
+    std::size_t shard_total;
+    {
+        std::lock_guard<std::mutex> lock(pool.mutex);
+        pool.outcome_all.push_back(std::move(owned));
+        shard_total = pool.outcome_all.size();
+    }
+    pool.outcome_created->set(static_cast<std::int64_t>(shard_total));
+    outcomes_created_total_.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+void
+AsyncPipeline::recycleOutcome(OutcomeSlot *slot)
+{
+    // Called both from executor workers (abandoned leases) and from
+    // under the scheduler mutex (the consuming wait); the pool mutex
+    // is a leaf, so no inversion either way.
+    ShardPool &pool = *pools_[slot->owner_shard];
+    std::lock_guard<std::mutex> lock(pool.mutex);
+    pool.outcome_free.push_back(slot);
 }
 
 std::size_t
 AsyncPipeline::workspacesCreated() const
 {
-    std::lock_guard<std::mutex> lock(ws_mutex_);
-    return ws_created_;
+    return ws_created_total_.load(std::memory_order_relaxed);
+}
+
+std::size_t
+AsyncPipeline::workspacesCreated(unsigned shard) const
+{
+    fc_assert(shard < pools_.size(),
+              "workspacesCreated on unknown shard %u", shard);
+    ShardPool &pool = *pools_[shard];
+    std::lock_guard<std::mutex> lock(pool.mutex);
+    return pool.ws_created;
+}
+
+std::size_t
+AsyncPipeline::outcomeSlotsCreated() const
+{
+    return outcomes_created_total_.load(std::memory_order_relaxed);
 }
 
 void
@@ -201,17 +295,37 @@ AsyncPipeline::execute(unsigned shard)
 
     // One warm workspace per ticket: intermediates (the partition,
     // op scratch, the inference stage's level buffers) reuse memory
-    // grown by earlier requests; result payloads (BatchResult) stay
-    // freshly owned because they outlive the workspace's checkout.
-    // The lease scope closes *before* the terminal complete()/fail()
-    // transition: the moment a waiter observes the outcome, the
-    // workspace is already back on the free list, so back-to-back
-    // sequential requests reuse one workspace deterministically.
+    // grown by earlier requests of this shard. The lease scope
+    // closes *before* the terminal complete()/fail() transition: the
+    // moment a waiter observes the outcome, the workspace is already
+    // back on its shard's free list, so back-to-back sequential
+    // requests reuse one workspace deterministically.
     struct WorkspaceLease
     {
         AsyncPipeline *owner;
-        std::unique_ptr<core::Workspace> ws;
-        ~WorkspaceLease() { owner->checkinWorkspace(std::move(ws)); }
+        std::unique_ptr<ShardWorkspace> ws;
+        unsigned shard;
+        ~WorkspaceLease()
+        {
+            owner->checkinWorkspace(std::move(ws), shard);
+        }
+    };
+
+    // The result payload lives in a pooled slot from this shard's
+    // slab; stages write into it in place (the Into ops clear what
+    // they fill), so a recycled slot's stale content is never
+    // observable. On the happy path the lease transfers to the
+    // scheduler at complete(); every early exit (checkpoint retire,
+    // exception) recycles it here instead.
+    struct OutcomeLease
+    {
+        AsyncPipeline *owner;
+        OutcomeSlot *slot;
+        ~OutcomeLease()
+        {
+            if (slot != nullptr)
+                owner->recycleOutcome(slot);
+        }
     };
 
     // Per-stage service-time telemetry: lap() charges the time since
@@ -232,10 +346,11 @@ AsyncPipeline::execute(unsigned shard)
         stage_mark = now;
     };
 
-    BatchResult out;
+    OutcomeLease outcome{this, checkoutOutcome(shard)};
+    BatchResult &out = outcome.slot->result;
     try {
-        WorkspaceLease lease{this, checkoutWorkspace()};
-        core::Workspace &ws = *lease.ws;
+        WorkspaceLease lease{this, checkoutWorkspace(shard), shard};
+        core::Workspace &ws = lease.ws->ws;
 
         notifyObserver(id, Stage::Started);
         if (!scheduler_.checkpoint(id, &spill, &spill_shard))
@@ -302,10 +417,19 @@ AsyncPipeline::execute(unsigned shard)
             // Per-stage FPS/neighbor/MLP timings land in this
             // pipeline's registry (nn.stage_us{stage=...}).
             backend.metrics = &registry_;
-            out.inference.emplace();
+            // Engage (don't re-emplace) the optional: a recycled
+            // slot's engaged InferenceResult keeps its tensor
+            // capacity, which run() reuses in place.
+            if (!out.inference)
+                out.inference.emplace();
             job->request.network->run(cloud, backend, ws,
                                       *out.inference);
             lap(4); // inference
+        } else {
+            // A recycled slot may carry a stale inference payload
+            // from a previous network request; waiters key on the
+            // optional's engagement.
+            out.inference.reset();
         }
         // Lease scope ends here: the workspace is checked in before
         // the request becomes observable as Done.
@@ -313,7 +437,8 @@ AsyncPipeline::execute(unsigned shard)
         scheduler_.fail(id, std::current_exception());
         return;
     }
-    scheduler_.complete(id, std::move(out));
+    scheduler_.complete(id, outcome.slot);
+    outcome.slot = nullptr; // lease transferred to the record
 }
 
 } // namespace fc::serve

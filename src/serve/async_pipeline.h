@@ -30,15 +30,23 @@
  *     one-per-thread. The decision is re-evaluated at every stage
  *     boundary, so the last big request of a batch starts spilling
  *     once its peers finish, and
- *   - a free-list pool of core::Workspace instances, one checked out
- *     per ticket: every request's intermediates (partition trees,
- *     op scratch, the inference stage's per-level buffers) draw from
- *     a workspace warmed by earlier requests, so repeated same-shape
- *     requests stop allocating intermediates entirely — the heap is
- *     touched only for the result payload handed to the client.
- *     The pool never exceeds the executor count (= shards x threads
- *     per shard), so steady-state memory is bounded by the largest
- *     shapes seen.
+ *   - per-SHARD free-list pools of core::Workspace instances, one
+ *     checked out per ticket on its placement shard: every request's
+ *     intermediates (partition trees, op scratch, the inference
+ *     stage's per-level buffers) draw from a workspace warmed by
+ *     earlier requests OF THE SAME SHARD, so with pinned workers a
+ *     workspace's pages stay on the NUMA node that touched them.
+ *     Cross-shard spill borrows a neighbor's COMPUTE only — the
+ *     workspace always belongs to the home shard's pool. Each pool
+ *     never exceeds its shard's thread count, so steady-state memory
+ *     is bounded by the largest shapes seen, and
+ *   - a slab-recycled outcome pool (also per shard): the BatchResult
+ *     payload itself lives in a pooled OutcomeSlot whose lease rides
+ *     the ticket from complete() to the consuming wait. waitInto()
+ *     copies capacity-into-capacity and recycles the slot warm, so a
+ *     warm same-shape submit -> poll -> waitInto round trip performs
+ *     ZERO heap allocations end to end (value-returning wait() moves
+ *     the payload out instead and the slot regrows on next use).
  *
  * Results are byte-identical to the blocking path at any thread
  * count: every stage is deterministic with respect to its pool, so
@@ -54,6 +62,7 @@
 #ifndef FC_SERVE_ASYNC_PIPELINE_H
 #define FC_SERVE_ASYNC_PIPELINE_H
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -119,6 +128,37 @@ struct ServeOptions
      */
     std::array<std::uint64_t, kNumPriorities> priority_weights =
         kPriorityWeight;
+
+    /**
+     * Pin each shard's workers to a disjoint cpu set carved from the
+     * detected NUMA topology (shard s prefers node s % nodes; see
+     * core/topology.h), keeping a shard's workspace and arena pages
+     * on the socket that touches them. Best-effort: refused affinity
+     * calls (restricted runners, non-Linux) degrade to unpinned
+     * workers, and FC_NO_PIN=1 disables pinning at runtime without a
+     * rebuild. Never affects results, only locality.
+     */
+    bool pin_shards = true;
+
+    /**
+     * Route each ticket's workspace checkout through its placement
+     * shard's own free list (the NUMA-local policy described in the
+     * file comment). false collapses all checkouts onto one shared
+     * pool — the pre-shard-local behavior, kept as an A/B lever for
+     * benchmarks (bench_shard_scaling compares both). Results are
+     * identical either way.
+     */
+    bool shard_local_workspaces = true;
+
+    /**
+     * Per-class admission bounds layered on queue_capacity: at most
+     * class_capacity[c] requests of class c may be queued at once
+     * across all shards (0 = bounded only by queue_capacity). Keeps
+     * a Background flood from crowding Interactive out of the
+     * admission queue; rejections count in
+     * serve.rejected_class{class=...}.
+     */
+    std::array<std::size_t, kNumPriorities> class_capacity{};
 
     /**
      * Test/telemetry hook: invoked on the executing worker at every
@@ -221,6 +261,19 @@ class AsyncPipeline
     RequestOutcome wait(Ticket ticket) { return scheduler_.wait(ticket); }
 
     /**
+     * Allocation-free wait: consume the ticket into @p out, reusing
+     * @p out's payload capacity and recycling the pooled result slot
+     * warm. A warm same-shape submitShared -> waitInto loop with a
+     * reused RequestOutcome performs zero heap allocations on the
+     * serve path (bench_memory_churn gates this at exactly 0).
+     */
+    void
+    waitInto(Ticket ticket, RequestOutcome &out)
+    {
+        scheduler_.waitInto(ticket, out);
+    }
+
+    /**
      * Bounded wait: block up to @p timeout. On success the outcome
      * is returned and the ticket consumed, exactly as by wait(); on
      * timeout returns nullopt and the ticket stays live — the
@@ -251,6 +304,10 @@ class AsyncPipeline
     /** Executor shard count. */
     unsigned numShards() const { return executor_.numShards(); }
 
+    /** Whether shard workers are actually pinned (pin_shards was set,
+     *  FC_NO_PIN is unset, and a topology was detected). */
+    bool pinned() const { return executor_.pinned(); }
+
     /** Snapshot of requests admitted but not yet started (all
      *  shards). Allocation-free; racy by nature — use for telemetry,
      *  not control flow. */
@@ -276,11 +333,20 @@ class AsyncPipeline
     }
 
     /**
-     * Workspaces created so far (telemetry): stops growing once every
-     * concurrent executor has one — sequential same-shape traffic
-     * reports 1, proving warm reuse.
+     * Workspaces created so far, summed over shards (telemetry):
+     * stops growing once every concurrent executor has one —
+     * sequential same-shape traffic reports 1, proving warm reuse.
      */
     std::size_t workspacesCreated() const;
+
+    /** Workspaces created by @p shard's pool alone: flat per shard
+     *  under steady per-shard concurrency, proving checkouts never
+     *  migrate across pools. */
+    std::size_t workspacesCreated(unsigned shard) const;
+
+    /** Outcome slots created so far, summed over shards: bounded by
+     *  the number of concurrently un-consumed tickets. */
+    std::size_t outcomeSlotsCreated() const;
 
     /**
      * The pipeline's metrics registry: per-(shard x class) queue
@@ -301,16 +367,64 @@ class AsyncPipeline
     }
 
   private:
+    /** A pooled workspace tagged with the shard whose pool owns it:
+     *  check-in always routes back to the owner, wherever the lease
+     *  ends up (foreign returns are counted — a tripwire, since the
+     *  executor task itself never migrates off its home shard). */
+    struct ShardWorkspace
+    {
+        core::Workspace ws;
+        unsigned owner = 0;
+    };
+
+    /**
+     * One shard's memory pools plus their instruments: the workspace
+     * free list (intermediates) and the outcome slab (result
+     * payloads, leased to the scheduler from complete() until the
+     * consuming wait). The pool mutex is a LEAF lock — taken under
+     * the scheduler mutex by the recycler, so pool code must never
+     * call back into the scheduler.
+     */
+    struct ShardPool
+    {
+        std::mutex mutex;
+        std::vector<std::unique_ptr<ShardWorkspace>> ws_free;
+        std::size_t ws_created = 0;
+
+        /** Every slot this shard ever created (ownership; outlives
+         *  any lease) and the subset currently free. */
+        std::vector<std::unique_ptr<OutcomeSlot>> outcome_all;
+        std::vector<OutcomeSlot *> outcome_free;
+
+        core::metrics::Counter *checkout = nullptr;
+        core::metrics::Gauge *created = nullptr;
+        core::metrics::Counter *foreign_return = nullptr;
+        core::metrics::Counter *outcome_checkout = nullptr;
+        core::metrics::Gauge *outcome_created = nullptr;
+    };
+
     /** Executor task body: process (or retire) the best queued
      *  request of @p shard. */
     void execute(unsigned shard);
 
     void notifyObserver(std::uint64_t id, Stage stage);
 
-    /** Pop a warm workspace (reset) or create one (first-seen
-     *  concurrency); checkinWorkspace returns it to the free list. */
-    std::unique_ptr<core::Workspace> checkoutWorkspace();
-    void checkinWorkspace(std::unique_ptr<core::Workspace> ws);
+    /** Pop a warm workspace from @p shard's pool (reset) or create
+     *  one (first-seen per-shard concurrency). With
+     *  shard_local_workspaces off, every shard routes to pool 0. */
+    std::unique_ptr<ShardWorkspace> checkoutWorkspace(unsigned shard);
+
+    /** Return @p ws to its OWNER's free list; @p returning_shard only
+     *  feeds the foreign-return tripwire counter. */
+    void checkinWorkspace(std::unique_ptr<ShardWorkspace> ws,
+                          unsigned returning_shard);
+
+    /** Pop a warm outcome slot from @p shard's slab (or grow it). */
+    OutcomeSlot *checkoutOutcome(unsigned shard);
+
+    /** Return a slot to its owner's slab, capacity intact. Installed
+     *  as the scheduler's recycler (called under its mutex). */
+    void recycleOutcome(OutcomeSlot *slot);
 
     ServeOptions options_;
 
@@ -329,20 +443,25 @@ class AsyncPipeline
     /** Admission rejections (trySubmit returning nullopt). */
     core::metrics::Counter *rejected_ = nullptr;
 
-    /** Workspace-pool telemetry: checkouts and distinct workspaces
-     *  created (the gauge mirrors workspacesCreated()). */
+    /** Aggregate workspace telemetry, kept for /stats compatibility:
+     *  the counter sums checkouts over all shards; the gauge mirrors
+     *  workspacesCreated(). Per-shard instruments live in pools_. */
     core::metrics::Counter *ws_checkouts_ = nullptr;
     core::metrics::Gauge *ws_created_gauge_ = nullptr;
 
-    /** Declared before executor_ deliberately: an executor task
-     *  returns its workspace lease as its very last action, which
-     *  can race destruction — ~AsyncPipeline retires all requests,
-     *  then the shard pools join their workers, and only after that
-     *  join may the free list die. Reverse member order would free
-     *  the list under a still-running check-in. */
-    mutable std::mutex ws_mutex_;
-    std::vector<std::unique_ptr<core::Workspace>> ws_free_;
-    std::size_t ws_created_ = 0;
+    /** Pool-creation totals across shards (atomic: creations on
+     *  different shards race only on these). */
+    std::atomic<std::size_t> ws_created_total_{0};
+    std::atomic<std::size_t> outcomes_created_total_{0};
+
+    /** Declared before executor_ and scheduler_ deliberately: an
+     *  executor task returns its workspace lease as its very last
+     *  action, and the scheduler's recycler returns outcome slots
+     *  during shutdown — ~AsyncPipeline retires all requests, the
+     *  shard pools join their workers, and only after both may the
+     *  pools die. unique_ptr elements keep each ShardPool's mutex at
+     *  a stable address. */
+    std::vector<std::unique_ptr<ShardPool>> pools_;
 
     core::ShardedExecutor executor_;
     Scheduler scheduler_;

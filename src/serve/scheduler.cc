@@ -90,11 +90,12 @@ Scheduler::Scheduler(
     std::size_t queue_capacity, unsigned num_threads,
     bool work_conserving, unsigned num_shards,
     const std::array<std::uint64_t, kNumPriorities> &priority_weights,
-    core::metrics::Registry *registry)
+    core::metrics::Registry *registry,
+    const std::array<std::size_t, kNumPriorities> &class_capacity)
     : capacity_(queue_capacity), num_threads_(num_threads),
       work_conserving_(work_conserving), weights_(priority_weights),
-      shard_map_(num_shards), shards_(num_shards),
-      borrows_(num_shards, 0)
+      class_capacity_(class_capacity), shard_map_(num_shards),
+      shards_(num_shards), borrows_(num_shards, 0)
 {
     fc_assert(capacity_ > 0, "scheduler needs a positive capacity");
     fc_assert(num_threads_ > 0, "scheduler needs a positive pool size");
@@ -142,6 +143,17 @@ Scheduler::Scheduler(
             ->gauge(std::string("serve.priority_weight{class=") +
                     priorityName(static_cast<Priority>(c)) + "}")
             .forceSet(static_cast<std::int64_t>(weights_[c]));
+    // Per-class admission bounds and their rejection counters
+    // (global, not per shard: a class bound is checked before
+    // placement matters).
+    for (unsigned c = 0; c < kNumPriorities; ++c) {
+        const std::string cls =
+            priorityName(static_cast<Priority>(c));
+        rejected_class_[c] = &registry->counter(
+            "serve.rejected_class{class=" + cls + "}");
+        registry->gauge("serve.class_capacity{class=" + cls + "}")
+            .forceSet(static_cast<std::int64_t>(class_capacity_[c]));
+    }
 }
 
 Scheduler::~Scheduler()
@@ -167,6 +179,16 @@ Scheduler::trySubmit(std::shared_ptr<const data::PointCloud> cloud,
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_ || queued_ >= capacity_)
         return std::nullopt;
+    const unsigned cls = static_cast<unsigned>(priority);
+    // Per-class bound, layered on the global one: a Background flood
+    // fills its own allowance and bounces, leaving Interactive's
+    // share of the queue free.
+    if (class_capacity_[cls] != 0 &&
+        class_queued_[cls] >= class_capacity_[cls]) {
+        if (rejected_class_[cls] != nullptr)
+            rejected_class_[cls]->add();
+        return std::nullopt;
+    }
 
     const Clock::time_point now = Clock::now();
     const std::uint64_t id = next_id_++;
@@ -176,7 +198,19 @@ Scheduler::trySubmit(std::shared_ptr<const data::PointCloud> cloud,
     const unsigned shard = shard_map_.shardFor(
         placement_key != 0 ? placement_key : id);
 
-    Record &record = records_[id];
+    // Recycle a reclaimed map node when one exists: re-keying and
+    // re-inserting reuses both the node and the Record's buffers, so
+    // warm admission never touches the heap.
+    Record *slot_record;
+    if (!record_nodes_.empty()) {
+        auto nh = std::move(record_nodes_.back());
+        record_nodes_.pop_back();
+        nh.key() = id;
+        slot_record = &records_.insert(std::move(nh)).position->second;
+    } else {
+        slot_record = &records_[id];
+    }
+    Record &record = *slot_record;
     record.cloud = std::move(cloud);
     record.request = request;
     if (deadline)
@@ -186,10 +220,10 @@ Scheduler::trySubmit(std::shared_ptr<const data::PointCloud> cloud,
     record.shard = shard;
 
     ShardState &st = shards_[shard];
-    const unsigned cls = static_cast<unsigned>(priority);
     st.queues[cls].push_back(id);
     ++st.queued;
     ++queued_;
+    ++class_queued_[cls];
     if (!metrics_.empty()) {
         ClassMetrics &cm = metrics_[shard].classes[cls];
         cm.submitted->add();
@@ -221,8 +255,12 @@ Scheduler::submitBlocking(std::shared_ptr<const data::PointCloud> cloud,
         std::unique_lock<std::mutex> lock(mutex_);
         if (shutdown_)
             return std::nullopt;
-        cv_.wait(lock, [this] {
-            return shutdown_ || queued_ < capacity_;
+        const unsigned cls = static_cast<unsigned>(priority);
+        cv_.wait(lock, [this, cls] {
+            return shutdown_ ||
+                   (queued_ < capacity_ &&
+                    (class_capacity_[cls] == 0 ||
+                     class_queued_[cls] < class_capacity_[cls]));
         });
     }
 }
@@ -268,7 +306,7 @@ Scheduler::retireLocked(std::uint64_t id, Record &record,
     }
     record.cloud.reset(); // free the input as soon as possible
     if (record.abandoned)
-        records_.erase(id); // discard()ed: nobody will wait()
+        reclaimRecordLocked(id); // discard()ed: nobody will wait()
     cv_.notify_all();
 }
 
@@ -375,6 +413,7 @@ Scheduler::acquire(unsigned shard)
     st.queues[chosen].pop_front();
     --st.queued;
     --queued_;
+    --class_queued_[chosen];
     if (!metrics_.empty()) {
         ClassMetrics &cm = metrics_[shard].classes[chosen];
         cm.pops->add();
@@ -465,6 +504,33 @@ Scheduler::complete(std::uint64_t id, BatchResult result)
 }
 
 void
+Scheduler::complete(std::uint64_t id, OutcomeSlot *slot)
+{
+    fc_assert(slot != nullptr, "complete with a null outcome slot");
+    std::lock_guard<std::mutex> lock(mutex_);
+    fc_assert(outcome_recycler_ != nullptr,
+              "slot-completed request without an outcome recycler");
+    Record &record = records_.at(id);
+    fc_assert(record.state == RequestState::Running,
+              "complete on a request in state %s",
+              stateName(record.state));
+    record.slot = slot; // lease rides the ticket until consumption
+    --shards_[record.shard].running;
+    --running_;
+    retireLocked(id, record, RequestState::Done);
+}
+
+void
+Scheduler::setOutcomeRecycler(
+    std::function<void(OutcomeSlot *)> recycler)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    fc_assert(outcome_recycler_ == nullptr,
+              "outcome recycler installed twice");
+    outcome_recycler_ = std::move(recycler);
+}
+
+void
 Scheduler::fail(std::uint64_t id, std::exception_ptr exception)
 {
     // Derive the message outside the lock (rethrowing is the only
@@ -523,20 +589,45 @@ Scheduler::state(Ticket ticket) const
     return recordFor(ticket).state;
 }
 
-RequestOutcome
-Scheduler::consumeLocked(std::uint64_t id, Record &record)
+void
+Scheduler::consumeIntoLocked(std::uint64_t id, Record &record,
+                             RequestOutcome &out, bool copy_payload)
 {
-    RequestOutcome outcome;
-    outcome.state = record.state;
-    outcome.result = std::move(record.result);
-    outcome.error = std::move(record.error);
-    outcome.exception = record.exception;
-    outcome.timing = record.timing;
-    outcome.priority = record.priority;
-    outcome.shard = record.shard;
-    outcome.spilled = record.spilled;
-    records_.erase(id);
-    return outcome;
+    out.state = record.state;
+    if (record.slot != nullptr) {
+        if (copy_payload) {
+            // Capacity-reusing copy on BOTH sides: the caller's warm
+            // outcome keeps its buffers, and the slot recycles warm
+            // for the next request — the zero-alloc round trip.
+            out.result = record.slot->result;
+        } else {
+            // Value wait: the caller takes ownership; the slot
+            // recycles gutted and regrows on its next use.
+            out.result = std::move(record.slot->result);
+        }
+    } else {
+        out.result = std::move(record.result);
+    }
+    out.error = std::move(record.error);
+    out.exception = record.exception;
+    out.timing = record.timing;
+    out.priority = record.priority;
+    out.shard = record.shard;
+    out.spilled = record.spilled;
+    reclaimRecordLocked(id);
+}
+
+void
+Scheduler::reclaimRecordLocked(std::uint64_t id)
+{
+    auto nh = records_.extract(id);
+    fc_assert(!nh.empty(), "reclaim of unknown record %llu",
+              static_cast<unsigned long long>(id));
+    Record &record = nh.mapped();
+    if (record.slot != nullptr)
+        outcome_recycler_(record.slot); // pool mutex is a leaf lock
+    record.reset();
+    record_nodes_.push_back(std::move(nh));
 }
 
 RequestOutcome
@@ -552,7 +643,23 @@ Scheduler::wait(Ticket ticket)
     // never element references (the map is node-based).
     Record *record = &it->second;
     cv_.wait(lock, [record] { return isTerminal(record->state); });
-    return consumeLocked(ticket.id, *record);
+    RequestOutcome outcome;
+    consumeIntoLocked(ticket.id, *record, outcome,
+                      /*copy_payload=*/false);
+    return outcome;
+}
+
+void
+Scheduler::waitInto(Ticket ticket, RequestOutcome &out)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = records_.find(ticket.id);
+    fc_assert(it != records_.end(),
+              "waitInto on unknown or already-consumed ticket %llu",
+              static_cast<unsigned long long>(ticket.id));
+    Record *record = &it->second;
+    cv_.wait(lock, [record] { return isTerminal(record->state); });
+    consumeIntoLocked(ticket.id, *record, out, /*copy_payload=*/true);
 }
 
 std::optional<RequestOutcome>
@@ -568,7 +675,10 @@ Scheduler::waitFor(Ticket ticket, Clock::duration timeout)
             return isTerminal(record->state);
         }))
         return std::nullopt; // still pending; the ticket stays live
-    return consumeLocked(ticket.id, *record);
+    std::optional<RequestOutcome> outcome(std::in_place);
+    consumeIntoLocked(ticket.id, *record, *outcome,
+                      /*copy_payload=*/false);
+    return outcome;
 }
 
 void
@@ -580,7 +690,7 @@ Scheduler::discard(Ticket ticket)
         return; // already consumed by wait() or a prior discard
     Record &record = it->second;
     if (isTerminal(record.state)) {
-        records_.erase(it);
+        reclaimRecordLocked(ticket.id);
         return;
     }
     record.cancel_requested = true; // stop undone work early
@@ -632,9 +742,9 @@ Scheduler::shutdown()
     std::unique_lock<std::mutex> lock(mutex_);
     shutdown_ = true;
     for (ShardState &st : shards_)
-        for (const auto &queue : st.queues)
-            for (const std::uint64_t id : queue)
-                records_.at(id).cancel_requested = true;
+        for (const IdRing &queue : st.queues)
+            for (std::size_t i = 0; i < queue.size(); ++i)
+                records_.at(queue.at(i)).cancel_requested = true;
     cv_.notify_all();
     // Every queued request still has an executor task that will pop
     // (and then instantly retire) it; running ones finish or stop at

@@ -64,12 +64,13 @@
 #ifndef FC_SERVE_SCHEDULER_H
 #define FC_SERVE_SCHEDULER_H
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -167,6 +168,80 @@ struct RequestOutcome
 };
 
 /**
+ * One slab slot of the serving outcome pool: a capacity-retaining
+ * BatchResult an executor writes into and a waiter copies (waitInto)
+ * or moves (wait) out of. Slots are owned and recycled by
+ * AsyncPipeline's per-shard pools; the Scheduler only carries the
+ * lease from complete() to the consuming wait — the lease rides the
+ * ticket. Recycled slots keep every vector's and tensor's capacity,
+ * which is what drives warm serve-path allocations to zero.
+ */
+struct OutcomeSlot
+{
+    BatchResult result;
+
+    /** Pool the slot recycles into (set once at creation). */
+    unsigned owner_shard = 0;
+};
+
+/**
+ * Growable ring of request ids — the per-(shard x class) FIFO.
+ * Capacity doubles on overflow and is never returned (the TaskRing
+ * discipline), so steady-state admission pushes and pops without
+ * touching the heap.
+ */
+class IdRing
+{
+  public:
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    /** i-th queued id from the front (shutdown iteration). */
+    std::uint64_t
+    at(std::size_t i) const
+    {
+        return slots_[(head_ + i) & mask_];
+    }
+
+    std::uint64_t front() const { return slots_[head_]; }
+
+    void
+    push_back(std::uint64_t id)
+    {
+        if (size_ == slots_.size())
+            grow();
+        slots_[(head_ + size_) & mask_] = id;
+        ++size_;
+    }
+
+    void
+    pop_front()
+    {
+        head_ = (head_ + 1) & mask_;
+        --size_;
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t capacity =
+            std::max<std::size_t>(64, slots_.size() * 2);
+        std::vector<std::uint64_t> next(capacity);
+        for (std::size_t i = 0; i < size_; ++i)
+            next[i] = slots_[(head_ + i) & mask_];
+        slots_ = std::move(next);
+        mask_ = capacity - 1;
+        head_ = 0;
+    }
+
+    std::vector<std::uint64_t> slots_; ///< power-of-two capacity
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+/**
  * Thread-safe request ledger (see file comment for the protocol).
  *
  * Task/record pairing: executors do not acquire a *specific* request
@@ -218,12 +293,20 @@ class Scheduler
      *                        and latency histograms, pop/spill/borrow
      *                        and outcome counters) in it; must
      *                        outlive the scheduler
+     * @param class_capacity  per-class admission bound layered on
+     *                        @p queue_capacity (queued requests of
+     *                        class c across all shards; 0 = bounded
+     *                        only by the global capacity). Keeps a
+     *                        Background flood from crowding
+     *                        Interactive out of the queue.
      */
     Scheduler(std::size_t queue_capacity, unsigned num_threads,
               bool work_conserving = true, unsigned num_shards = 1,
               const std::array<std::uint64_t, kNumPriorities>
                   &priority_weights = kPriorityWeight,
-              core::metrics::Registry *registry = nullptr);
+              core::metrics::Registry *registry = nullptr,
+              const std::array<std::size_t, kNumPriorities>
+                  &class_capacity = {});
 
     /** Active aging weights (runtime-configured at construction). */
     const std::array<std::uint64_t, kNumPriorities> &
@@ -300,8 +383,28 @@ class Scheduler
     bool checkpoint(std::uint64_t id, bool *spill = nullptr,
                     int *spill_shard = nullptr);
 
-    /** Terminal transition: the request finished with @p result. */
+    /** Terminal transition: the request finished with @p result.
+     *  (Value form, used by bare-scheduler callers; the serving
+     *  pipeline completes with a pooled OutcomeSlot instead.) */
     void complete(std::uint64_t id, BatchResult result);
+
+    /**
+     * Terminal transition with a pooled payload: @p slot holds the
+     * finished BatchResult and its lease transfers to the record —
+     * it rides the ticket until the consuming wait()/waitInto()
+     * (which recycles it through the recycler installed by
+     * setOutcomeRecycler) or, for abandoned/discarded tickets, until
+     * retirement reclaims the record. @p slot must stay valid until
+     * then (AsyncPipeline owns the slab storage).
+     */
+    void complete(std::uint64_t id, OutcomeSlot *slot);
+
+    /**
+     * Install the slot-return hook (called once, before any
+     * slot-completed request is consumed). Invoked under the
+     * scheduler mutex; must not call back into the scheduler.
+     */
+    void setOutcomeRecycler(std::function<void(OutcomeSlot *)> recycler);
 
     /** Terminal transition: processing threw @p exception. */
     void fail(std::uint64_t id, std::exception_ptr exception);
@@ -330,6 +433,17 @@ class Scheduler
      * outcome. Each ticket may be waited exactly once.
      */
     RequestOutcome wait(Ticket ticket);
+
+    /**
+     * Allocation-free consumption: like wait(), but the outcome is
+     * written into @p out, whose payload vectors/tensors reuse their
+     * capacity — a warm same-shape round trip (submitShared ->
+     * waitInto with a reused RequestOutcome) performs zero heap
+     * allocations end to end. The pooled slot is copied from and
+     * recycled warm, so the pipeline's next request reuses its
+     * capacity too; @p out never aliases pool memory.
+     */
+    void waitInto(Ticket ticket, RequestOutcome &out);
 
     /**
      * Bounded wait: block up to @p timeout for the request to reach
@@ -393,12 +507,37 @@ class Scheduler
         int spill_shard = -1;   ///< current spill pool (-1 = inline)
         bool spilled = false;   ///< spilled for at least one stage
         bool abandoned = false; ///< discard()ed; reclaim on retire
+
+        /** Pooled payload lease (Done via the slot overload only);
+         *  recycled when the record is reclaimed. */
+        OutcomeSlot *slot = nullptr;
+
+        /** Return to a just-constructed state while KEEPING the
+         *  capacity of request, result, and error — recycled records
+         *  make the next admission allocation-free. */
+        void
+        reset()
+        {
+            state = RequestState::Queued;
+            cancel_requested = false;
+            cloud.reset();
+            // `request` and `result` keep their buffers: the next
+            // submit copy-assigns over them.
+            deadline.reset();
+            timing = RequestTiming{};
+            error.clear();
+            exception = nullptr;
+            spill_shard = -1;
+            spilled = false;
+            abandoned = false;
+            slot = nullptr;
+        }
     };
 
     /** Queues, aging credits, and in-flight counters of one shard. */
     struct ShardState
     {
-        std::array<std::deque<std::uint64_t>, kNumPriorities> queues;
+        std::array<IdRing, kNumPriorities> queues;
         std::array<std::uint64_t, kNumPriorities> credit{};
         std::size_t queued = 0;
         std::size_t running = 0;
@@ -451,8 +590,19 @@ class Scheduler
      *  here — acquire, checkpoint, and retirement. */
     void assignSpillLocked(Record &record, int target);
 
-    /** Move a consumed record into a RequestOutcome (mutex held). */
-    RequestOutcome consumeLocked(std::uint64_t id, Record &record);
+    /** Consume a terminal record into @p out (mutex held): the
+     *  payload is copied from the pooled slot when @p copy_payload
+     *  (slot and @p out both stay warm — the zero-alloc path) or
+     *  moved out otherwise, then the record is reclaimed. */
+    void consumeIntoLocked(std::uint64_t id, Record &record,
+                           RequestOutcome &out, bool copy_payload);
+
+    /** Take @p id's record out of the ledger (mutex held): recycle
+     *  its outcome slot (if still leased), reset() it
+     *  capacity-retaining, and stash the map node for the next
+     *  admission. Every record leaving records_ goes through here —
+     *  warm steady state never touches the map's allocator. */
+    void reclaimRecordLocked(std::uint64_t id);
 
     const Record &recordFor(Ticket ticket) const;
 
@@ -468,6 +618,18 @@ class Scheduler
     const bool work_conserving_;
     const std::array<std::uint64_t, kNumPriorities> weights_;
 
+    /** Per-class admission bounds (0 = global bound only). */
+    const std::array<std::size_t, kNumPriorities> class_capacity_;
+
+    /** Queued requests per class, summed over shards (the counters
+     *  the class bounds compare against). */
+    std::array<std::size_t, kNumPriorities> class_queued_{};
+
+    /** Per-class admission rejections due to a class bound; null
+     *  without a registry. */
+    std::array<core::metrics::Counter *, kNumPriorities>
+        rejected_class_{};
+
     core::ShardMap shard_map_;
     std::vector<ShardState> shards_;
 
@@ -482,6 +644,18 @@ class Scheduler
 
     std::uint64_t next_id_ = 1;
     std::unordered_map<std::uint64_t, Record> records_;
+
+    /** Reclaimed map nodes (capacity-retaining Records inside);
+     *  trySubmit re-keys and re-inserts these instead of allocating.
+     *  Depth tracks the high-water mark of concurrently live
+     *  tickets. */
+    std::vector<std::unordered_map<std::uint64_t, Record>::node_type>
+        record_nodes_;
+
+    /** Slot-return hook into AsyncPipeline's per-shard pools; must
+     *  be installed before the first slot-completed consumption. */
+    std::function<void(OutcomeSlot *)> outcome_recycler_;
+
     std::size_t queued_ = 0;
     std::size_t running_ = 0;
     bool shutdown_ = false;

@@ -57,6 +57,30 @@ enum class ReadMode : std::uint8_t {
 };
 
 /**
+ * open()-time page residency policy. By default the mapping is
+ * demand-paged: the first pass over each block (usually the
+ * prefetcher's checksum walk) eats one major fault per page. Cold
+ * scans that will touch the whole file anyway can hint or force
+ * residency up front instead.
+ */
+struct ReadOptions
+{
+    /** madvise(MADV_WILLNEED) the whole mapping after validation:
+     *  asks the kernel to start readahead immediately, overlapping
+     *  disk latency with whatever runs between open() and the first
+     *  readBlock(). Advisory and free; no-op without mmap. */
+    bool willneed = false;
+
+    /** Touch one byte per page after validation, forcing every page
+     *  resident before open() returns (a portable MAP_POPULATE).
+     *  Trades a longer open() for fault-free readBlock()s — the
+     *  right call before latency-measured serving. Implies nothing
+     *  about willneed; combining both is harmless. No-op without
+     *  mmap (the heap fallback is resident by construction). */
+    bool populate = false;
+};
+
+/**
  * One open .fcpc file. Thread-safe for concurrent readBlock calls
  * once open() returned Ok (validation state is atomic; the mapping is
  * immutable).
@@ -70,9 +94,11 @@ class FcpcReader
     FcpcReader(const FcpcReader &) = delete;
     FcpcReader &operator=(const FcpcReader &) = delete;
 
-    /** Map and validate @p path. On failure the reader stays closed
+    /** Map and validate @p path, then apply @p options' residency
+     *  policy (see ReadOptions). On failure the reader stays closed
      *  and status() says why. */
-    FcpcStatus open(const std::string &path);
+    FcpcStatus open(const std::string &path,
+                    const ReadOptions &options = {});
 
     bool isOpen() const { return map_ != nullptr; }
     FcpcStatus status() const { return status_; }

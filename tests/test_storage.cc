@@ -130,6 +130,43 @@ TEST(StorageRoundtrip, S3disSceneLabeled)
     std::remove(path.c_str());
 }
 
+TEST(StorageRoundtrip, ReadOptionsResidencyPoliciesPreserveContent)
+{
+    // willneed/populate are pure page-residency hints: every
+    // combination must open Ok and read back identical bytes (the
+    // behavioral difference — fault timing — is a perf property
+    // benchmarked, not unit-tested).
+    const PointCloud original = data::makeS3disScene(2000, 43);
+    const std::string path = tempPath("residency.fcpc");
+    ASSERT_TRUE(writeFcpc({original}, path));
+
+    for (const bool willneed : {false, true}) {
+        for (const bool populate : {false, true}) {
+            SCOPED_TRACE("willneed=" + std::to_string(willneed) +
+                         " populate=" + std::to_string(populate));
+            ReadOptions options;
+            options.willneed = willneed;
+            options.populate = populate;
+            FcpcReader reader;
+            ASSERT_EQ(reader.open(path, options), FcpcStatus::Ok);
+            ASSERT_EQ(reader.blockCount(), 1u);
+            PointCloud cloud;
+            ASSERT_EQ(reader.readBlock(0, cloud), FcpcStatus::Ok);
+            expectCloudsBitIdentical(original, cloud);
+        }
+    }
+
+    // A corrupt file is rejected before any residency work happens.
+    corruptByte(path, 0);
+    FcpcReader reader;
+    ReadOptions eager;
+    eager.willneed = true;
+    eager.populate = true;
+    EXPECT_NE(reader.open(path, eager), FcpcStatus::Ok);
+    EXPECT_FALSE(reader.isOpen());
+    std::remove(path.c_str());
+}
+
 TEST(StorageRoundtrip, ShapeNetObjectLabeled)
 {
     const PointCloud original = data::makeShapeNetObject(2, 2000, 7);

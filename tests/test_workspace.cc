@@ -342,6 +342,42 @@ TEST(WorkspaceAlloc, WarmOpsDrawOnlyFromTheWorkspace)
     EXPECT_EQ(fc::heapAllocCount() - before, 0u);
 }
 
+TEST(WorkspaceAlloc, WarmServeRoundTripIsAllocationFree)
+{
+    // The acceptance bar of the shard-local memory work: a warm
+    // same-shape submitShared -> waitInto round trip touches the
+    // heap exactly zero times — admission (recycled record node +
+    // id ring), dispatch (InlineTask ring), processing (per-shard
+    // workspace), the result payload (slab-recycled outcome slot),
+    // and consumption (capacity-reusing copy) included.
+    const auto scene = std::make_shared<const data::PointCloud>(
+        data::makeS3disScene(2048, 61));
+    const nn::Network network(tinySegModel(), 42);
+
+    serve::ServeOptions options;
+    options.pipeline.num_threads = 1;
+    options.pipeline.threshold = 64;
+    BatchRequest request;
+    request.sample_rate = 0.25;
+    request.radius = 0.3f;
+    request.neighbors = 8;
+    request.network = &network;
+    serve::AsyncPipeline server(options);
+
+    serve::RequestOutcome out;
+    for (int i = 0; i < 3; ++i) // warm pools, rings, and capacities
+        server.waitInto(server.submitShared(scene, request), out);
+    ASSERT_EQ(out.state, serve::RequestState::Done);
+
+    const std::uint64_t before = fc::heapAllocCount();
+    server.waitInto(server.submitShared(scene, request), out);
+    EXPECT_EQ(fc::heapAllocCount() - before, 0u);
+
+    ASSERT_EQ(out.state, serve::RequestState::Done);
+    EXPECT_EQ(server.workspacesCreated(), 1u);
+    EXPECT_EQ(server.outcomeSlotsCreated(), 1u);
+}
+
 // ---------------------------------------------------------------------
 // Workspace-reuse determinism: warm == cold, byte for byte
 // ---------------------------------------------------------------------
